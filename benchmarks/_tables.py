@@ -1,0 +1,50 @@
+"""Table emission for experiment benchmarks.
+
+Each benchmark regenerates one of the paper-indexed experiments
+(DESIGN.md Section 3) and reports a paper-style table.  Tables are
+printed to stdout *and* written under ``benchmarks/results/`` so the
+rows survive pytest's output capture; ``EXPERIMENTS.md`` records the
+reference run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A plain fixed-width table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def emit_table(name: str, title: str, headers: Sequence[str],
+               rows: Iterable[Sequence]) -> str:
+    """Print the table and persist it under ``benchmarks/results/``."""
+    body = format_table(headers, list(rows))
+    text = f"== {title} ==\n{body}\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic harness exactly once and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

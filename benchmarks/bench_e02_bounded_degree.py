@@ -1,0 +1,70 @@
+"""E2 — Lemma 3.4 / Theorem 3.5: scattered sets in bounded degree.
+
+Sweep bounded-degree families (cycles, grids, random 3-regular graphs)
+against both the bound ``N = m * k^d`` *as printed* and the corrected
+bound ``N_safe = m * B(k, 2d)`` (ball of radius 2d).
+
+**Reproduction finding (erratum):** the printed constant is too small —
+the proof's packing blocks balls of radius ``2d``.  ``C_13`` (degree 2)
+has ``13 > N(2,1,6) = 12`` vertices but its largest 1-scattered set has
+only 4 members.  Shape: above the *corrected* bound the witness always
+exists (greedily); between the bounds the greedy can fail while exact
+search may still succeed; ``C_13`` fails outright.
+"""
+
+from _tables import emit_table, run_once
+
+from repro.core import lemma_3_4_bound, lemma_3_4_safe_bound, lemma_3_4_witness
+from repro.graphtheory import cycle_graph, grid_graph, random_regular_graph
+
+
+def run_experiment():
+    d, m = 2, 4
+    rows = []
+    workloads = []
+    for n in (10, 20, 50, 100, 200):
+        workloads.append((f"cycle({n})", cycle_graph(n), 2, d, m))
+    for side in (6, 8, 12):
+        workloads.append(
+            (f"grid({side}x{side})", grid_graph(side, side), 4, d, m)
+        )
+    for n in (40, 80, 160):
+        workloads.append(
+            (f"3-regular({n})", random_regular_graph(n, 3, seed=n), 3, d, m)
+        )
+    # the erratum witness: printed bound fails on C_13 at (k,d,m)=(2,1,6)
+    workloads.append(("cycle(13) [erratum]", cycle_graph(13), 2, 1, 6))
+    for name, graph, k, dd, mm in workloads:
+        bound = lemma_3_4_bound(k, dd, mm)
+        safe = lemma_3_4_safe_bound(k, dd, mm)
+        witness = lemma_3_4_witness(graph, k, dd, mm)
+        rows.append((
+            name,
+            k,
+            graph.num_vertices(),
+            bound,
+            safe,
+            graph.num_vertices() > bound,
+            graph.num_vertices() > safe,
+            witness.method if witness else "none",
+        ))
+    return rows
+
+
+def bench_e02_bounded_degree(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    emit_table(
+        "e02_bounded_degree",
+        "E2  Lemma 3.4: printed bound m*k^d vs corrected m*B(k,2d)",
+        ["family", "k", "n", "N printed", "N safe", "n>N", "n>N_safe",
+         "witness"],
+        rows,
+    )
+    # Above the corrected bound, the greedy proof always succeeds.
+    for row in rows:
+        if row[6]:
+            assert row[7] == "greedy", row
+    # The erratum instance exceeds the printed bound yet has no witness.
+    erratum = rows[-1]
+    assert erratum[5] and not erratum[6]
+    assert erratum[7] == "none"

@@ -1,0 +1,68 @@
+"""E5 — Theorem 5.3 / 5.4: scattered sets in K_k-minor-free graphs.
+
+Sweep planar families (grids, fan triangulations, trees, stars) through
+the staged construction of Theorem 5.3.  Shape: K_5-minor-free instances
+of growing size produce a d-scattered set of size > m after removing
+fewer than k - 1 vertices; the dense control (K_6) fails.
+"""
+
+from _tables import emit_table, run_once
+
+from repro.core import theorem_5_3_witness, verify_theorem_5_3_witness
+from repro.graphtheory import (
+    complete_graph,
+    grid_graph,
+    is_planar,
+    random_planar_like,
+    random_tree,
+    star_graph,
+)
+
+
+def run_experiment():
+    k, d, m = 5, 1, 3
+    workloads = [
+        ("grid(4x4)", grid_graph(4, 4)),
+        ("grid(5x5)", grid_graph(5, 5)),
+        ("grid(6x6)", grid_graph(6, 6)),
+        ("fan(25)", random_planar_like(25, seed=1)),
+        ("fan(40)", random_planar_like(40, seed=2)),
+        ("tree(40)", random_tree(40, seed=3)),
+        ("star(40)", star_graph(40)),
+        ("K6 (control)", complete_graph(6)),
+    ]
+    rows = []
+    for name, graph in workloads:
+        planar = is_planar(graph)
+        witness = theorem_5_3_witness(graph, k, d, m)
+        verified = (witness is not None
+                    and verify_theorem_5_3_witness(graph, witness, k, m))
+        rows.append((
+            name,
+            graph.num_vertices(),
+            planar,
+            witness is not None,
+            len(witness.removed) if witness else -1,
+            len(witness.scattered) if witness else -1,
+            verified,
+        ))
+    return rows
+
+
+def bench_e05_planar_scattered(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    emit_table(
+        "e05_planar_scattered",
+        "E5  Theorem 5.3: k=5, d=1, m=3; |Z| < 4 removals scatter planar hosts",
+        ["family", "n", "planar", "found", "|Z|", "|S|", "verified"],
+        rows,
+    )
+    # small instances sit below the theorem's threshold and may fail;
+    # all planar hosts with >= 20 vertices must succeed and verify
+    large_planar = [r for r in rows if r[2] and r[1] >= 20]
+    assert large_planar
+    assert all(r[3] and r[6] for r in large_planar)
+    assert all(r[4] < 4 for r in large_planar)
+    assert all(r[5] > 3 for r in large_planar)
+    control = rows[-1]
+    assert not control[2] and not control[3]

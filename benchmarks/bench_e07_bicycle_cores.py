@@ -1,0 +1,44 @@
+"""E7 — Section 6.2: wheels, bicycles and cores of expansions.
+
+Sweep odd n: the cores of the bicycles B_n stay K_4 (degree 3), while
+the expansions (B_n, h) are their own cores with hub degree n.  Shape:
+the left columns are constant, the right column grows linearly —
+the paper's witness that Theorem 6.5 cannot extend to non-Boolean
+queries via plebian companions.
+"""
+
+from _tables import emit_table, run_once
+
+from repro.core import bicycle_core_is_k4, bicycle_sweep, wheel_is_core
+
+
+def run_experiment():
+    reports = bicycle_sweep([5, 7, 9, 11])
+    rows = []
+    for report in reports:
+        rows.append((
+            report.n,
+            wheel_is_core(report.n),
+            report.core_size,
+            report.core_degree,
+            bicycle_core_is_k4(report.n),
+            report.expansion_is_core,
+            report.expansion_core_degree,
+        ))
+    return rows
+
+
+def bench_e07_bicycle_cores(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    emit_table(
+        "e07_bicycle_cores",
+        "E7  Section 6.2: core(B_n) = K_4 vs (B_n, h) a core of degree n",
+        ["n", "W_n core", "core size", "core deg", "core = K4",
+         "(B_n,h) core", "(B_n,h) core deg"],
+        rows,
+    )
+    assert all(row[1] for row in rows)            # odd wheels are cores
+    assert all(row[2] == 4 and row[3] == 3 for row in rows)
+    assert all(row[4] and row[5] for row in rows)
+    degrees = [row[6] for row in rows]
+    assert degrees == [5, 7, 9, 11]               # unbounded growth

@@ -1,0 +1,54 @@
+"""E9 — Proposition 7.9 / Corollary 7.10: q(C_3, 2) is cyclicity.
+
+Sweep paths, cycles, DAGs and random digraphs: Duplicator wins the
+existential 2-pebble game on (C_3, B) exactly when B has a directed
+cycle.  The non-FO shape: the query separates P_n from C_n for *every*
+n — no fixed-size local test does that, which is the observable face of
+Proposition 7.9(1).
+"""
+
+from _tables import emit_table, run_once
+
+from repro.pebble import duplicator_wins, has_directed_cycle
+from repro.structures import (
+    directed_cycle,
+    directed_path,
+    path_with_random_chords,
+    random_directed_graph,
+)
+
+
+def run_experiment():
+    c3 = directed_cycle(3)
+    rows = []
+    workloads = []
+    for n in (3, 5, 7):
+        workloads.append((f"P_{n}", directed_path(n)))
+        workloads.append((f"C_{n}", directed_cycle(n)))
+    for n in (6, 8):
+        workloads.append((f"DAG({n})", path_with_random_chords(n, 4, seed=n)))
+    for seed in range(4):
+        workloads.append(
+            (f"G(5,.25)#{seed}", random_directed_graph(5, 0.25, seed))
+        )
+    for name, b in workloads:
+        game = duplicator_wins(c3, b, 2)
+        cyclic = has_directed_cycle(b)
+        rows.append((name, b.size(), cyclic, game, game == cyclic))
+    return rows
+
+
+def bench_e09_pebble_acyclicity(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    emit_table(
+        "e09_pebble_acyclicity",
+        "E9  Prop 7.9: Duplicator wins (C3, B; 2 pebbles) <=> B cyclic",
+        ["B", "|B|", "has cycle", "duplicator wins", "agree"],
+        rows,
+    )
+    assert all(row[4] for row in rows)
+    # the P_n / C_n separation holds at every size probed
+    for n in (3, 5, 7):
+        path_row = next(r for r in rows if r[0] == f"P_{n}")
+        cycle_row = next(r for r in rows if r[0] == f"C_{n}")
+        assert not path_row[3] and cycle_row[3]

@@ -1,0 +1,109 @@
+"""E12 — Section 6.1: plebian companions (Observations 6.1–6.3).
+
+Sweep structures expanded with constants: the companion's Gaifman graph
+is a subgraph of the original's (Obs 6.1) and companion vocabulary sizes
+follow the ``R_m`` combinatorics.
+
+**Reproduction finding (gap in Obs 6.2):** the direction
+"hom(pA, pB) => hom(A, B)" verifies with explicit witnesses, but the
+paper's claimed converse fails when a homomorphism maps an unnamed
+element of A onto a constant of B — the minimal counterexample (an edge
+into the constant vs a loop on the constant) is part of the sweep.
+"""
+
+from _tables import emit_table, run_once
+
+from repro.core import (
+    observation_6_1_holds,
+    observation_6_2_counterexample,
+    observation_6_2_extension_direction,
+    observation_6_2_restriction_direction,
+    plebian_companion,
+    plebian_vocabulary,
+)
+from repro.structures import (
+    bicycle_with_hub_constant,
+    directed_cycle,
+    gaifman_graph,
+    random_directed_graph,
+)
+
+
+def expand(structure, element):
+    return structure.expand_with_constants({"c1": element})
+
+
+def run_experiment():
+    workloads = [
+        ("(C_3, 0)", expand(directed_cycle(3), 0)),
+        ("(C_5, 0)", expand(directed_cycle(5), 0)),
+        ("(B_5, h)", bicycle_with_hub_constant(5)),
+        ("(B_7, h)", bicycle_with_hub_constant(7)),
+        ("(G(4,.5), 0)", expand(random_directed_graph(4, 0.5, 3), 0)),
+        ("(G(5,.3), 0)", expand(random_directed_graph(5, 0.3, 4), 0)),
+    ]
+    rows = []
+    for name, s in workloads:
+        companion = plebian_companion(s)
+        rho = plebian_vocabulary(s.vocabulary)
+        rows.append((
+            name,
+            s.size(),
+            companion.size(),
+            gaifman_graph(s).num_edges(),
+            gaifman_graph(companion).num_edges(),
+            len(rho.relation_names),
+            observation_6_1_holds(s),
+        ))
+
+    hom_rows = []
+    counter_a, counter_b = observation_6_2_counterexample()
+    pairs = [
+        ("(C_6,0) -> (C_3,0)", expand(directed_cycle(6), 0),
+         expand(directed_cycle(3), 0)),
+        ("(C_3,0) -> (C_6,0)", expand(directed_cycle(3), 0),
+         expand(directed_cycle(6), 0)),
+        ("(B_5,h) -> (B_7,h)", bicycle_with_hub_constant(5),
+         bicycle_with_hub_constant(7)),
+        ("(G4,0) -> (G5,0)", expand(random_directed_graph(4, 0.5, 5), 0),
+         expand(random_directed_graph(5, 0.5, 6), 0)),
+        ("edge->loop [gap]", counter_a, counter_b),
+    ]
+    from repro.homomorphism import find_homomorphism
+
+    for name, a, b in pairs:
+        hom_exists = find_homomorphism(a, b) is not None
+        hom_rows.append((
+            name,
+            hom_exists,
+            observation_6_2_extension_direction(a, b),
+            observation_6_2_restriction_direction(a, b),
+        ))
+    return rows, hom_rows
+
+
+def bench_e12_plebian(benchmark):
+    rows, hom_rows = run_once(benchmark, run_experiment)
+    emit_table(
+        "e12_companions",
+        "E12a Obs 6.1: pA drops named elements, Gaifman subgraph",
+        ["A", "|A|", "|pA|", "G(A) edges", "G(pA) edges", "|rho|",
+         "obs 6.1"],
+        rows,
+    )
+    emit_table(
+        "e12_hom_transfer",
+        "E12b Obs 6.2 by direction: pA->pB => A->B sound; converse has a gap",
+        ["pair", "hom A->B", "extension dir", "restriction dir"],
+        hom_rows,
+    )
+    assert all(row[6] for row in rows)
+    assert all(row[2] == row[1] - 1 for row in rows)  # one constant dropped
+    assert all(row[4] <= row[3] for row in rows)
+    # the extension direction (pA->pB => A->B) is always verified
+    assert all(row[2] for row in hom_rows)
+    # REPRODUCTION FINDING: the restriction direction fails when a hom
+    # maps unnamed elements onto constants — at minimum on the canonical
+    # counterexample, sometimes on the cycle pair as well.
+    gap_row = hom_rows[-1]
+    assert gap_row[1] and not gap_row[3]

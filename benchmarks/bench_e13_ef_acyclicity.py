@@ -1,0 +1,62 @@
+"""E13 — Proposition 7.9(1) via Ehrenfeucht–Fraïssé games.
+
+The paper: "the query 'is it acyclic?' is not first-order definable
+(this can be shown using Ehrenfeucht–Fraïssé games)".  The sweep plays
+the actual games: for each quantifier rank ``m``, the pair
+``C_n ⊔ P_n`` (cyclic) versus ``P_{2n}`` (acyclic) is ``≡_m``-equivalent
+— so no rank-``m`` sentence can be the acyclicity query — while small
+control pairs *are* distinguished, pinning the separating ranks.
+"""
+
+from _tables import emit_table, run_once
+
+from repro.logic import (
+    acyclicity_separating_pair,
+    ef_equivalent,
+    separating_rank,
+)
+from repro.pebble import has_directed_cycle
+from repro.structures import directed_cycle, directed_path, single_loop
+
+
+def run_experiment():
+    equivalence_rows = []
+    for m, n in ((1, 3), (2, 5), (2, 8)):
+        cyclic, acyclic = acyclicity_separating_pair(n)
+        assert has_directed_cycle(cyclic) and not has_directed_cycle(acyclic)
+        equivalence_rows.append((
+            m, n, cyclic.size(), acyclic.size(),
+            ef_equivalent(cyclic, acyclic, m),
+        ))
+
+    control_rows = []
+    controls = [
+        ("loop vs P2", single_loop(), directed_path(2)),
+        ("C3 vs P3", directed_cycle(3), directed_path(3)),
+        ("C3 vs C4", directed_cycle(3), directed_cycle(4)),
+        ("C4 vs C5", directed_cycle(4), directed_cycle(5)),
+    ]
+    for name, a, b in controls:
+        control_rows.append((name, separating_rank(a, b, max_rounds=3)))
+    return equivalence_rows, control_rows
+
+
+def bench_e13_ef_acyclicity(benchmark):
+    equivalence_rows, control_rows = run_once(benchmark, run_experiment)
+    emit_table(
+        "e13_ef_equivalence",
+        "E13a Prop 7.9(1): (C_n + P_n) ≡_m P_2n — no rank-m acyclicity test",
+        ["rank m", "n", "|cyclic|", "|acyclic|", "equivalent"],
+        equivalence_rows,
+    )
+    emit_table(
+        "e13_ef_controls",
+        "E13b separating ranks of control pairs (games do distinguish)",
+        ["pair", "separating rank"],
+        control_rows,
+    )
+    assert all(row[4] for row in equivalence_rows)
+    ranks = dict(control_rows)
+    assert ranks["loop vs P2"] == 1
+    assert ranks["C3 vs P3"] == 2   # a path has a sink
+    assert ranks["C3 vs C4"] == 2   # non-adjacent pair exists only in C4

@@ -1,0 +1,83 @@
+"""E16 — Section 7.3's boundary: Datalog with ~EDB / != escapes
+homomorphism preservation.
+
+"The Ajtai–Gurevich theorem fails both for Datalog programs with negated
+extensional predicates and for Datalog programs with inequalities ... the
+results are very tightly connected to preservation under homomorphisms."
+
+The sweep: pure Datalog queries (bounded and unbounded) always pass the
+sampled homomorphism-preservation check; semipositive queries violate it
+with explicit witnesses — the precise reason the Section 7 machinery
+stops at them.
+"""
+
+from _tables import emit_table, run_once
+
+from repro.core import check_preserved_under_homomorphisms
+from repro.datalog import (
+    asymmetric_edge_program,
+    bounded_two_step_program,
+    distinct_pair_program,
+    evaluate_semi_naive,
+    evaluate_semipositive,
+    semipositive_breaks_hom_preservation,
+    transitive_closure_program,
+)
+from repro.structures import (
+    directed_clique,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+def run_experiment():
+    samples = [random_directed_graph(3, 0.4, s) for s in range(6)]
+    samples += [directed_path(2), directed_path(3), directed_cycle(3),
+                single_loop(), directed_clique(3)]
+
+    def pure_query(program, predicate):
+        def q(structure):
+            return bool(
+                evaluate_semi_naive(program, structure).relations[predicate]
+            )
+        return q
+
+    def semi_query(program, predicate):
+        def q(structure):
+            return bool(evaluate_semipositive(program, structure)[predicate])
+        return q
+
+    workloads = [
+        ("TC (pure)", pure_query(transitive_closure_program(), "T")),
+        ("two-step (pure)", pure_query(bounded_two_step_program(), "R")),
+        ("asym edge (~EDB)", semi_query(asymmetric_edge_program(), "Hit")),
+        ("distinct pair (!=)", semi_query(distinct_pair_program(), "Pair")),
+    ]
+    rows = []
+    for name, query in workloads:
+        violation = check_preserved_under_homomorphisms(query, samples)
+        rows.append((
+            name,
+            violation is None,
+            "-" if violation is None else
+            f"{violation.source.size()}->{violation.target.size()} elts",
+        ))
+    canonical = semipositive_breaks_hom_preservation()
+    return rows, canonical
+
+
+def bench_e16_semipositive(benchmark):
+    rows, canonical = run_once(benchmark, run_experiment)
+    emit_table(
+        "e16_semipositive",
+        "E16 §7.3: pure Datalog is hom-preserved; Datalog(~EDB, !=) is not",
+        ["query", "preserved on sample", "violation"],
+        rows,
+    )
+    named = {row[0]: row[1] for row in rows}
+    assert named["TC (pure)"] and named["two-step (pure)"]
+    assert not named["asym edge (~EDB)"]
+    assert not named["distinct pair (!=)"]
+    assert canonical

@@ -1,0 +1,80 @@
+"""E17 — data exchange: getting to the core (intro citation).
+
+The paper's introduction lists data exchange [Fagin–Kolaitis–Popa 2003]
+among the applications of cores.  The sweep chases employee/department
+sources of growing size and measures how much the core shrinks the
+canonical universal solution: one shared "unknown manager" null per
+department instead of one per employee.  Shape: shrinkage grows linearly
+with employees-per-department, the core stays a verified universal
+solution, and sources without redundancy shrink by zero.
+"""
+
+from _tables import emit_table, run_once
+
+from repro.dataexchange import (
+    chase,
+    core_solution,
+    is_solution,
+    is_universal_solution,
+    parse_mapping,
+)
+from repro.structures import Structure, Vocabulary
+
+SRC = Vocabulary({"Emp": 2})
+TGT = Vocabulary({"Works": 2, "DeptMgr": 2})
+MAPPING = parse_mapping(
+    "Emp(e, d) -> exists m. Works(e, d) & DeptMgr(d, m).",
+    SRC, TGT,
+)
+
+
+def company(employees_per_dept: int, departments: int) -> Structure:
+    people = []
+    facts = []
+    depts = [f"dept{j}" for j in range(departments)]
+    for j, dept in enumerate(depts):
+        for i in range(employees_per_dept):
+            name = f"p{j}_{i}"
+            people.append(name)
+            facts.append((name, dept))
+    return Structure(SRC, people + depts, {"Emp": facts})
+
+
+def run_experiment():
+    rows = []
+    for per_dept, departments in ((1, 3), (2, 3), (4, 3), (8, 2), (6, 4)):
+        source = company(per_dept, departments)
+        canonical = chase(MAPPING, source)
+        report = core_solution(MAPPING, source)
+        saved_elements, saved_facts = report.shrinkage()
+        universal = is_universal_solution(
+            MAPPING, source, report.core, [canonical]
+        )
+        rows.append((
+            f"{per_dept}/dept x {departments}",
+            canonical.size(),
+            report.core.size(),
+            saved_elements,
+            saved_facts,
+            is_solution(MAPPING, source, report.core),
+            universal,
+        ))
+    return rows
+
+
+def bench_e17_data_exchange(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    emit_table(
+        "e17_data_exchange",
+        "E17 data exchange: chase size vs core size (nulls merged per dept)",
+        ["source", "|canonical|", "|core|", "elems saved", "facts saved",
+         "core solves", "core universal"],
+        rows,
+    )
+    assert all(row[5] and row[6] for row in rows)
+    # shrinkage = (per_dept - 1) * departments nulls merged
+    expected = {(1, 3): 0, (2, 3): 3, (4, 3): 9, (8, 2): 14, (6, 4): 20}
+    for row, (per_dept, departments) in zip(
+        rows, ((1, 3), (2, 3), (4, 3), (8, 2), (6, 4))
+    ):
+        assert row[3] == expected[(per_dept, departments)], row

@@ -1,0 +1,40 @@
+"""P1 — substrate performance: homomorphism search scaling.
+
+Times the CSP solver on positive and negative instances as the target
+grows.  Shape: sub-second on all experiment-scale inputs; negative
+odd-cycle coloring instances are the hardest (as CSP theory predicts).
+"""
+
+import pytest
+
+from repro.homomorphism import find_homomorphism
+from repro.structures import (
+    directed_path,
+    random_directed_graph,
+    undirected_cycle,
+    undirected_path,
+)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def bench_p01_path_into_random(benchmark, n):
+    source = directed_path(6)
+    target = random_directed_graph(n, 0.3, seed=n)
+    result = benchmark(find_homomorphism, source, target)
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [5, 7, 9])
+def bench_p01_odd_cycle_coloring_negative(benchmark, n):
+    # no hom from odd cycle to K2: the classic hard negative
+    source = undirected_cycle(n)
+    target = undirected_path(2)
+    result = benchmark(find_homomorphism, source, target)
+    assert result is None
+
+
+@pytest.mark.parametrize("size", [4, 6, 8])
+def bench_p01_random_pairs(benchmark, size):
+    source = random_directed_graph(size, 0.25, seed=1)
+    target = random_directed_graph(size + 2, 0.35, seed=2)
+    benchmark(find_homomorphism, source, target)

@@ -1,0 +1,41 @@
+"""P2 — substrate performance: core computation.
+
+Times the iterated-retraction core algorithm on bipartite structures
+(cores collapse to K2), bicycles (collapse to K4) and rigid cores
+(no collapse — pure negative retraction searches).
+"""
+
+import pytest
+
+from repro.homomorphism import compute_core
+from repro.structures import (
+    bicycle_structure,
+    grid_structure,
+    undirected_cycle,
+    undirected_path,
+)
+
+
+@pytest.mark.parametrize("n", [6, 10, 14])
+def bench_p02_core_of_path(benchmark, n):
+    result = benchmark(compute_core, undirected_path(n))
+    assert result.size() == 2
+
+
+@pytest.mark.parametrize("dims", [(2, 3), (3, 3), (3, 4)])
+def bench_p02_core_of_grid(benchmark, dims):
+    result = benchmark(compute_core, grid_structure(*dims))
+    assert result.size() == 2
+
+
+@pytest.mark.parametrize("n", [5, 7])
+def bench_p02_core_of_bicycle(benchmark, n):
+    result = benchmark(compute_core, bicycle_structure(n))
+    assert result.size() == 4
+
+
+@pytest.mark.parametrize("n", [5, 7, 9])
+def bench_p02_rigid_core_no_collapse(benchmark, n):
+    # odd cycles are cores: the algorithm must fail every retraction
+    result = benchmark(compute_core, undirected_cycle(n))
+    assert result.size() == n

@@ -1,0 +1,64 @@
+"""P3 — substrate performance: exact treewidth and minor search.
+
+Times the branch-and-bound treewidth solver and the minor tester on the
+graph families the experiments sweep.
+"""
+
+import pytest
+
+from repro.graphtheory import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    has_clique_minor,
+    is_planar,
+    k_tree,
+    random_graph,
+    random_tree,
+    treewidth_exact,
+)
+
+
+@pytest.mark.parametrize("dims", [(3, 3), (3, 4), (4, 4)])
+def bench_p03_treewidth_grid(benchmark, dims):
+    g = grid_graph(*dims)
+    result = benchmark(treewidth_exact, g)
+    assert result == min(dims)
+
+
+@pytest.mark.parametrize("n", [20, 40])
+def bench_p03_treewidth_tree(benchmark, n):
+    g = random_tree(n, seed=n)
+    assert benchmark(treewidth_exact, g) == 1
+
+
+@pytest.mark.parametrize("n", [8, 10, 12])
+def bench_p03_treewidth_random(benchmark, n):
+    g = random_graph(n, 0.35, seed=n)
+    benchmark(treewidth_exact, g)
+
+
+@pytest.mark.parametrize("n", [25, 45])
+def bench_p03_treewidth_2tree(benchmark, n):
+    g = k_tree(2, n, seed=n)
+    assert benchmark(treewidth_exact, g) == 2
+
+
+def bench_p03_minor_k4_in_grid(benchmark):
+    g = grid_graph(3, 3)
+    assert benchmark(has_clique_minor, g, 4)
+
+
+def bench_p03_minor_negative_k5_in_cycle(benchmark):
+    g = cycle_graph(12)
+    assert not benchmark(has_clique_minor, g, 5)
+
+
+@pytest.mark.parametrize("dims", [(3, 4), (4, 4)])
+def bench_p03_planarity_grid(benchmark, dims):
+    g = grid_graph(*dims)
+    assert benchmark(is_planar, g)
+
+
+def bench_p03_planarity_negative(benchmark):
+    assert not benchmark(is_planar, complete_graph(6))

@@ -1,0 +1,50 @@
+"""P4 — substrate performance: Datalog evaluation engines.
+
+Naive vs semi-naive bottom-up evaluation of transitive closure across
+instance sizes — the classical crossover the Datalog literature reports
+(semi-naive asymptotically dominates).  Also times stage unfolding.
+"""
+
+import pytest
+
+from repro.datalog import (
+    evaluate_naive,
+    evaluate_semi_naive,
+    stage_ucqs,
+    transitive_closure_program,
+)
+from repro.structures import directed_cycle, directed_path, random_directed_graph
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def bench_p04_naive_tc_path(benchmark, n):
+    program = transitive_closure_program()
+    result = benchmark(evaluate_naive, program, directed_path(n))
+    assert len(result.relations["T"]) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def bench_p04_semi_naive_tc_path(benchmark, n):
+    program = transitive_closure_program()
+    result = benchmark(evaluate_semi_naive, program, directed_path(n))
+    assert len(result.relations["T"]) == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def bench_p04_semi_naive_tc_dense(benchmark, n):
+    program = transitive_closure_program()
+    target = random_directed_graph(n, 0.4, seed=n)
+    benchmark(evaluate_semi_naive, program, target)
+
+
+def bench_p04_tc_on_cycle(benchmark):
+    program = transitive_closure_program()
+    result = benchmark(evaluate_semi_naive, program, directed_cycle(12))
+    assert len(result.relations["T"]) == 144
+
+
+@pytest.mark.parametrize("stage", [2, 3, 4])
+def bench_p04_stage_unfolding(benchmark, stage):
+    program = transitive_closure_program()
+    stages = benchmark(stage_ucqs, program, stage)
+    assert len(stages[stage]["T"]) == stage

@@ -1,0 +1,40 @@
+"""P5 — substrate performance: existential k-pebble game solver.
+
+The greatest-fixed-point computation scales with |A|^k * |B|^k; these
+benches pin the practical envelope used by experiments E9/E11.
+"""
+
+import pytest
+
+from repro.pebble import ExistentialPebbleGame, duplicator_wins
+from repro.structures import directed_cycle, directed_path, random_directed_graph
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def bench_p05_two_pebbles_path(benchmark, n):
+    result = benchmark(duplicator_wins, directed_cycle(3),
+                       directed_path(n), 2)
+    assert result is False
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def bench_p05_two_pebbles_cycle(benchmark, n):
+    result = benchmark(duplicator_wins, directed_cycle(3),
+                       directed_cycle(n), 2)
+    assert result is True
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def bench_p05_k_pebbles_random(benchmark, k):
+    a = random_directed_graph(4, 0.35, seed=1)
+    b = random_directed_graph(5, 0.35, seed=2)
+    benchmark(duplicator_wins, a, b, k)
+
+
+def bench_p05_winning_family_size(benchmark):
+    def harness():
+        game = ExistentialPebbleGame(directed_cycle(3), directed_cycle(6), 2)
+        return len(game.winning_family())
+
+    size = benchmark(harness)
+    assert size > 0

@@ -1,0 +1,88 @@
+"""Data exchange: getting to the core (the intro's cited application).
+
+Scenario: an HR system migrates an employee table into a new schema with
+separate assignment and management relations.  The schema mapping leaves
+the manager unspecified (an existential), so the chase invents labeled
+nulls.  The canonical universal solution over-materializes — one
+"unknown manager" per employee even within the same department — and the
+**core** (Fagin–Kolaitis–Popa) is the smallest universal solution.
+
+This runs entirely on the library's own machinery: the chase builds
+structures, and `core_solution` is the paper's core computation with
+source constants frozen.
+
+Run:  python examples/data_exchange.py
+"""
+
+from repro.dataexchange import (
+    chase,
+    core_solution,
+    is_null,
+    is_solution,
+    is_universal_solution,
+    parse_mapping,
+    solution_homomorphism,
+)
+from repro.structures import Structure, Vocabulary
+
+
+def pretty(structure, title):
+    print(f"   {title}: {structure.size()} elements, "
+          f"{structure.num_facts()} facts")
+    for name, tup in structure.facts():
+        rendered = tuple(
+            "⊥" + str(e[1]) if is_null(e) else e for e in tup
+        )
+        print(f"     {name}{rendered}")
+
+
+def main() -> None:
+    source_schema = Vocabulary({"Emp": 2})            # Emp(name, dept)
+    target_schema = Vocabulary({"Works": 2, "DeptMgr": 2})
+    mapping = parse_mapping(
+        "Emp(e, d) -> exists m. Works(e, d) & DeptMgr(d, m).",
+        source_schema, target_schema,
+    )
+    print("schema mapping:")
+    for tgd in mapping.tgds:
+        print(f"   {tgd}")
+
+    source = Structure(
+        source_schema,
+        ["alice", "bob", "carol", "dave", "eng", "ops"],
+        {"Emp": [("alice", "eng"), ("bob", "eng"), ("carol", "eng"),
+                 ("dave", "ops")]},
+    )
+    print("\nsource instance:")
+    for name, tup in source.facts():
+        print(f"   {name}{tup}")
+
+    print("\n== the chase (canonical universal solution) ==")
+    canonical = chase(mapping, source)
+    pretty(canonical, "canonical")
+    print(f"   solution: {is_solution(mapping, source, canonical)}")
+    nulls = sum(1 for e in canonical.universe if is_null(e))
+    print(f"   labeled nulls invented: {nulls} "
+          "(one 'unknown manager' per employee!)")
+
+    print("\n== the core solution ==")
+    report = core_solution(mapping, source)
+    pretty(report.core, "core")
+    saved_elements, saved_facts = report.shrinkage()
+    print(f"   shrinkage: {saved_elements} elements, {saved_facts} facts "
+          "(eng's three manager nulls merge into one)")
+    print(f"   core is a solution:   "
+          f"{is_solution(mapping, source, report.core)}")
+    print(f"   core is universal:    "
+          f"{is_universal_solution(mapping, source, report.core, [canonical])}")
+    hom = solution_homomorphism(canonical, report.core)
+    print(f"   canonical -> core homomorphism exists: {hom is not None} "
+          "(nulls move, constants stay)")
+
+    print("\nThis is why the paper's introduction lists data exchange "
+          "among the applications of cores:")
+    print("the smallest universal solution IS the core of the chase result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""The classical preservation landscape, mapped empirically (Sections 1, 8).
+
+Scenario: given an arbitrary FO view definition, decide *which* syntactic
+normal form a query engine may rewrite it into.  Section 1 orders the
+candidates:
+
+    preserved under homomorphisms  =>  SPJU (UCQ)        [the paper]
+    preserved under extensions     =>  ∃-sentence        [Łoś–Tarski]
+    monotone                       =>  positive sentence [Lyndon]
+
+This example classifies a battery of queries by sampled semantic checks,
+runs the matching rewriting pipeline for the first two rows, and shows
+the Section 7.3 boundary: a Datalog(~EDB) view that no preservation-based
+rewriting can handle.
+
+Run:  python examples/preservation_landscape.py
+"""
+
+from repro.core import (
+    bounded_treewidth_class,
+    extension_closure_sample,
+    rewrite_to_existential,
+    rewrite_to_ucq,
+    section_1_implications,
+)
+from repro.datalog import (
+    asymmetric_edge_program,
+    evaluate_semipositive,
+    semipositive_breaks_hom_preservation,
+)
+from repro.logic import parse_formula
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+QUERIES = [
+    ("mutual pair", "exists x y. E(x, y) & E(y, x)"),
+    ("asymmetric edge", "exists x y. E(x, y) & ~E(y, x)"),
+    ("loop-free", "~(exists x. E(x, x))"),
+    ("total out-degree", "forall x. exists y. E(x, y)"),
+]
+
+
+def main() -> None:
+    samples = extension_closure_sample(
+        [random_directed_graph(3, 0.4, s) for s in range(8)]
+        + [directed_cycle(3), directed_path(3), single_loop()]
+    )
+
+    print("== classification (sampled) ==")
+    print(f"{'query':<18} {'hom':>5} {'ext':>5} {'mono':>5}   rewrite target")
+    reports = {}
+    for name, text in QUERIES:
+        query = parse_formula(text, GRAPH_VOCABULARY)
+        report = section_1_implications(query, samples)
+        reports[name] = report
+        if report["homomorphism"]:
+            target = "union of conjunctive queries (this paper)"
+        elif report["extensions"]:
+            target = "existential sentence (Łoś–Tarski)"
+        elif report["monotone"]:
+            target = "positive sentence (Lyndon)"
+        else:
+            target = "none of the classical normal forms"
+        print(f"{name:<18} {str(report['homomorphism']):>5} "
+              f"{str(report['extensions']):>5} {str(report['monotone']):>5}"
+              f"   {target}")
+
+    print("\n== rewriting the hom-preserved query (Theorem 4.4 pipeline) ==")
+    query = parse_formula(QUERIES[0][1], GRAPH_VOCABULARY)
+    result = rewrite_to_ucq(
+        query, GRAPH_VOCABULARY,
+        structure_class=bounded_treewidth_class(3),
+        max_size=2,
+        verification_sample=[
+            s for s in samples if bounded_treewidth_class(3).contains(s)
+        ],
+    )
+    print(f"   {result.summary()}")
+    print(f"   SPJU: {result.ucq}")
+
+    print("\n== rewriting the extension-preserved query (Łoś–Tarski) ==")
+    query = parse_formula(QUERIES[1][1], GRAPH_VOCABULARY)
+    lt = rewrite_to_existential(
+        query, GRAPH_VOCABULARY, max_size=2, verification_sample=samples
+    )
+    print(f"   {len(lt.minimal_models)} minimal induced models, verified on "
+          f"{lt.verified_on} structures")
+    print(f"   ∃-sentence has "
+          f"{str(lt.sentence).count('|') + 1} diagram disjuncts")
+
+    print("\n== the Section 7.3 boundary ==")
+    program = asymmetric_edge_program()
+    print("   Datalog(~EDB) view:  Hit(x) <- E(x, y), ~E(y, x)")
+    for name, s in (("P2", directed_path(2)), ("loop", single_loop())):
+        hits = sorted(evaluate_semipositive(program, s)["Hit"])
+        print(f"   on {name:<5} Hit = {hits}")
+    print(f"   collapse P2 -> loop is a homomorphism, so the view is not "
+          f"hom-preserved: {semipositive_breaks_hom_preservation()}")
+    print("   => no UCQ rewriting exists; the paper's machinery stops "
+          "exactly here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Quickstart: a tour of the repro public API.
+
+Covers the objects of Section 2 of the paper: structures, homomorphisms,
+cores, canonical conjunctive queries (Chandra–Merlin), UCQ rewriting of
+an existential-positive sentence, and a first Datalog program.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cq import canonical_query, chandra_merlin_check, ucq_from_formula
+from repro.datalog import evaluate_semi_naive, transitive_closure_program
+from repro.homomorphism import compute_core, find_homomorphism, is_core
+from repro.logic import parse_formula, satisfies
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    directed_cycle,
+    directed_path,
+    grid_structure,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Structures: a vocabulary is a schema; a structure is a database.
+    # ------------------------------------------------------------------
+    print("== structures ==")
+    triangle = directed_cycle(3)
+    path = directed_path(4)
+    print(f"triangle: {triangle}")
+    print(f"path:     {path}")
+
+    # ------------------------------------------------------------------
+    # 2. Homomorphisms (Section 2.1).
+    # ------------------------------------------------------------------
+    print("\n== homomorphisms ==")
+    hom = find_homomorphism(path, triangle)
+    print(f"P4 -> C3: {hom}")
+    print(f"C3 -> P4: {find_homomorphism(triangle, path)}")
+
+    # ------------------------------------------------------------------
+    # 3. Cores (Sections 1 and 6.2): every structure retracts onto a
+    #    unique minimal substructure.
+    # ------------------------------------------------------------------
+    print("\n== cores ==")
+    grid = grid_structure(3, 3)
+    core = compute_core(grid)
+    print(f"grid 3x3 (bipartite) has core of size {core.size()} "
+          f"(a single symmetric edge); is_core: {is_core(core)}")
+
+    # ------------------------------------------------------------------
+    # 4. Chandra–Merlin (Theorem 2.1): canonical queries tie conjunctive
+    #    queries to homomorphisms.
+    # ------------------------------------------------------------------
+    print("\n== Chandra-Merlin ==")
+    phi = canonical_query(triangle)
+    print(f"phi_C3 = {phi}")
+    print(f"C6 |= phi_C3: {phi.holds_in(directed_cycle(6))}  "
+          "(no hom C3 -> C6)")
+    print(f"three-way check on (P4, C3): {chandra_merlin_check(path, triangle)}")
+
+    # ------------------------------------------------------------------
+    # 5. Existential-positive sentences rewrite to unions of CQs
+    #    (Section 1's normal form).
+    # ------------------------------------------------------------------
+    print("\n== SPJU normal form ==")
+    sentence = parse_formula(
+        "exists x. (E(x, x) | exists y. (E(x, y) & E(y, x)))",
+        GRAPH_VOCABULARY,
+    )
+    ucq = ucq_from_formula(sentence, GRAPH_VOCABULARY)
+    print(f"EP sentence -> UCQ with {len(ucq)} disjuncts:")
+    print(f"  {ucq}")
+    two_cycle = Structure(GRAPH_VOCABULARY, [0, 1], {"E": [(0, 1), (1, 0)]})
+    print(f"holds in a 2-cycle: {ucq.holds_in(two_cycle)} "
+          f"(matches FO: {satisfies(two_cycle, sentence)})")
+
+    # ------------------------------------------------------------------
+    # 6. Datalog (Section 2.3): recursion via least fixed points.
+    # ------------------------------------------------------------------
+    print("\n== Datalog ==")
+    tc = transitive_closure_program()
+    print(tc)
+    result = evaluate_semi_naive(tc, directed_path(5))
+    print(f"TC of P5 has {len(result.relations['T'])} pairs, "
+          f"fixed point after {result.rounds} rounds")
+
+
+if __name__ == "__main__":
+    main()

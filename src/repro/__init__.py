@@ -1,0 +1,78 @@
+"""repro — homomorphism preservation on restricted classes of finite structures.
+
+A full, executable reproduction of Atserias, Dawar and Kolaitis,
+*"On Preservation under Homomorphisms and Unions of Conjunctive
+Queries"* (PODS 2004 / JACM 2006): relational structures, homomorphisms
+and cores, conjunctive queries and their unions, Datalog with stage
+unfolding and boundedness certificates, treewidth / minors / sunflowers
+/ Ramsey machinery, existential pebble games, and the paper's
+minimal-model rewriting pipeline with constructive witnesses for every
+lemma.
+
+Quickstart
+----------
+>>> from repro.structures import GRAPH_VOCABULARY, directed_cycle
+>>> from repro.cq import canonical_query
+>>> phi = canonical_query(directed_cycle(3))
+>>> phi.holds_in(directed_cycle(6))
+False
+
+Subpackages
+-----------
+``repro.structures``
+    Vocabularies, finite structures, Gaifman graphs, generators.
+``repro.homomorphism``
+    Homomorphism/isomorphism search, retractions, cores.
+``repro.logic``
+    First-order syntax, parser, semantics, fragments, normal forms.
+``repro.cq``
+    Conjunctive queries, canonical structures, containment, UCQs,
+    evaluation engines, CQ^k.
+``repro.datalog``
+    Programs, naive/semi-naive evaluation, stage UCQs, boundedness.
+``repro.graphtheory``
+    Graphs, treewidth, minors, scattered sets, sunflowers, Ramsey.
+``repro.pebble``
+    Existential k-pebble games and the queries q(A, k).
+``repro.core``
+    The paper's preservation theorems, executable.
+``repro.dataexchange``
+    Schema mappings, the chase, core solutions (the cited application).
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    core,
+    cq,
+    dataexchange,
+    datalog,
+    graphtheory,
+    homomorphism,
+    logic,
+    pebble,
+    structures,
+)
+from .exceptions import (
+    BudgetExceededError,
+    ReproError,
+    UnsupportedFragmentError,
+    ValidationError,
+)
+
+__all__ = [
+    "core",
+    "cq",
+    "dataexchange",
+    "datalog",
+    "graphtheory",
+    "homomorphism",
+    "logic",
+    "pebble",
+    "structures",
+    "BudgetExceededError",
+    "ReproError",
+    "UnsupportedFragmentError",
+    "ValidationError",
+    "__version__",
+]

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+A thin operational layer over the library for quick experiments on
+JSON-serialized structures (see :mod:`repro.structures.io`):
+
+``hom A.json B.json``
+    Find a homomorphism (exit 0 with the mapping, exit 1 when none).
+``core A.json``
+    Compute the core and report sizes.
+``treewidth A.json``
+    Exact treewidth of the structure's Gaifman graph.
+``rewrite "<FO sentence>" --relations E:2 [--max-size N]``
+    Run the preservation pipeline: minimal models → UCQ.
+``datalog program.dl A.json --query P``
+    Evaluate a Datalog program bottom-up; print the answer relation.
+``check A.json B.json --pebbles k``
+    Decide the existential k-pebble game on (A, B).
+``chandra-merlin A.json B.json``
+    Report the three equivalent statements of Theorem 2.1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .cq import canonical_query, chandra_merlin_check
+from .datalog import evaluate_semi_naive, parse_program
+from .homomorphism import compute_core, find_homomorphism
+from .logic import parse_formula
+from .pebble import duplicator_wins
+from .structures import (
+    Vocabulary,
+    gaifman_graph,
+    load_structure,
+    structure_to_json,
+)
+from .graphtheory import treewidth_exact
+
+
+def _parse_relations(spec: str) -> Vocabulary:
+    relations = {}
+    for chunk in spec.split(","):
+        name, _, arity = chunk.partition(":")
+        if not arity:
+            raise SystemExit(f"bad relation spec {chunk!r}; use Name:arity")
+        relations[name.strip()] = int(arity)
+    return Vocabulary(relations)
+
+
+def _cmd_hom(args: argparse.Namespace) -> int:
+    a = load_structure(args.source)
+    b = load_structure(args.target)
+    hom = find_homomorphism(a, b)
+    if hom is None:
+        print("no homomorphism")
+        return 1
+    print(json.dumps({repr(k): repr(v) for k, v in hom.items()}, indent=2))
+    return 0
+
+
+def _cmd_core(args: argparse.Namespace) -> int:
+    s = load_structure(args.structure)
+    core = compute_core(s)
+    print(f"structure: {s.size()} elements, {s.num_facts()} facts")
+    print(f"core:      {core.size()} elements, {core.num_facts()} facts")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(structure_to_json(core))
+        print(f"core written to {args.output}")
+    return 0
+
+
+def _cmd_treewidth(args: argparse.Namespace) -> int:
+    s = load_structure(args.structure)
+    width = treewidth_exact(gaifman_graph(s), limit=args.limit)
+    print(f"treewidth: {width}")
+    return 0
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    from .core import rewrite_to_ucq
+    from .structures import random_structure
+
+    vocabulary = _parse_relations(args.relations)
+    query = parse_formula(args.sentence, vocabulary)
+    sample = [
+        random_structure(vocabulary, 4, 0.3, seed) for seed in range(8)
+    ]
+    result = rewrite_to_ucq(
+        query, vocabulary, max_size=args.max_size,
+        verification_sample=sample,
+    )
+    print(result.summary())
+    print(result.ucq)
+    return 0
+
+
+def _cmd_datalog(args: argparse.Namespace) -> int:
+    structure = load_structure(args.structure)
+    with open(args.program, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    program = parse_program(text, structure.vocabulary.without_constants())
+    result = evaluate_semi_naive(program, structure)
+    predicate = args.query or program.idb_predicates[0]
+    tuples = sorted(result.relations[predicate], key=repr)
+    print(f"{predicate}: {len(tuples)} tuples "
+          f"(fixpoint after {result.rounds} rounds)")
+    for tup in tuples:
+        print(f"  {tup}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    a = load_structure(args.source)
+    b = load_structure(args.target)
+    wins = duplicator_wins(a, b, args.pebbles)
+    print(f"duplicator wins the existential {args.pebbles}-pebble game: "
+          f"{wins}")
+    return 0 if wins else 1
+
+
+def _cmd_chandra_merlin(args: argparse.Namespace) -> int:
+    a = load_structure(args.source)
+    b = load_structure(args.target)
+    result = chandra_merlin_check(a, b)
+    print(f"hom A -> B exists:        {result['hom']}")
+    print(f"B |= phi_A:               {result['models']}")
+    print(f"phi_B logically => phi_A: {result['implies']}")
+    print(f"phi_A = {canonical_query(a)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Homomorphism preservation toolkit "
+                    "(Atserias-Dawar-Kolaitis, PODS 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("hom", help="find a homomorphism between structures")
+    p.add_argument("source")
+    p.add_argument("target")
+    p.set_defaults(func=_cmd_hom)
+
+    p = sub.add_parser("core", help="compute the core of a structure")
+    p.add_argument("structure")
+    p.add_argument("--output", help="write the core as JSON")
+    p.set_defaults(func=_cmd_core)
+
+    p = sub.add_parser("treewidth", help="exact treewidth of a structure")
+    p.add_argument("structure")
+    p.add_argument("--limit", type=int, default=40)
+    p.set_defaults(func=_cmd_treewidth)
+
+    p = sub.add_parser("rewrite",
+                       help="FO -> UCQ preservation rewriting")
+    p.add_argument("sentence")
+    p.add_argument("--relations", required=True,
+                   help="vocabulary, e.g. 'E:2,P:1'")
+    p.add_argument("--max-size", type=int, default=3)
+    p.set_defaults(func=_cmd_rewrite)
+
+    p = sub.add_parser("datalog", help="evaluate a Datalog program")
+    p.add_argument("program")
+    p.add_argument("structure")
+    p.add_argument("--query", help="IDB predicate (default: first)")
+    p.set_defaults(func=_cmd_datalog)
+
+    p = sub.add_parser("check",
+                       help="existential k-pebble game on two structures")
+    p.add_argument("source")
+    p.add_argument("target")
+    p.add_argument("--pebbles", type=int, default=2)
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("chandra-merlin",
+                       help="the three statements of Theorem 2.1")
+    p.add_argument("source")
+    p.add_argument("target")
+    p.set_defaults(func=_cmd_chandra_merlin)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

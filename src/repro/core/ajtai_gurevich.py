@@ -1,0 +1,162 @@
+"""Section 7: the Ajtai–Gurevich theorem via treewidth (Theorems 7.4/7.5).
+
+The paper re-proves Ajtai–Gurevich through Lemma 7.3: every minimal
+model of a ``⋁CQ^k`` sentence is the homomorphic image of a minimal
+model of treewidth ``< k``.  This module implements that lemma
+constructively, packages ``⋁CQ^k`` sentences as first-class objects
+(finite presentations of possibly-infinite disjunctions), and connects
+Datalog boundedness (Theorem 7.5) to the stage machinery of
+:mod:`repro.datalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..cq.conjunctive_query import ConjunctiveQuery
+from ..cq.cqk import canonical_structure_of_cqk
+from ..exceptions import UnsupportedFragmentError, ValidationError
+from ..homomorphism.search import find_homomorphism
+from ..logic.fragments import distinct_variable_count, is_cq_formula
+from ..logic.semantics import satisfies
+from ..logic.syntax import Formula
+from ..structures.gaifman import structure_treewidth
+from ..structures.operations import homomorphic_image
+from ..structures.structure import Structure
+from .minimal_models import shrink_to_minimal_model
+
+
+@dataclass(frozen=True)
+class VCQkSentence:
+    """A ``⋁CQ^k`` sentence presented by a generator of ``CQ^k`` disjuncts.
+
+    ``disjunct(i)`` returns the ``i``-th ``CQ^k`` sentence (or ``None``
+    past the end for finite unions).  Satisfaction on a *finite*
+    structure only needs disjuncts whose canonical structures are at most
+    as large as the structure's worst case, but in general we probe a
+    caller-supplied prefix.
+    """
+
+    k: int
+    disjunct: Callable[[int], Optional[Formula]]
+    prefix_hint: int = 64
+
+    def disjuncts_up_to(self, n: int) -> List[Formula]:
+        """The first ``n`` disjuncts (stopping early on ``None``)."""
+        out: List[Formula] = []
+        for i in range(n):
+            f = self.disjunct(i)
+            if f is None:
+                break
+            if not is_cq_formula(f, allow_equality=False):
+                raise UnsupportedFragmentError(
+                    f"disjunct {i} is not CQ-shaped"
+                )
+            if distinct_variable_count(f) > self.k:
+                raise UnsupportedFragmentError(
+                    f"disjunct {i} uses more than {self.k} variables"
+                )
+            out.append(f)
+        return out
+
+    def holds_in(self, structure: Structure, prefix: Optional[int] = None) -> bool:
+        """Whether some disjunct (within the probed prefix) holds."""
+        n = prefix if prefix is not None else self.prefix_hint
+        return any(
+            satisfies(structure, f) for f in self.disjuncts_up_to(n)
+        )
+
+
+def finite_vcqk(formulas: Sequence[Formula], k: int) -> VCQkSentence:
+    """A ``⋁CQ^k`` sentence with finitely many disjuncts."""
+    items = list(formulas)
+
+    def disjunct(i: int) -> Optional[Formula]:
+        return items[i] if i < len(items) else None
+
+    return VCQkSentence(k, disjunct, prefix_hint=len(items))
+
+
+@dataclass(frozen=True)
+class Lemma73Witness:
+    """The structure ``B`` of Lemma 7.3 with its certificates."""
+
+    minimal_model: Structure
+    treewidth: int
+    homomorphism: dict
+    surjective: bool
+
+
+def lemma_7_3_witness(
+    sentence: VCQkSentence,
+    model: Structure,
+    prefix: Optional[int] = None,
+    treewidth_limit: int = 40,
+) -> Lemma73Witness:
+    """The constructive content of Lemma 7.3.
+
+    Given a model ``A`` of a ``⋁CQ^k`` sentence, produce a minimal model
+    ``B`` with treewidth ``< k`` and a homomorphism ``B → A``:
+
+    1. find a disjunct ``φ`` true in ``A``;
+    2. take its canonical structure ``D`` (treewidth ``< k`` by Lemma
+       7.2) and the homomorphism ``D → A`` (Theorem 2.1);
+    3. shrink ``D`` to a minimal model ``B`` of the sentence; the
+       homomorphism restricts.
+
+    Raises :class:`ValidationError` if ``A`` is not a model within the
+    probed prefix.
+    """
+    n = prefix if prefix is not None else sentence.prefix_hint
+    for formula in sentence.disjuncts_up_to(n):
+        if not satisfies(model, formula):
+            continue
+        canonical = canonical_structure_of_cqk(formula)
+        hom = find_homomorphism(canonical, model)
+        assert hom is not None, "Theorem 2.1 guarantees this homomorphism"
+
+        def sentence_query(s: Structure) -> bool:
+            return sentence.holds_in(s, prefix=n)
+
+        minimal = shrink_to_minimal_model(sentence_query, canonical)
+        restricted = {e: hom[e] for e in minimal.universe}
+        image = homomorphic_image(minimal, restricted)
+        tw = structure_treewidth(minimal, treewidth_limit)
+        if tw >= sentence.k:
+            raise AssertionError(
+                "Lemma 7.2/7.3 violated: minimal model treewidth "
+                f"{tw} >= k = {sentence.k}"
+            )
+        return Lemma73Witness(
+            minimal_model=minimal,
+            treewidth=tw,
+            homomorphism=restricted,
+            surjective=set(restricted.values()) == set(model.universe)
+            and image.is_substructure_of(model),
+        )
+    raise ValidationError(
+        "the structure does not model the sentence (within the prefix)"
+    )
+
+
+def directed_cycle_is_nonwitness() -> Tuple[Structure, int]:
+    """Section 7.1's correction example: ``C_3`` is a minimal model of the
+    CQ² path-of-length-3 sentence but has treewidth 2 (``>= k = 2``).
+
+    Returns ``(C_3, treewidth)`` — the paper's counterexample to the
+    preliminary version's claim that minimal models of ``⋁CQ^k``
+    sentences themselves have treewidth ``< k``.
+    """
+    from ..cq.cqk import path_sentence_two_variables
+    from ..structures.generators import directed_cycle
+
+    c3 = directed_cycle(3)
+    sentence = path_sentence_two_variables(3)
+    if not satisfies(c3, sentence):
+        raise AssertionError("C3 must satisfy the path-of-length-3 sentence")
+    # minimality: no proper substructure of C3 has a path of length 3
+    for name, tup in c3.facts():
+        if satisfies(c3.without_fact(name, tup), sentence):
+            raise AssertionError("C3 should be a minimal model")
+    return c3, structure_treewidth(c3)

@@ -1,0 +1,121 @@
+"""Bounded degree: Lemma 3.4 and Theorem 3.5.
+
+Lemma 3.4 is the ``s = 0`` case of the scattered-set machinery: a graph
+of degree ``<= k`` beyond a size bound has a ``d``-scattered set of size
+``m`` outright, via greedy ball packing.
+
+**Erratum found by this reproduction** (see
+:func:`repro.core.bounds.lemma_3_4_bound`): the paper's printed constant
+``N = m*k^d`` is too small — the packing blocks balls of radius ``2d``.
+``C_13`` (degree 2, 13 > N(2,1,6) = 12 vertices) has no 1-scattered
+6-set.  The corrected constant ``m * B(k, 2d)`` is in
+:func:`repro.core.bounds.lemma_3_4_safe_bound`; the witness function
+below is guaranteed above the corrected bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+from ..graphtheory.graphs import Graph, bfs_distances
+from ..graphtheory.scattered import find_scattered_set, is_scattered
+from ..structures.gaifman import gaifman_graph
+from ..structures.structure import Structure
+from .bounds import lemma_3_4_bound, lemma_3_4_safe_bound
+
+
+@dataclass(frozen=True)
+class Lemma34Witness:
+    """A scattered set produced by the Lemma 3.4 argument.
+
+    ``method`` is ``"greedy"`` when the proof's packing found it directly
+    and ``"exact"`` when the budgeted exact search was needed (possible
+    between the printed bound and the corrected one).
+    """
+
+    scattered: Tuple
+    d: int
+    graph_size: int
+    bound: int
+    safe_bound: int
+    method: str = "greedy"
+
+    def above_bound(self) -> bool:
+        """Whether the instance exceeds the *printed* bound ``m * k^d``."""
+        return self.graph_size > self.bound
+
+    def above_safe_bound(self) -> bool:
+        """Whether the instance exceeds the corrected bound."""
+        return self.graph_size > self.safe_bound
+
+
+def lemma_3_4_witness(
+    graph: Graph, k: int, d: int, m: int
+) -> Optional[Lemma34Witness]:
+    """The proof of Lemma 3.4, executed: greedily pick vertices whose
+    radius-``2d`` balls avoid previous picks.
+
+    The greedy is guaranteed to reach ``m`` above the *corrected* bound
+    ``m * B(k, 2d)`` (see :func:`~repro.core.bounds.lemma_3_4_safe_bound`
+    and the erratum note on :func:`~repro.core.bounds.lemma_3_4_bound`).
+    Below that, a budgeted exact search still tries; ``None`` means no
+    ``d``-scattered ``m``-set exists (or the budget was hit).
+    """
+    if graph.max_degree() > k:
+        raise ValidationError(
+            f"graph has degree {graph.max_degree()} > {k}"
+        )
+    sizes = (graph.num_vertices(), lemma_3_4_bound(k, d, m),
+             lemma_3_4_safe_bound(k, d, m))
+    chosen: List = []
+    blocked = set()
+    for v in graph.vertices:
+        if v in blocked:
+            continue
+        chosen.append(v)
+        if len(chosen) == m:
+            break
+        dist = bfs_distances(graph, v)
+        blocked.update(u for u, dd in dist.items() if dd <= 2 * d)
+    if len(chosen) >= m:
+        assert is_scattered(graph, chosen, d)
+        return Lemma34Witness(tuple(chosen), d, *sizes, "greedy")
+    exact = find_scattered_set(graph, d, m)
+    if exact is not None:
+        return Lemma34Witness(tuple(exact[:m]), d, *sizes, "exact")
+    return None
+
+
+def theorem_3_5_applies(structure: Structure, k: int) -> bool:
+    """Whether a structure lies in Theorem 3.5's class (degree ``<= k``)."""
+    return gaifman_graph(structure).max_degree() <= k
+
+
+def lemma_3_4_sweep(
+    graphs: Sequence[Graph], k: int, d: int, m: int
+) -> List[dict]:
+    """Run Lemma 3.4 over a family; one result row per graph.
+
+    Each row records the graph size, the bound ``m * k^d``, whether the
+    witness was found, and the greedy set size — the data of experiment
+    E2.
+    """
+    rows: List[dict] = []
+    for g in graphs:
+        witness = lemma_3_4_witness(g, k, d, m)
+        rows.append(
+            {
+                "n": g.num_vertices(),
+                "bound": lemma_3_4_bound(k, d, m),
+                "safe_bound": lemma_3_4_safe_bound(k, d, m),
+                "found": witness is not None,
+                "method": witness.method if witness else "-",
+                "above_bound": g.num_vertices() > lemma_3_4_bound(k, d, m),
+                "above_safe_bound": (
+                    g.num_vertices() > lemma_3_4_safe_bound(k, d, m)
+                ),
+            }
+        )
+    return rows

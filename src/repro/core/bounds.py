@@ -1,0 +1,174 @@
+"""The paper's explicit bounds, as exact big-integer arithmetic.
+
+Each theorem in Sections 3–5 promises an ``N`` beyond which every member
+of the class contains a large scattered set after few removals.  These
+functions compute the ``N`` from the proofs *verbatim*:
+
+* Lemma 3.4 (bounded degree): ``N = m * k^d``;
+* Lemma 4.2 (treewidth < k): ``p = (m-1)(2d+1) + 1``, ``M = k!(p-1)^k``,
+  ``N = k(m-1)^M``;
+* Lemma 5.2 (bipartite, no K_k minor): ``b(n) = r(k+1, k, (k-2)n + k-2)``
+  iterated ``k - 2`` times;
+* Theorem 5.3 (no K_k minor): ``c(n) = r(2, 2, b^{k-2}(n))`` iterated
+  ``d`` times.
+
+The Ramsey-based bounds are astronomical (they involve the function
+``r`` of Theorem 5.1); they are computed exactly with Python integers,
+with an optional digit cap to avoid accidentally materializing numbers
+with billions of digits.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Optional
+
+from ..exceptions import BudgetExceededError, ValidationError
+from ..graphtheory.ramsey import ramsey_bound
+
+
+def lemma_3_4_bound(k: int, d: int, m: int) -> int:
+    """``N = m * k^d`` — the bound *as printed* in Lemma 3.4.
+
+    .. warning:: **Erratum found by this reproduction.**  The printed
+       constant is too small: the greedy packing needs balls of radius
+       ``2d``, not ``d``.  Concretely, the cycle ``C_13`` has degree 2
+       and ``13 > N(2, 1, 6) = 12`` vertices but its largest
+       1-scattered set has 4 < 6 members (pairwise distance must exceed
+       2, so at most ``⌊13/3⌋`` vertices fit).  The lemma's *statement*
+       (some finite ``N`` works) is untouched — use
+       :func:`lemma_3_4_safe_bound` for a constant that provably works.
+    """
+    if k < 0 or d < 0 or m < 0:
+        raise ValidationError("parameters must be non-negative")
+    return m * k ** d
+
+
+def ball_volume_bound(k: int, radius: int) -> int:
+    """An upper bound on ``|N_radius(u)|`` in a graph of degree ``<= k``.
+
+    ``1 + k + k(k-1) + ... + k(k-1)^{radius-1}`` (exact BFS-tree volume);
+    degenerates to ``2·radius + 1`` for ``k = 2`` and to ``radius + 1``
+    for ``k = 1``.
+    """
+    if k < 0 or radius < 0:
+        raise ValidationError("parameters must be non-negative")
+    if k == 0 or radius == 0:
+        return 1
+    if k == 1:
+        return 2
+    if k == 2:
+        return 2 * radius + 1
+    return 1 + k * ((k - 1) ** radius - 1) // (k - 2)
+
+
+def lemma_3_4_safe_bound(k: int, d: int, m: int) -> int:
+    """A corrected constant for Lemma 3.4: ``N = m * B(k, 2d)``.
+
+    ``B(k, 2d)`` bounds the ball of radius ``2d``; picking a vertex for a
+    ``d``-scattered set eliminates only vertices within distance ``2d``,
+    so above this ``N`` the greedy packing always reaches ``m`` vertices.
+    """
+    return m * ball_volume_bound(k, 2 * d)
+
+
+def lemma_4_2_petals(d: int, m: int) -> int:
+    """``p = (m - 1)(2d + 1) + 1``: petals requested from the sunflower."""
+    return (m - 1) * (2 * d + 1) + 1
+
+
+def lemma_4_2_path_length(k: int, d: int, m: int) -> int:
+    """``M = k! (p - 1)^k``: the tree-path length that forces a sunflower."""
+    p = lemma_4_2_petals(d, m)
+    return factorial(k) * (p - 1) ** k
+
+
+def lemma_4_2_bound(k: int, d: int, m: int,
+                    digit_cap: Optional[int] = 10_000) -> int:
+    """``N = k (m - 1)^M``: the size bound of Lemma 4.2."""
+    if k < 1:
+        raise ValidationError("treewidth parameter k must be >= 1")
+    M = lemma_4_2_path_length(k, d, m)
+    if m <= 1:
+        return k
+    digits_estimate = M  # log10((m-1)^M) <= M * log10(m-1), crude cap
+    if digit_cap is not None and digits_estimate > digit_cap and m > 2:
+        raise BudgetExceededError(
+            f"lemma_4_2_bound would have ~{digits_estimate} digits; "
+            "pass digit_cap=None to force the computation"
+        )
+    return k * (m - 1) ** M
+
+
+def lemma_5_2_b(k: int, n: int) -> int:
+    """The proof's ``b(n) = r(k + 1, k, (k - 2) n + k - 2)``."""
+    if k < 3:
+        # Lemma 5.2 handles k <= 2 separately (N = m); b is unused there.
+        raise ValidationError("b(n) is defined for k >= 3")
+    return ramsey_bound(k + 1, k, (k - 2) * n + k - 2)
+
+
+def lemma_5_2_bound(k: int, m: int,
+                    iteration_cap: int = 4) -> int:
+    """``N = b^{k-2}(m)`` of Lemma 5.2 (with ``m`` raised to ``k^2`` first,
+    as the proof assumes ``m >= k^2``).
+
+    Iterating the Ramsey function explodes immediately; ``iteration_cap``
+    guards how many compositions are attempted before giving up.
+    """
+    if k <= 2:
+        return m
+    m_eff = max(m, k * k)
+    if k - 2 > iteration_cap:
+        raise BudgetExceededError(
+            f"b would be iterated {k - 2} times (cap {iteration_cap})"
+        )
+    value = m_eff
+    for _ in range(k - 2):
+        value = lemma_5_2_b(k, value)
+    return value
+
+
+def theorem_5_3_c(k: int, n: int) -> int:
+    """The proof's ``c(n) = r(2, 2, b^{k-2}(n))``."""
+    if k <= 2:
+        return ramsey_bound(2, 2, n)
+    inner = lemma_5_2_bound(k, n)
+    return ramsey_bound(2, 2, inner)
+
+
+def theorem_5_3_bound(k: int, d: int, m: int,
+                      iteration_cap: int = 2) -> int:
+    """``N = c^d(m)`` of Theorem 5.3 (budgeted: the value is gigantic)."""
+    if d > iteration_cap:
+        raise BudgetExceededError(
+            f"c would be iterated {d} times (cap {iteration_cap})"
+        )
+    value = m
+    for _ in range(d):
+        value = theorem_5_3_c(k, value)
+    return value
+
+
+def bound_summary(k: int, d: int, m: int) -> dict:
+    """Human-scale summary of the bounds for a parameter triple.
+
+    Gigantic values are reported by their digit counts.
+    """
+
+    def describe(value: int) -> str:
+        text = str(value)
+        if len(text) <= 12:
+            return text
+        return f"~10^{len(text) - 1} ({len(text)} digits)"
+
+    out = {
+        "lemma_3_4": describe(lemma_3_4_bound(k, d, m)),
+        "lemma_4_2_petals": describe(lemma_4_2_petals(d, m)),
+        "lemma_4_2_path": describe(lemma_4_2_path_length(k, d, m)),
+    }
+    try:
+        out["lemma_4_2"] = describe(lemma_4_2_bound(k, d, m))
+    except BudgetExceededError:
+        out["lemma_4_2"] = f">10^{10_000} (digit cap hit)"
+    return out

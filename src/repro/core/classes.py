@@ -1,0 +1,139 @@
+"""Classes of finite structures (the ``C`` of the paper's theorems).
+
+The paper's results quantify over classes of finite σ-structures closed
+under substructures and disjoint unions, with a combinatorial restriction
+(bounded degree / bounded treewidth / excluded minor — possibly only on
+cores).  :class:`StructureClass` packages a membership predicate with a
+name; constructors are provided for each restriction the paper studies,
+and sampled closure checks validate the hypotheses on concrete data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..graphtheory.generators import complete_graph
+from ..graphtheory.minors import has_minor
+from ..graphtheory.graphs import Graph
+from ..homomorphism.cores import compute_core
+from ..structures.gaifman import gaifman_graph, structure_degree
+from ..structures.operations import disjoint_union
+from ..structures.structure import Structure
+from ..graphtheory.treewidth import treewidth_exact
+
+
+@dataclass(frozen=True)
+class StructureClass:
+    """A class of finite structures given by a membership predicate."""
+
+    name: str
+    contains: Callable[[Structure], bool]
+
+    def __contains__(self, structure: Structure) -> bool:
+        return self.contains(structure)
+
+    def filter(self, structures: Iterable[Structure]) -> List[Structure]:
+        """The members of ``structures``."""
+        return [s for s in structures if self.contains(s)]
+
+
+def all_finite_structures() -> StructureClass:
+    """The unrestricted class (Rossman's setting, for contrast)."""
+    return StructureClass("all finite structures", lambda s: True)
+
+
+def bounded_degree_class(k: int) -> StructureClass:
+    """Structures whose Gaifman graph has degree ``<= k`` (Theorem 3.5)."""
+    return StructureClass(
+        f"degree <= {k}", lambda s: structure_degree(s) <= k
+    )
+
+
+def bounded_treewidth_class(k: int, limit: int = 40) -> StructureClass:
+    """The paper's ``T(k)``: treewidth ``< k`` (Section 2.1, Theorem 4.4)."""
+    return StructureClass(
+        f"T({k}) (treewidth < {k})",
+        lambda s: treewidth_exact(gaifman_graph(s), limit) < k,
+    )
+
+
+def excluded_minor_class(pattern: Graph, name: str = "") -> StructureClass:
+    """Structures whose Gaifman graphs exclude ``pattern`` as a minor
+    (Theorem 5.4)."""
+    label = name or f"excludes {pattern!r} as minor"
+    return StructureClass(
+        label, lambda s: not has_minor(gaifman_graph(s), pattern)
+    )
+
+
+def excluded_clique_minor_class(k: int) -> StructureClass:
+    """Structures excluding ``K_k`` as a minor of their Gaifman graph."""
+    return excluded_minor_class(complete_graph(k), f"K_{k}-minor-free")
+
+
+def cores_bounded_degree_class(k: int) -> StructureClass:
+    """Structures whose *cores* have degree ``<= k`` (Theorem 6.5)."""
+    return StructureClass(
+        f"core degree <= {k}",
+        lambda s: structure_degree(compute_core(s)) <= k,
+    )
+
+
+def cores_bounded_treewidth_class(k: int, limit: int = 40) -> StructureClass:
+    """The paper's ``H(T(k))``: cores of treewidth ``< k`` (Theorem 6.6)."""
+    return StructureClass(
+        f"H(T({k})) (core treewidth < {k})",
+        lambda s: treewidth_exact(gaifman_graph(compute_core(s)), limit) < k,
+    )
+
+
+def cores_excluded_clique_minor_class(k: int) -> StructureClass:
+    """Structures whose cores exclude ``K_k`` as a minor (Theorem 6.7)."""
+    pattern = complete_graph(k)
+    return StructureClass(
+        f"cores K_{k}-minor-free",
+        lambda s: not has_minor(gaifman_graph(compute_core(s)), pattern),
+    )
+
+
+# ----------------------------------------------------------------------
+# Closure checks (sampled validations of the theorems' hypotheses)
+# ----------------------------------------------------------------------
+def closed_under_substructures_on(
+    cls: StructureClass, samples: Sequence[Structure], max_checks: int = 2000
+) -> bool:
+    """Check closure under (one-step) substructures on sample members.
+
+    Verifies that every immediate substructure of each sample member is a
+    member.  Since every substructure arises by iterating one-step
+    removals, failures surface here whenever they exist along the
+    lattice.
+    """
+    checks = 0
+    for s in samples:
+        if not cls.contains(s):
+            continue
+        for sub in s.substructures():
+            checks += 1
+            if checks > max_checks:
+                return True
+            if not cls.contains(sub):
+                return False
+    return True
+
+
+def closed_under_disjoint_unions_on(
+    cls: StructureClass, samples: Sequence[Structure], max_checks: int = 200
+) -> bool:
+    """Check closure under pairwise disjoint unions on sample members."""
+    members = [s for s in samples if cls.contains(s)]
+    checks = 0
+    for a, b in combinations(members, 2):
+        checks += 1
+        if checks > max_checks:
+            return True
+        if not cls.contains(disjoint_union(a, b)):
+            return False
+    return True

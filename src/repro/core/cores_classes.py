@@ -1,0 +1,113 @@
+"""Boolean queries and cores: Section 6.2 (Theorems 6.5–6.7).
+
+For Boolean queries the class restrictions need only constrain the
+*cores* of the structures: minimal models of queries preserved under
+homomorphisms are cores, so Corollary 6.4 lets the density argument run
+on ``core(A)`` instead of ``A``.  This module provides the corollary's
+per-structure checks and the paper's wheel/bicycle counterexample
+showing the approach cannot extend to non-Boolean queries via plebian
+companions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..graphtheory.graphs import Graph
+from ..graphtheory.treewidth import treewidth_exact
+from ..homomorphism.cores import compute_core, is_core
+from ..homomorphism.search import has_homomorphism
+from ..structures.gaifman import gaifman_graph, structure_degree
+from ..structures.generators import (
+    bicycle_structure,
+    bicycle_with_hub_constant,
+    clique_structure,
+    wheel_structure,
+)
+from ..structures.structure import Structure
+from .density import DensityWitness, has_scattered_witness
+
+
+def core_degree(structure: Structure) -> int:
+    """The degree of ``core(A)`` (Theorem 6.5's quantity)."""
+    return structure_degree(compute_core(structure))
+
+
+def core_treewidth(structure: Structure, limit: int = 40) -> int:
+    """The treewidth of ``core(A)`` (Theorem 6.6's quantity)."""
+    return treewidth_exact(gaifman_graph(compute_core(structure)), limit)
+
+
+def in_h_t_k(structure: Structure, k: int, limit: int = 40) -> bool:
+    """Membership in ``H(T(k))``: the core has treewidth ``< k``.
+
+    Section 6.2 notes this equals being homomorphically equivalent to a
+    structure of treewidth ``< k``.
+    """
+    return core_treewidth(structure, limit) < k
+
+
+def corollary_6_4_witness(
+    structure: Structure, s: int, d: int, m: int
+) -> Optional[DensityWitness]:
+    """Corollary 6.4's hypothesis on one structure: a scattered-set
+    witness in the Gaifman graph of the *core*."""
+    return has_scattered_witness(compute_core(structure), s, d, m)
+
+
+# ----------------------------------------------------------------------
+# The wheel/bicycle example (end of Section 6.2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BicycleReport:
+    """Measured facts about ``B_n`` and ``(B_n, h)`` for one ``n``.
+
+    The paper claims: ``core(B_n) = K_4`` (degree 3, constant), while for
+    odd ``n >= 5`` the expansion ``(B_n, h)`` is its own core and
+    contains the hub of degree ``n`` — cores of expansions have
+    unbounded degree.
+    """
+
+    n: int
+    core_size: int
+    core_degree: int
+    expansion_is_core: bool
+    expansion_core_degree: int
+
+
+def bicycle_report(n: int) -> BicycleReport:
+    """Compute the Section 6.2 example data for one ``n``."""
+    plain = bicycle_structure(n)
+    core = compute_core(plain)
+    expansion = bicycle_with_hub_constant(n)
+    expansion_core = compute_core(expansion)
+    return BicycleReport(
+        n=n,
+        core_size=core.size(),
+        core_degree=structure_degree(core),
+        expansion_is_core=is_core(expansion),
+        expansion_core_degree=structure_degree(expansion_core),
+    )
+
+
+def bicycle_sweep(odd_values: Sequence[int]) -> List[BicycleReport]:
+    """The experiment E7 rows: the example across odd ``n``."""
+    return [bicycle_report(n) for n in odd_values]
+
+
+def wheel_is_core(n: int) -> bool:
+    """Section 6.2: ``W_n`` is a core iff ``n`` is odd (checked, not assumed)."""
+    return is_core(wheel_structure(n))
+
+
+def bicycle_core_is_k4(n: int) -> bool:
+    """Whether ``core(B_n)`` is homomorphically equivalent to ``K_4``
+    with equal size (i.e. *is* ``K_4`` up to isomorphism)."""
+    core = compute_core(bicycle_structure(n))
+    k4 = clique_structure(4)
+    return (
+        core.size() == 4
+        and has_homomorphism(core, k4)
+        and has_homomorphism(k4, core)
+    )

@@ -1,0 +1,248 @@
+"""Excluded minors: Lemma 5.2 and Theorem 5.3 (Theorem 5.4).
+
+Lemma 5.2 (bipartite): a large bipartite graph without a ``K_k`` minor
+contains a large set ``A'`` of left vertices whose only common
+neighbours are a small exceptional set ``B'`` (``|B'| < k - 1``), with
+``A' × B' ⊆ E`` and ``A'`` 1-scattered once ``B'`` is removed.
+
+Theorem 5.3 iterates the lemma ``d`` times, growing the scatteredness
+radius by one per stage while accumulating at most ``k - 2`` removed
+vertices.
+
+The proofs reach their conclusions through Ramsey's theorem with
+astronomical thresholds; the constructions here search for the *objects
+the lemmas assert* directly (independent sets instead of Ramsey
+extraction), so they succeed on real instances far below the thresholds
+while producing exactly the certified witnesses the statements promise.
+Every witness is re-verified before being returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import BudgetExceededError, ValidationError
+from ..graphtheory.graphs import Graph, bfs_distances, neighborhood
+from ..graphtheory.scattered import _max_independent_set, is_scattered
+from .bounds import theorem_5_3_bound
+
+
+@dataclass(frozen=True)
+class Lemma52Witness:
+    """The ``(A', B')`` pair of Lemma 5.2."""
+
+    left: Tuple
+    exceptional: FrozenSet
+
+    def sizes(self) -> Tuple[int, int]:
+        """``(|A'|, |B'|)``."""
+        return len(self.left), len(self.exceptional)
+
+
+def verify_lemma_5_2_witness(
+    graph: Graph,
+    left_side: Sequence,
+    witness: Lemma52Witness,
+    k: int,
+    m: int,
+) -> bool:
+    """Check the four conclusions of Lemma 5.2 on a concrete witness."""
+    a_prime = list(witness.left)
+    b_prime = witness.exceptional
+    if len(a_prime) <= m or len(b_prime) >= k - 1:
+        return False
+    if not set(a_prime) <= set(left_side):
+        return False
+    for a in a_prime:
+        for b in b_prime:
+            if not graph.has_edge(a, b):
+                return False
+    reduced = graph.remove_vertices(b_prime)
+    return is_scattered(reduced, a_prime, 1)
+
+
+def lemma_5_2_witness(
+    graph: Graph,
+    left_side: Sequence,
+    k: int,
+    m: int,
+    subset_budget: int = 100_000,
+) -> Optional[Lemma52Witness]:
+    """Search for Lemma 5.2's ``(A', B')`` in a bipartite graph.
+
+    ``left_side`` lists the ``A`` side; every other vertex is in ``B``.
+    Tries exceptional sets ``B'`` in increasing size (``0 .. k-2``); for
+    each, the candidates are the left vertices adjacent to *all* of
+    ``B'``, and a maximum independent set of the common-neighbour
+    conflict graph gives ``A'``.
+    """
+    left = [v for v in left_side if v in graph]
+    right = [v for v in graph.vertices if v not in set(left_side)]
+    tried = 0
+    for size in range(0, max(k - 1, 1)):
+        for b_prime in combinations(sorted(right, key=repr), size):
+            tried += 1
+            if tried > subset_budget:
+                raise BudgetExceededError(
+                    f"Lemma 5.2 search exceeded {subset_budget} subsets"
+                )
+            b_set = frozenset(b_prime)
+            candidates = [
+                a for a in left
+                if all(graph.has_edge(a, b) for b in b_set)
+            ]
+            if len(candidates) <= m:
+                continue
+            # Conflict graph: two candidates clash iff they share a
+            # neighbour outside B'.
+            conflict_edges = []
+            neighbor_sets: Dict = {
+                a: frozenset(graph.neighbors(a)) - b_set for a in candidates
+            }
+            for i, a1 in enumerate(candidates):
+                for a2 in candidates[i + 1:]:
+                    if neighbor_sets[a1] & neighbor_sets[a2]:
+                        conflict_edges.append((a1, a2))
+                    elif graph.has_edge(a1, a2):
+                        conflict_edges.append((a1, a2))
+            conflict = Graph(candidates, conflict_edges)
+            independent = _max_independent_set(conflict, budget=500_000)
+            if len(independent) > m:
+                # Keep the whole independent set (not just m + 1): the
+                # staged Theorem 5.3 construction consumes the surplus.
+                witness = Lemma52Witness(
+                    tuple(sorted(independent, key=repr)), b_set
+                )
+                assert verify_lemma_5_2_witness(
+                    graph, left_side, witness, k, m
+                )
+                return witness
+    return None
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.3: the staged construction
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Theorem53Witness:
+    """The ``(S, Z)`` pair of Theorem 5.3, plus the per-stage history."""
+
+    scattered: Tuple
+    removed: FrozenSet
+    d: int
+    stage_sizes: Tuple[int, ...]
+
+
+def verify_theorem_5_3_witness(
+    graph: Graph, witness: Theorem53Witness, k: int, m: int
+) -> bool:
+    """Check Theorem 5.3's conclusion on a concrete witness."""
+    if len(witness.scattered) <= m or len(witness.removed) >= k - 1:
+        return False
+    reduced = graph.remove_vertices(witness.removed)
+    return is_scattered(reduced, list(witness.scattered), witness.d)
+
+
+def theorem_5_3_witness(
+    graph: Graph,
+    k: int,
+    d: int,
+    m: int,
+    subset_budget: int = 100_000,
+) -> Optional[Theorem53Witness]:
+    """The staged construction from the proof of Theorem 5.3.
+
+    Maintains ``S_i`` (``i``-scattered in ``G - Z_i``) and ``Z_i``; each
+    stage builds the neighbourhood graph on ``S_i``, extracts an
+    independent set ``I`` of neighbourhoods, forms the bipartite graph
+    ``H`` of Lemma 5.2 (left: ``I``; right: vertices adjacent to the
+    neighbourhoods), and applies the lemma to get ``S_{i+1}`` and the
+    new exceptional vertices.
+    """
+    s_current: List = list(graph.vertices)
+    z_current: Set = set()
+    stage_sizes = [len(s_current)]
+    for stage in range(d):
+        reduced = graph.remove_vertices(z_current)
+        s_alive = [v for v in s_current if v in reduced]
+        hoods: Dict = {
+            u: neighborhood(reduced, u, stage) for u in s_alive
+        }
+        # Neighbourhood graph: connect u, v when an edge of G - Z joins
+        # their i-neighborhoods (they are disjoint by the invariant).
+        nb_edges = []
+        for i, u in enumerate(s_alive):
+            for v in s_alive[i + 1:]:
+                if _hoods_adjacent(reduced, hoods[u], hoods[v]):
+                    nb_edges.append((u, v))
+        nb_graph = Graph(s_alive, nb_edges)
+        independent = _max_independent_set(nb_graph, budget=500_000)
+        if len(independent) <= m:
+            return None
+        # Bipartite graph H of the proof.
+        union_hoods: Set = set()
+        for u in independent:
+            union_hoods |= set(hoods[u])
+        right = sorted(
+            (
+                v
+                for v in reduced.vertices
+                if v not in union_hoods
+                and any(
+                    reduced.has_edge(v, w) for w in union_hoods
+                )
+            ),
+            key=repr,
+        )
+        h_edges = []
+        for u in independent:
+            for v in right:
+                if any(reduced.has_edge(v, w) for w in hoods[u]):
+                    h_edges.append((u, v))
+        h_graph = Graph(list(independent) + right, h_edges)
+        lemma = lemma_5_2_witness(h_graph, list(independent), k, m,
+                                  subset_budget)
+        if lemma is None:
+            return None
+        s_current = list(lemma.left)
+        z_current |= set(lemma.exceptional)
+        if len(z_current) >= k - 1:
+            return None
+        stage_sizes.append(len(s_current))
+
+    witness = Theorem53Witness(
+        tuple(s_current), frozenset(z_current), d, tuple(stage_sizes)
+    )
+    if not verify_theorem_5_3_witness(graph, witness, k, m):
+        return None
+    return witness
+
+
+def _hoods_adjacent(graph: Graph, hood_a: FrozenSet, hood_b: FrozenSet) -> bool:
+    if hood_a & hood_b:
+        return True
+    for u in hood_a:
+        for w in graph.neighbors(u):
+            if w in hood_b:
+                return True
+    return False
+
+
+def theorem_5_3_sweep(
+    graphs: Sequence[Graph], k: int, d: int, m: int
+) -> List[dict]:
+    """Run the staged construction over a family (experiment E5 rows)."""
+    rows: List[dict] = []
+    for g in graphs:
+        witness = theorem_5_3_witness(g, k, d, m)
+        rows.append(
+            {
+                "n": g.num_vertices(),
+                "found": witness is not None,
+                "|Z|": len(witness.removed) if witness else -1,
+                "|S|": len(witness.scattered) if witness else -1,
+            }
+        )
+    return rows

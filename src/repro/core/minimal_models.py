@@ -1,0 +1,200 @@
+"""Minimal models of Boolean queries (Section 3).
+
+``A`` is a *minimal model* of a Boolean query ``q`` in a class ``C`` when
+``q(A) = 1`` and no proper substructure of ``A`` inside ``C`` satisfies
+``q``.  Theorem 3.1 reduces existential-positive definability to having
+finitely many minimal models; the rewriting pipeline of
+:mod:`repro.core.preservation` therefore needs to *find* them.
+
+Two modes are provided:
+
+* **exact enumeration** over all structures up to a universe-size cap
+  (complete for that cap, exponential);
+* **shrinking** from seed models: greedily remove facts/elements while
+  the query stays true and the structure stays in the class.  Every
+  output is a genuine minimal model; completeness depends on the seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..exceptions import BudgetExceededError
+from ..homomorphism.isomorphism import dedup_up_to_isomorphism
+from ..logic.semantics import satisfies
+from ..logic.syntax import Formula
+from ..structures.enumeration import enumerate_structures_up_to
+from ..structures.structure import Structure
+from ..structures.vocabulary import Vocabulary
+from .classes import StructureClass, all_finite_structures
+
+BooleanQuery = Callable[[Structure], bool]
+
+
+def as_boolean_query(query) -> BooleanQuery:
+    """Normalize a query given as a formula, a CQ/UCQ object, or a callable."""
+    if isinstance(query, Formula):
+        return lambda s: satisfies(s, query)
+    if hasattr(query, "holds_in"):
+        return query.holds_in
+    if callable(query):
+        return query
+    raise TypeError(f"cannot interpret {query!r} as a Boolean query")
+
+
+def is_minimal_model(
+    query,
+    structure: Structure,
+    structure_class: Optional[StructureClass] = None,
+    budget: int = 200_000,
+    assume_preserved: bool = False,
+) -> bool:
+    """Whether ``structure`` is a minimal model of ``query`` in the class.
+
+    By default checks the query on **every** proper substructure
+    belonging to the class (queries need not be monotone downward, so
+    one-step checks are insufficient in general).  The substructure
+    lattice is explored with memoization; exponential in the number of
+    facts, guarded by ``budget``.
+
+    With ``assume_preserved=True`` the caller asserts the query is
+    preserved under homomorphisms; then satisfaction is monotone under
+    extensions (``B ⊆ A'`` gives an injection homomorphism), so checking
+    the *immediate* substructures suffices — much faster, and exactly the
+    situation of the paper's theorems.
+    """
+    q = as_boolean_query(query)
+    cls = structure_class or all_finite_structures()
+    if not cls.contains(structure) or not q(structure):
+        return False
+    if assume_preserved:
+        return not any(
+            cls.contains(sub) and q(sub) for sub in structure.substructures()
+        )
+
+    seen = set()
+    frontier = [structure]
+    visited = 0
+    while frontier:
+        current = frontier.pop()
+        for sub in current.substructures():
+            key = (
+                sub.universe_set,
+                frozenset(
+                    (name, sub.relation(name))
+                    for name in sub.vocabulary.relation_names
+                ),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            visited += 1
+            if visited > budget:
+                raise BudgetExceededError(
+                    f"minimality check visited more than {budget} "
+                    "substructures"
+                )
+            if cls.contains(sub):
+                if q(sub):
+                    return False
+                frontier.append(sub)
+            else:
+                # Substructures of non-members can still be members when
+                # the class is not closed under substructures; descend.
+                frontier.append(sub)
+    return True
+
+
+def shrink_to_minimal_model(
+    query,
+    seed: Structure,
+    structure_class: Optional[StructureClass] = None,
+) -> Structure:
+    """A minimal model obtained by greedily shrinking a seed model.
+
+    Deterministic: scans immediate substructures in a fixed order and
+    recurses into the first that still models the query inside the class.
+
+    For queries preserved under homomorphisms the result is a genuine
+    minimal model (satisfaction is monotone under extensions, so a deeper
+    sub-model would show through an immediate one).  For arbitrary
+    queries the result is only locally minimal; verify with
+    :func:`is_minimal_model` if in doubt.
+    """
+    q = as_boolean_query(query)
+    cls = structure_class or all_finite_structures()
+    if not q(seed) or not cls.contains(seed):
+        raise ValueError("seed must be a model of the query inside the class")
+    current = seed
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        for sub in current.substructures():
+            if cls.contains(sub) and q(sub):
+                current = sub
+                shrunk = True
+                break
+    return current
+
+
+def minimal_models_from_seeds(
+    query,
+    seeds: Iterable[Structure],
+    structure_class: Optional[StructureClass] = None,
+    dedup: bool = True,
+) -> List[Structure]:
+    """Minimal models reached by shrinking each seed (non-models skipped).
+
+    Sound but not complete: returns only minimal models reachable from
+    the given seeds.
+    """
+    q = as_boolean_query(query)
+    cls = structure_class or all_finite_structures()
+    found: List[Structure] = []
+    for seed in seeds:
+        if not cls.contains(seed) or not q(seed):
+            continue
+        found.append(shrink_to_minimal_model(q, seed, cls))
+    if dedup:
+        found = dedup_up_to_isomorphism(found)
+    return found
+
+
+def enumerate_minimal_models(
+    query,
+    vocabulary: Vocabulary,
+    max_size: int,
+    structure_class: Optional[StructureClass] = None,
+    budget: int = 2_000_000,
+    assume_preserved: bool = False,
+) -> List[Structure]:
+    """All minimal models with at most ``max_size`` elements (exact).
+
+    Complete for the given size cap: any minimal model with ``<= max_size``
+    elements is isomorphic to some output.  Doubly exponential in
+    ``max_size`` — sizes beyond 3–4 with a binary relation are infeasible
+    by design (:class:`~repro.exceptions.BudgetExceededError`).
+    """
+    q = as_boolean_query(query)
+    cls = structure_class or all_finite_structures()
+    found: List[Structure] = []
+    for candidate in enumerate_structures_up_to(
+        vocabulary, max_size, up_to_isomorphism=True, budget=budget
+    ):
+        if is_minimal_model(q, candidate, cls,
+                            assume_preserved=assume_preserved):
+            found.append(candidate)
+    return found
+
+
+def minimal_models_are_cores(models: Sequence[Structure]) -> bool:
+    """Section 6.2's observation: minimal models of queries preserved
+    under homomorphisms are cores.  Checked directly on a model list."""
+    from ..homomorphism.cores import is_core
+
+    return all(is_core(m) for m in models)
+
+
+def max_minimal_model_size(models: Sequence[Structure]) -> int:
+    """The largest universe among the given models (0 if none)."""
+    return max((m.size() for m in models), default=0)

@@ -1,0 +1,271 @@
+"""Other classical preservation theorems (Section 1 and Section 8).
+
+The paper situates homomorphism preservation among its classical
+siblings: the **Łoś–Tarski theorem** (preservation under extensions ↔
+existential formulas) and **Lyndon's theorem** (monotone ↔ positive),
+both of which *fail* in the finite [Tait 1959; Gurevich 1984;
+Ajtai–Gurevich 1987; Stolboushkin 1995].  The concluding remarks point
+to Atserias–Dawar–Grohe [2005] for extension preservation on
+well-behaved classes.
+
+This module provides the executable counterparts:
+
+* sampled checks for preservation under extensions and monotonicity;
+* the Łoś–Tarski rewriting pipeline: minimal *induced* models →
+  disjunction of canonical existential sentences (diagram formulas with
+  negative atoms and distinctness) — sound and complete when all minimal
+  induced models fit under the size cap;
+* the implication chain of Section 1 (hom-preserved ⇒
+  extension-preserved and monotone), checked on concrete queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..exceptions import BudgetExceededError
+from ..homomorphism.isomorphism import dedup_up_to_isomorphism
+from ..logic.semantics import satisfies
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equal,
+    Formula,
+    Not,
+    Or,
+    Var,
+    exists_many,
+)
+from ..structures.enumeration import enumerate_structures_up_to
+from ..structures.structure import Element, Structure
+from ..structures.vocabulary import Vocabulary
+from .classes import StructureClass, all_finite_structures
+from .minimal_models import as_boolean_query
+
+
+# ----------------------------------------------------------------------
+# Sampled semantic checks
+# ----------------------------------------------------------------------
+@dataclass
+class ExtensionViolation:
+    """``q(A) = 1``, ``A`` induced substructure of ``B``, ``q(B) = 0``."""
+
+    small: Structure
+    large: Structure
+
+
+def check_preserved_under_extensions(
+    query, structures: Sequence[Structure]
+) -> Optional[ExtensionViolation]:
+    """Search the sample for an extension violation.
+
+    Considers every ordered pair where one member embeds as an *induced*
+    substructure of the other via the identity on a common universe
+    part; additionally pairs each structure with its own one-point and
+    one-fact extensions inside the sample closure.
+    """
+    q = as_boolean_query(query)
+    for a in structures:
+        if not q(a):
+            continue
+        for b in structures:
+            if a is b or q(b):
+                continue
+            if a.is_induced_substructure_of(b):
+                return ExtensionViolation(a, b)
+    return None
+
+
+def extension_closure_sample(
+    structures: Sequence[Structure], fresh: str = "ext"
+) -> List[Structure]:
+    """The sample plus simple one-step extensions of each member.
+
+    Adds, per structure: one isolated element; and (for binary relations)
+    one extra fact touching the new element.  Useful fodder for
+    :func:`check_preserved_under_extensions`.
+    """
+    out: List[Structure] = list(structures)
+    for i, s in enumerate(structures):
+        new_element = (fresh, i)
+        bigger = s.with_element(new_element)
+        out.append(bigger)
+        for name in s.vocabulary.relation_names:
+            if s.vocabulary.arity(name) == 2 and s.universe:
+                out.append(
+                    bigger.with_fact(name, (s.universe[0], new_element))
+                )
+                break
+    return out
+
+
+@dataclass
+class MonotonicityViolation:
+    """``q(A) = 1``, ``B`` = ``A`` plus extra facts, ``q(B) = 0``."""
+
+    smaller: Structure
+    larger: Structure
+
+
+def check_monotone(
+    query, structures: Sequence[Structure]
+) -> Optional[MonotonicityViolation]:
+    """Search for a monotonicity violation (fact addition flips q to 0).
+
+    Pairs sample members over the same universe where one's relations
+    contain the other's, and additionally tests each member against its
+    own single-fact extensions.
+    """
+    q = as_boolean_query(query)
+    for a in structures:
+        if not q(a):
+            continue
+        for b in structures:
+            if a is b or q(b):
+                continue
+            if (a.universe_set == b.universe_set
+                    and a.is_substructure_of(b)):
+                return MonotonicityViolation(a, b)
+        # all single-fact extensions (budgeted by structure size)
+        for name in a.vocabulary.relation_names:
+            arity = a.vocabulary.arity(name)
+            if arity == 0 or not a.universe:
+                continue
+            for candidate_tuple in _tuples(list(a.universe), arity):
+                if a.has_fact(name, candidate_tuple):
+                    continue
+                bigger = a.with_fact(name, candidate_tuple)
+                if not q(bigger):
+                    return MonotonicityViolation(a, bigger)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Łoś–Tarski rewriting (minimal induced models → existential sentence)
+# ----------------------------------------------------------------------
+def canonical_existential_sentence(structure: Structure) -> Formula:
+    """The existential sentence asserting an induced copy of ``structure``.
+
+    The existential closure of the *full* atomic diagram: positive atoms
+    for facts, negated atoms for non-facts, and pairwise distinctness.
+    ``B`` satisfies it iff ``structure`` embeds into ``B`` as an induced
+    substructure — the extension analogue of the canonical conjunctive
+    query.
+    """
+    elements = list(structure.universe)
+    var_of = {e: Var(f"x{i}") for i, e in enumerate(elements)}
+    parts: List[Formula] = []
+    for name in structure.vocabulary.relation_names:
+        arity = structure.vocabulary.arity(name)
+        facts = structure.relation(name)
+        for tup in _tuples(elements, arity):
+            atom = Atom(name, tuple(var_of[x] for x in tup))
+            parts.append(atom if tup in facts else Not(atom))
+    for i in range(len(elements)):
+        for j in range(i + 1, len(elements)):
+            parts.append(
+                Not(Equal(var_of[elements[i]], var_of[elements[j]]))
+            )
+    body: Formula = And.of(*parts) if parts else And.of()
+    return exists_many([var_of[e].name for e in elements], body)
+
+
+def _tuples(elements, arity):
+    if arity == 0:
+        return [()]
+    out = [()]
+    for _ in range(arity):
+        out = [t + (e,) for t in out for e in elements]
+    return out
+
+
+def is_minimal_induced_model(
+    query,
+    structure: Structure,
+    structure_class: Optional[StructureClass] = None,
+) -> bool:
+    """No proper *induced* substructure in the class models the query.
+
+    For queries preserved under extensions, satisfaction is monotone
+    along induced extensions, so checking one-element removals suffices.
+    """
+    q = as_boolean_query(query)
+    cls = structure_class or all_finite_structures()
+    if not cls.contains(structure) or not q(structure):
+        return False
+    for element in structure.universe:
+        if element in set(structure.constants.values()):
+            continue
+        smaller = structure.without_element(element)
+        if cls.contains(smaller) and q(smaller):
+            return False
+    return True
+
+
+@dataclass
+class LosTarskiResult:
+    """Output of the Łoś–Tarski rewriting pipeline."""
+
+    minimal_models: List[Structure]
+    sentence: Formula
+    verified_on: int
+
+
+def rewrite_to_existential(
+    query,
+    vocabulary: Vocabulary,
+    structure_class: Optional[StructureClass] = None,
+    max_size: int = 3,
+    verification_sample: Sequence[Structure] = (),
+) -> LosTarskiResult:
+    """Rewrite an extension-preserved query to an existential sentence.
+
+    Enumerates minimal induced models up to ``max_size`` and emits the
+    disjunction of their canonical existential sentences.  Equivalent to
+    the query whenever it is preserved under extensions on the class and
+    all minimal induced models fit under the cap; the equivalence is
+    checked on the sample (raising ``AssertionError`` on a mismatch —
+    which, in the finite, genuinely happens for Tait-style queries whose
+    minimal models are unbounded).
+    """
+    q = as_boolean_query(query)
+    cls = structure_class or all_finite_structures()
+    models: List[Structure] = []
+    for candidate in enumerate_structures_up_to(vocabulary, max_size):
+        if is_minimal_induced_model(q, candidate, cls):
+            models.append(candidate)
+    models = dedup_up_to_isomorphism(models)
+    disjuncts = [canonical_existential_sentence(m) for m in models]
+    sentence: Formula = Or.of(*disjuncts) if disjuncts else Bottom()
+    verified = 0
+    for s in verification_sample:
+        if not cls.contains(s):
+            continue
+        expected, got = q(s), satisfies(s, sentence)
+        if expected != got:
+            raise AssertionError(
+                "Łoś–Tarski rewriting failed on a sample structure: either "
+                f"a minimal induced model exceeds size {max_size} or the "
+                "query is not preserved under extensions on the class"
+            )
+        verified += 1
+    return LosTarskiResult(models, sentence, verified)
+
+
+# ----------------------------------------------------------------------
+# The Section 1 implication chain
+# ----------------------------------------------------------------------
+def section_1_implications(
+    query, structures: Sequence[Structure]
+) -> dict:
+    """Check Section 1's chain on a sample: homomorphism preservation
+    implies extension preservation implies nothing further, and implies
+    monotonicity.  Returns which properties hold on the sample."""
+    from .preservation import check_preserved_under_homomorphisms
+
+    hom = check_preserved_under_homomorphisms(query, structures) is None
+    ext = check_preserved_under_extensions(query, structures) is None
+    mono = check_monotone(query, structures) is None
+    return {"homomorphism": hom, "extensions": ext, "monotone": mono}

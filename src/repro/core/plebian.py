@@ -1,0 +1,231 @@
+"""Plebian companions (Ajtai–Gurevich; Section 6.1 of the paper).
+
+The reduction from non-Boolean to Boolean queries expands the vocabulary
+with constants — but the expanded classes lose closure under disjoint
+unions.  The *plebian companion* ``pA`` repairs this: constants are
+compiled away into extra relation symbols ``R_m`` (one per relation
+``R`` and partial function ``m`` from positions to constants), and the
+named elements are dropped from the universe.
+
+Observations 6.1–6.3 (all checkable here):
+
+* ``G(pA)`` is a subgraph of ``G(A)``;
+* ``A → B`` iff ``pA → pB`` (with explicit witnesses both ways);
+* closure under substructures/disjoint unions transfers to ``pC'``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..exceptions import ValidationError
+from ..homomorphism.search import find_homomorphism, is_homomorphism
+from ..structures.gaifman import gaifman_graph
+from ..structures.structure import Element, Structure, Tup
+from ..structures.vocabulary import Vocabulary
+
+#: Separator used to build the generated relation names ``R_m``.
+_SEP = "__at__"
+
+
+def _partial_functions(arity: int, constants: Tuple[str, ...]):
+    """All non-empty partial functions {1..arity} ⇀ constants."""
+    positions = list(range(arity))
+    for size in range(1, arity + 1):
+        for chosen in combinations(positions, size):
+            yield from _assign(chosen, constants)
+
+
+def _assign(positions: Tuple[int, ...], constants: Tuple[str, ...]):
+    if not positions:
+        yield {}
+        return
+    head, rest = positions[0], positions[1:]
+    for sub in _assign(rest, constants):
+        for c in constants:
+            out = dict(sub)
+            out[head] = c
+            yield out
+
+
+def _relation_name(base: str, mapping: Mapping[int, str]) -> str:
+    parts = [f"{pos}:{mapping[pos]}" for pos in sorted(mapping)]
+    return base + _SEP + ",".join(parts)
+
+
+def plebian_vocabulary(vocabulary: Vocabulary) -> Vocabulary:
+    """The vocabulary ``ρ`` of plebian companions.
+
+    Every relation of ``σ'`` survives; for each relation ``R`` of arity
+    ``r`` and non-empty partial map ``m`` of positions to constants, a
+    new relation ``R_m`` of arity ``r - |dom m|`` is added.  Constants
+    disappear.
+    """
+    if not vocabulary.constants:
+        raise ValidationError("plebian companions need constants to remove")
+    relations: Dict[str, int] = dict(vocabulary.relations)
+    for name in vocabulary.relation_names:
+        arity = vocabulary.arity(name)
+        for mapping in _partial_functions(arity, vocabulary.constants):
+            relations[_relation_name(name, mapping)] = arity - len(mapping)
+    return Vocabulary(relations)
+
+
+def plebian_companion(structure: Structure) -> Structure:
+    """The plebian companion ``pA`` of a structure with constants.
+
+    The universe drops all constant-named elements; original relations
+    are restricted to the surviving elements; each ``R_m`` collects the
+    tuples whose constant-positions carried exactly ``m``'s constants,
+    projected to the remaining positions.
+    """
+    vocab = structure.vocabulary
+    target_vocab = plebian_vocabulary(vocab)
+    named = {structure.constant(c) for c in vocab.constants}
+    universe = [e for e in structure.universe if e not in named]
+    universe_set = set(universe)
+
+    relations: Dict[str, List[Tup]] = {
+        name: [] for name in target_vocab.relation_names
+    }
+    const_value = {c: structure.constant(c) for c in vocab.constants}
+    for name in vocab.relation_names:
+        arity = vocab.arity(name)
+        for tup in structure.relation(name):
+            if all(x in universe_set for x in tup):
+                relations[name].append(tup)
+        for mapping in _partial_functions(arity, vocab.constants):
+            rel_name = _relation_name(name, mapping)
+            for tup in structure.relation(name):
+                ok = True
+                rest: List[Element] = []
+                for pos, x in enumerate(tup):
+                    if pos in mapping:
+                        if x != const_value[mapping[pos]]:
+                            ok = False
+                            break
+                    else:
+                        if x not in universe_set:
+                            ok = False
+                            break
+                        rest.append(x)
+                if ok:
+                    relations[rel_name].append(tuple(rest))
+    return Structure(target_vocab, universe, relations)
+
+
+# ----------------------------------------------------------------------
+# Observations 6.1–6.3
+# ----------------------------------------------------------------------
+def observation_6_1_holds(structure: Structure) -> bool:
+    """``G(pA)`` is a subgraph of ``G(A)`` (indeed the induced subgraph on
+    the unnamed elements)."""
+    original = gaifman_graph(structure)
+    companion = gaifman_graph(plebian_companion(structure))
+    if not companion.vertex_set <= original.vertex_set:
+        return False
+    return all(edge in original.edges for edge in companion.edges)
+
+
+def hom_of_companions_from_hom(
+    hom: Mapping[Element, Element], a: Structure, b: Structure
+) -> Dict[Element, Element]:
+    """Observation 6.2 (⇐ direction): restrict ``g : A → B`` to ``pA``."""
+    named = {a.constant(c) for c in a.vocabulary.constants}
+    return {e: hom[e] for e in a.universe if e not in named}
+
+
+def hom_from_hom_of_companions(
+    hom: Mapping[Element, Element], a: Structure, b: Structure
+) -> Dict[Element, Element]:
+    """Observation 6.2 (⇒ direction): extend ``h : pA → pB`` by constants."""
+    extended = dict(hom)
+    for c in a.vocabulary.constants:
+        extended[a.constant(c)] = b.constant(c)
+    return extended
+
+
+def observation_6_2_extension_direction(a: Structure, b: Structure) -> bool:
+    """Obs 6.2, sound direction: ``pA → pB`` implies ``A → B``.
+
+    When a companion homomorphism exists, its constant-extension must be
+    a homomorphism of the originals.  Always true; verified with an
+    explicit witness.
+    """
+    if a.vocabulary != b.vocabulary:
+        raise ValidationError("structures must share their vocabulary")
+    pa, pb = plebian_companion(a), plebian_companion(b)
+    hom_pp = find_homomorphism(pa, pb)
+    if hom_pp is None:
+        return True
+    extended = hom_from_hom_of_companions(hom_pp, a, b)
+    return is_homomorphism(a, b, extended)
+
+
+def observation_6_2_restriction_direction(a: Structure, b: Structure) -> bool:
+    """Obs 6.2's *claimed* converse: ``A → B`` implies ``pA → pB``.
+
+    .. warning:: **Gap found by this reproduction.**  The paper's proof
+       restricts a homomorphism ``g : A → B`` to the unnamed elements —
+       but ``g`` may map an unnamed element of ``A`` onto a
+       constant-named element of ``B``, where the restriction is not
+       even a function into ``pB``'s universe, and no companion
+       homomorphism need exist at all.  Minimal counterexample (see
+       :func:`observation_6_2_counterexample`): ``A`` a single edge into
+       the constant, ``B`` a loop on the constant: ``A → B`` holds but
+       ``pB`` has an *empty* universe.  The direction does hold whenever
+       some homomorphism keeps unnamed elements unnamed.
+    """
+    if a.vocabulary != b.vocabulary:
+        raise ValidationError("structures must share their vocabulary")
+    if find_homomorphism(a, b) is None:
+        return True
+    pa, pb = plebian_companion(a), plebian_companion(b)
+    return find_homomorphism(pa, pb) is not None
+
+
+def observation_6_2_holds(a: Structure, b: Structure) -> bool:
+    """Both directions of Observation 6.2 on a concrete pair.
+
+    The extension direction always holds; the restriction direction can
+    fail (see :func:`observation_6_2_restriction_direction`), so this
+    returns ``False`` exactly on the counterexamples the reproduction
+    uncovered.
+    """
+    return (observation_6_2_extension_direction(a, b)
+            and observation_6_2_restriction_direction(a, b))
+
+
+def observation_6_2_counterexample() -> Tuple[Structure, Structure]:
+    """The minimal counterexample to Obs 6.2's restriction direction.
+
+    ``A = ({0,1}, E = {(1,0)}, c1 = 0)`` and
+    ``B = ({0}, E = {(0,0)}, c1 = 0)``: mapping everything to the
+    constant is a homomorphism ``A → B``, but ``pB`` is empty while
+    ``pA`` is not, so no homomorphism ``pA → pB`` exists.
+    """
+    from ..structures.vocabulary import GRAPH_VOCABULARY
+
+    vocab = GRAPH_VOCABULARY.with_constants(["c1"])
+    a = Structure(vocab, [0, 1], {"E": [(1, 0)]}, {"c1": 0})
+    b = Structure(vocab, [0], {"E": [(0, 0)]}, {"c1": 0})
+    return a, b
+
+
+def boolean_query_of_nonboolean(query_answers):
+    """Section 6.1's ``q'``: the Boolean query on expansions.
+
+    Given a non-Boolean query (a callable ``Structure -> set of tuples``
+    over the base vocabulary) returns the Boolean query over expanded
+    structures: ``q'(A') = 1`` iff the constants' tuple is an answer of
+    ``q`` on the reduct.
+    """
+
+    def boolean_query(expanded: Structure) -> bool:
+        vocab = expanded.vocabulary
+        reduct = expanded.reduct(vocab.without_constants())
+        tup = tuple(expanded.constant(c) for c in vocab.constants)
+        return tup in query_answers(reduct)
+
+    return boolean_query

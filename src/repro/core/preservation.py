@@ -1,0 +1,189 @@
+"""The homomorphism-preservation pipeline (Theorem 3.1 and Section 8).
+
+The effective procedure the paper's concluding remarks describe: given a
+first-order query preserved under homomorphisms on a class ``C``, collect
+its minimal models; the disjunction of their canonical conjunctive
+queries is an equivalent union of conjunctive queries.
+
+Since the proofs' size bounds are astronomical, the pipeline takes an
+explicit size cap: the produced UCQ is *guaranteed* equivalent whenever
+all minimal models fit under the cap (which the theorems assert for some
+finite cap), and the result carries a verification report over a sample
+so silent failures are impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..cq.canonical import canonical_query
+from ..cq.ucq import UnionOfConjunctiveQueries
+from ..homomorphism.search import find_homomorphism
+from ..logic.semantics import satisfies
+from ..logic.syntax import Formula
+from ..structures.structure import Structure
+from ..structures.vocabulary import Vocabulary
+from .classes import StructureClass, all_finite_structures
+from .minimal_models import (
+    as_boolean_query,
+    enumerate_minimal_models,
+    minimal_models_from_seeds,
+)
+
+
+@dataclass
+class PreservationViolation:
+    """A counterexample to preservation: ``q(A)=1``, ``h: A → B``, ``q(B)=0``."""
+
+    source: Structure
+    target: Structure
+    homomorphism: dict
+
+
+def check_preserved_under_homomorphisms(
+    query,
+    structures: Sequence[Structure],
+) -> Optional[PreservationViolation]:
+    """Search for a preservation violation among all pairs of ``structures``.
+
+    Returns the first violation, or ``None`` when the query is preserved
+    under every homomorphism between sample members (including
+    self-pairs).  This is a *sampled* check: passing it is evidence, not
+    proof, of preservation on the whole class.
+    """
+    q = as_boolean_query(query)
+    truth = [q(s) for s in structures]
+    for i, a in enumerate(structures):
+        if not truth[i]:
+            continue
+        for j, b in enumerate(structures):
+            if truth[j]:
+                continue
+            hom = find_homomorphism(a, b)
+            if hom is not None:
+                return PreservationViolation(a, b, hom)
+    return None
+
+
+@dataclass
+class RewriteResult:
+    """The output of the FO → UCQ rewriting pipeline.
+
+    Attributes
+    ----------
+    minimal_models:
+        The minimal models found (up to isomorphism).
+    ucq:
+        The union of their canonical conjunctive queries.
+    mode:
+        ``"exact"`` (complete enumeration up to the size cap) or
+        ``"seeds"`` (shrinking; sound, completeness depends on seeds).
+    size_cap:
+        The universe-size cap used in exact mode (0 for seeds mode).
+    verified_on:
+        Number of structures the equivalence was verified on.
+    """
+
+    minimal_models: List[Structure]
+    ucq: UnionOfConjunctiveQueries
+    mode: str
+    size_cap: int
+    verified_on: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{len(self.minimal_models)} minimal models -> UCQ with "
+            f"{len(self.ucq)} disjuncts ({self.mode}, cap {self.size_cap}, "
+            f"verified on {self.verified_on} structures)"
+        )
+
+
+def rewrite_to_ucq(
+    query,
+    vocabulary: Vocabulary,
+    structure_class: Optional[StructureClass] = None,
+    max_size: int = 3,
+    verification_sample: Sequence[Structure] = (),
+    assume_preserved: bool = True,
+) -> RewriteResult:
+    """Theorem 3.1's direction (1) ⇒ (2), executably.
+
+    Enumerates the minimal models of ``query`` in the class up to
+    ``max_size`` elements and returns the UCQ ``⋁ φ_A`` over them.  When
+    the query is preserved under homomorphisms and all its minimal models
+    fit under the cap, the UCQ is equivalent to the query on the class —
+    the equivalence is additionally *checked* on ``verification_sample``
+    and the count recorded.
+
+    Raises ``AssertionError`` if verification fails (that would mean a
+    minimal model above the cap, or a non-preserved query).
+    """
+    q = as_boolean_query(query)
+    cls = structure_class or all_finite_structures()
+    models = enumerate_minimal_models(
+        q, vocabulary, max_size, cls, assume_preserved=assume_preserved
+    )
+    ucq = UnionOfConjunctiveQueries(
+        vocabulary,
+        0,
+        tuple(canonical_query(m) for m in models),
+    ).minimized()
+    verified = 0
+    for s in verification_sample:
+        if not cls.contains(s):
+            continue
+        expected = q(s)
+        got = ucq.holds_in(s)
+        if expected != got:
+            raise AssertionError(
+                f"rewriting is wrong on a sample structure "
+                f"(query={expected}, ucq={got}): either a minimal model "
+                f"exceeds size {max_size} or the query is not preserved "
+                "under homomorphisms on the class"
+            )
+        verified += 1
+    return RewriteResult(models, ucq, "exact", max_size, verified)
+
+
+def rewrite_to_ucq_from_seeds(
+    query,
+    seeds: Sequence[Structure],
+    vocabulary: Vocabulary,
+    structure_class: Optional[StructureClass] = None,
+    verification_sample: Sequence[Structure] = (),
+) -> RewriteResult:
+    """Seeds-mode rewriting for workloads too large for exact enumeration.
+
+    Shrinks each seed model to a minimal model and unions their canonical
+    queries.  The result under-approximates the query in general (sound:
+    ``ucq ⊆ query`` for preserved queries); verification counts how many
+    sample structures agree.
+    """
+    q = as_boolean_query(query)
+    cls = structure_class or all_finite_structures()
+    models = minimal_models_from_seeds(q, seeds, cls)
+    ucq = UnionOfConjunctiveQueries(
+        vocabulary,
+        0,
+        tuple(canonical_query(m) for m in models),
+    ).minimized()
+    verified = 0
+    for s in verification_sample:
+        if not cls.contains(s):
+            continue
+        if q(s) == ucq.holds_in(s):
+            verified += 1
+    return RewriteResult(models, ucq, "seeds", 0, verified)
+
+
+def ucq_equivalent_to_query_on(
+    ucq: UnionOfConjunctiveQueries,
+    query,
+    structures: Sequence[Structure],
+) -> bool:
+    """Whether the UCQ and the query agree on every given structure."""
+    q = as_boolean_query(query)
+    return all(ucq.holds_in(s) == q(s) for s in structures)

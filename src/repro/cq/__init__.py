@@ -1,0 +1,79 @@
+"""Conjunctive queries: canonical structures, containment, minimization,
+unions, evaluation engines, and the ``CQ^k`` machinery of Section 7."""
+
+from .conjunctive_query import ConjunctiveQuery, boolean_cq
+from .canonical import (
+    canonical_query,
+    canonical_query_with_tuple,
+    chandra_merlin_check,
+    homomorphism_witness_from_query,
+)
+from .containment import (
+    are_equivalent,
+    containment_mapping,
+    is_contained_in,
+    remove_redundant_disjuncts,
+    ucq_are_equivalent,
+    ucq_is_contained_in,
+)
+from .minimization import is_minimal, minimization_report, minimize
+from .ucq import (
+    UnionOfConjunctiveQueries,
+    ucq_from_formula,
+    ucq_of,
+)
+from .evaluation import (
+    JoinTree,
+    evaluate_naive,
+    evaluate_yannakakis,
+    evaluation_agrees,
+    gyo_reduction,
+    is_acyclic_cq,
+)
+from .treewidth_evaluation import (
+    evaluate_by_tree_decomposition,
+    query_treewidth,
+    query_variable_graph,
+    treewidth_evaluation_agrees,
+)
+from .cqk import (
+    canonical_structure_of_cqk,
+    cqk_treewidth_bound_holds,
+    parse_tree_decomposition,
+    path_sentence_two_variables,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "boolean_cq",
+    "canonical_query",
+    "canonical_query_with_tuple",
+    "chandra_merlin_check",
+    "homomorphism_witness_from_query",
+    "are_equivalent",
+    "containment_mapping",
+    "is_contained_in",
+    "remove_redundant_disjuncts",
+    "ucq_are_equivalent",
+    "ucq_is_contained_in",
+    "is_minimal",
+    "minimization_report",
+    "minimize",
+    "UnionOfConjunctiveQueries",
+    "ucq_from_formula",
+    "ucq_of",
+    "JoinTree",
+    "evaluate_naive",
+    "evaluate_yannakakis",
+    "evaluation_agrees",
+    "gyo_reduction",
+    "is_acyclic_cq",
+    "evaluate_by_tree_decomposition",
+    "query_treewidth",
+    "query_variable_graph",
+    "treewidth_evaluation_agrees",
+    "canonical_structure_of_cqk",
+    "cqk_treewidth_bound_holds",
+    "parse_tree_decomposition",
+    "path_sentence_two_variables",
+]

@@ -1,0 +1,118 @@
+"""Canonical queries of structures and the Chandra–Merlin theorem (Thm 2.1).
+
+Every finite structure ``A`` yields a canonical Boolean conjunctive query
+``φ_A`` (the existential closure of its positive diagram); conversely a
+CQ yields a canonical structure.  Theorem 2.1 ties them together:
+
+1. there is a homomorphism ``A → B``;
+2. ``B ⊨ φ_A``;
+3. ``φ_B`` logically implies ``φ_A``.
+
+:func:`chandra_merlin_check` verifies the three-way equivalence on a
+concrete pair of structures — the unit of experiment E1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..exceptions import ValidationError
+from ..homomorphism.search import find_homomorphism, has_homomorphism
+from ..logic.syntax import Atom, Const, Term, Var
+from ..structures.structure import Element, Structure
+from .conjunctive_query import ConjunctiveQuery
+
+
+def _element_var(index: int) -> str:
+    return f"x{index}"
+
+
+def canonical_query(structure: Structure) -> ConjunctiveQuery:
+    """The canonical Boolean conjunctive query ``φ_A`` of a structure.
+
+    Associates a variable with every element not named by a constant,
+    conjoins all facts, and existentially closes.  Elements named by
+    constants stay as the corresponding constant terms (needed by the
+    Section 6 machinery).
+    """
+    const_names: Dict[Element, str] = {}
+    for cname, value in structure.constants.items():
+        const_names.setdefault(value, cname)
+    var_of: Dict[Element, str] = {}
+    counter = 0
+    for e in structure.universe:
+        if e not in const_names:
+            var_of[e] = _element_var(counter)
+            counter += 1
+
+    def term_of(e: Element) -> Term:
+        if e in const_names:
+            return Const(const_names[e])
+        return Var(var_of[e])
+
+    atoms: List[Atom] = []
+    for name, tup in structure.facts():
+        atoms.append(Atom(name, tuple(term_of(x) for x in tup)))
+    return ConjunctiveQuery(structure.vocabulary, (), tuple(atoms))
+
+
+def canonical_query_with_tuple(
+    structure: Structure, answer: Tuple[Element, ...]
+) -> ConjunctiveQuery:
+    """The canonical query with the elements of ``answer`` as head variables.
+
+    Used for non-Boolean minimal-model machinery: ``(A, ā)`` becomes a
+    query whose head marks ``ā``.
+    """
+    for e in answer:
+        if e not in structure.universe_set:
+            raise ValidationError(f"answer element {e!r} not in structure")
+    var_of = {e: _element_var(i) for i, e in enumerate(structure.universe)}
+    atoms = [
+        Atom(name, tuple(Var(var_of[x]) for x in tup))
+        for name, tup in structure.facts()
+    ]
+    head = tuple(var_of[e] for e in answer)
+    # safety: head elements must occur in some fact
+    active = {x for _, tup in structure.facts() for x in tup}
+    for e in answer:
+        if e not in active:
+            raise ValidationError(
+                f"answer element {e!r} occurs in no fact; "
+                "the canonical query would be unsafe"
+            )
+    return ConjunctiveQuery(structure.vocabulary, head, tuple(atoms))
+
+
+def chandra_merlin_check(a: Structure, b: Structure) -> Dict[str, bool]:
+    """Evaluate the three statements of Theorem 2.1 for ``A``, ``B``.
+
+    Returns the truth value of each statement; the theorem asserts all
+    three agree.
+
+    * ``hom``: a homomorphism ``A → B`` exists (searched directly);
+    * ``models``: ``B ⊨ φ_A`` (canonical-query evaluation);
+    * ``implies``: ``φ_B`` logically implies ``φ_A``, decided via the
+      canonical structure of ``φ_B`` satisfying ``φ_A`` (the classical
+      reduction of CQ implication to evaluation).
+    """
+    phi_a = canonical_query(a)
+    phi_b = canonical_query(b)
+    hom = has_homomorphism(a, b)
+    models = phi_a.holds_in(b)
+    implies = phi_a.holds_in(phi_b.canonical_structure())
+    return {"hom": hom, "models": models, "implies": implies}
+
+
+def homomorphism_witness_from_query(
+    a: Structure, b: Structure
+) -> Dict[Element, Element]:
+    """A homomorphism ``A → B`` extracted via Theorem 2.1, or raises.
+
+    Demonstrates the effective direction of Chandra–Merlin: a satisfying
+    assignment of ``φ_A`` on ``B`` *is* a homomorphism.
+    """
+    hom = find_homomorphism(a, b)
+    if hom is None:
+        raise ValidationError("no homomorphism exists")
+    return hom

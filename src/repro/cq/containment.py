@@ -1,0 +1,97 @@
+"""Containment and equivalence of (unions of) conjunctive queries.
+
+CQ containment (Chandra–Merlin): ``q1 ⊆ q2`` iff there is a containment
+mapping — a homomorphism from the canonical structure of ``q2`` to that
+of ``q1`` fixing the answer variables.
+
+UCQ containment (Sagiv–Yannakakis, used in the proof of Theorem 7.4):
+``∪ q_i ⊆ ∪ p_j`` iff every ``q_i`` is contained in *some* ``p_j``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+from ..homomorphism.search import HomomorphismSearch, find_homomorphism
+from ..structures.structure import Structure
+from .conjunctive_query import ConjunctiveQuery
+
+
+def _head_pinned_structures(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> Tuple[Structure, Structure]:
+    """Frozen canonical structures with matching head constants."""
+    if q1.arity() != q2.arity():
+        raise ValidationError(
+            "containment requires queries of the same arity"
+        )
+    return q2.frozen_structure(), q1.frozen_structure()
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Whether ``q1 ⊆ q2`` (every answer of ``q1`` is one of ``q2``).
+
+    Decided by a homomorphism ``canonical(q2) → canonical(q1)`` mapping
+    ``q2``'s ``i``-th head variable to ``q1``'s (the head constants pin
+    this).  For Boolean queries this is plain homomorphism existence.
+    """
+    source, target = _head_pinned_structures(q1, q2)
+    if source.vocabulary.relations != target.vocabulary.relations:
+        # Queries may use different subsets of constants; align by merging
+        # into a shared vocabulary through their defining relation set.
+        raise ValidationError("queries must share a vocabulary")
+    return HomomorphismSearch(source, target).first() is not None
+
+
+def containment_mapping(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> Optional[dict]:
+    """The containment mapping witnessing ``q1 ⊆ q2``, or ``None``."""
+    source, target = _head_pinned_structures(q1, q2)
+    return HomomorphismSearch(source, target).first()
+
+
+def are_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Whether the queries are logically equivalent (mutual containment)."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+
+def ucq_is_contained_in(
+    union1: Sequence[ConjunctiveQuery], union2: Sequence[ConjunctiveQuery]
+) -> bool:
+    """Sagiv–Yannakakis: ``∪ union1 ⊆ ∪ union2`` iff each disjunct of
+    ``union1`` is contained in some disjunct of ``union2``.
+
+    The empty union is the always-false query, contained in everything.
+    """
+    return all(
+        any(is_contained_in(q, p) for p in union2) for q in union1
+    )
+
+
+def ucq_are_equivalent(
+    union1: Sequence[ConjunctiveQuery], union2: Sequence[ConjunctiveQuery]
+) -> bool:
+    """Logical equivalence of two unions of conjunctive queries."""
+    return ucq_is_contained_in(union1, union2) and ucq_is_contained_in(
+        union2, union1
+    )
+
+
+def remove_redundant_disjuncts(
+    union: Sequence[ConjunctiveQuery],
+) -> List[ConjunctiveQuery]:
+    """Drop disjuncts contained in another disjunct (UCQ minimization).
+
+    Keeps the first representative of each mutual-containment class, in
+    input order; the result is equivalent to the input union.
+    """
+    kept: List[ConjunctiveQuery] = []
+    for q in union:
+        subsumed = any(is_contained_in(q, p) for p in kept)
+        if subsumed:
+            continue
+        kept = [p for p in kept if not is_contained_in(p, q)]
+        kept.append(q)
+    return kept

@@ -1,0 +1,202 @@
+"""``CQ^k``: conjunctive queries with ``k`` reusable variables (Section 7.1).
+
+``CQ^k`` formulas reuse at most ``k`` variable names (requantifying them),
+yet can express properties of unbounded size — e.g. "there is a directed
+path of length ``n``" with 2 variables.  Lemma 7.2: every ``CQ^k``
+*sentence* is equivalent to the canonical query of a structure of
+treewidth ``< k``; the parse-tree of the sentence *is* a width ``< k``
+tree decomposition of that structure.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..exceptions import UnsupportedFragmentError, ValidationError
+from ..graphtheory.graphs import Graph
+from ..graphtheory.tree_decomposition import TreeDecomposition
+from ..logic.fragments import distinct_variable_count, is_cq_formula
+from ..logic.normalform import standardize_apart
+from ..logic.syntax import (
+    And,
+    Atom,
+    Const,
+    Equal,
+    Exists,
+    Formula,
+    Top,
+    Var,
+    atom as make_atom,
+)
+from ..structures.structure import Structure
+from ..structures.vocabulary import GRAPH_VOCABULARY, Vocabulary
+from .conjunctive_query import ConjunctiveQuery
+
+
+def path_sentence_two_variables(length: int) -> Formula:
+    """The ``CQ^2`` sentence "there is a directed path of length ``length``".
+
+    Section 7.1's running example: with variables ``x1, x2`` requantified
+    alternately, ``ψ_n`` asserts an ``E``-path with ``length`` edges using
+    only two distinct variable names.
+    """
+    if length < 1:
+        raise ValidationError("path length must be >= 1")
+    names = ("x1", "x2")
+
+    def build(step: int) -> Formula:
+        source = names[step % 2]
+        target = names[(step + 1) % 2]
+        edge = make_atom("E", source, target)
+        if step == length - 1:
+            return edge
+        # Re-quantify the *source* name: it becomes the endpoint of the
+        # next edge (the paper's ∃x1(E(x2,x1) ∧ ∃x2 E(x1,x2)) pattern).
+        return And.of(edge, Exists(source, build(step + 1)))
+
+    # In the paper's example both outer variables are quantified up front.
+    return Exists(names[0], Exists(names[1], _shift_inner(build(0))))
+
+
+def _shift_inner(f: Formula) -> Formula:
+    return f
+
+
+def canonical_structure_of_cqk(formula: Formula) -> Structure:
+    """Lemma 7.2's structure ``D`` with ``φ_D ≡ φ`` and treewidth ``< k``.
+
+    Renames quantifiers apart and pulls them out (the proof's rewriting),
+    then reads the canonical structure off the prenex conjunction.
+    Sentences only.
+    """
+    if formula.free_variables():
+        raise ValidationError("Lemma 7.2 applies to sentences")
+    if not is_cq_formula(formula, allow_equality=False):
+        raise UnsupportedFragmentError("formula is not CQ-shaped")
+    vocabulary = _infer_vocabulary(formula)
+    cq = ConjunctiveQuery.from_formula(formula, vocabulary)
+    return cq.canonical_structure()
+
+
+def _infer_vocabulary(formula: Formula) -> Vocabulary:
+    relations: Dict[str, int] = {}
+    constants: List[str] = []
+    for sub in formula.subformulas():
+        if isinstance(sub, Atom):
+            arity = len(sub.terms)
+            if relations.setdefault(sub.relation, arity) != arity:
+                raise ValidationError(
+                    f"relation {sub.relation!r} used with two arities"
+                )
+            for t in sub.terms:
+                if isinstance(t, Const) and t.name not in constants:
+                    constants.append(t.name)
+    return Vocabulary(relations, constants)
+
+
+def parse_tree_decomposition(
+    formula: Formula,
+) -> Tuple[Structure, TreeDecomposition]:
+    """The canonical structure *and* the width ``< k`` decomposition from
+    Lemma 7.2's proof.
+
+    After standardizing apart, each subformula of the renamed sentence is
+    a node of the parse tree, labelled by its free variables (at most
+    ``k`` of them since the original had ``k`` names in total).  Leaf
+    atoms put each fact inside a bag, and each variable's occurrences
+    form a connected subtree — a tree decomposition of the canonical
+    structure of width at most ``k - 1``.
+    """
+    if formula.free_variables():
+        raise ValidationError("Lemma 7.2 applies to sentences")
+    if not is_cq_formula(formula, allow_equality=False):
+        raise UnsupportedFragmentError("formula is not CQ-shaped")
+    renamed = standardize_apart(formula)
+
+    node_ids = count()
+    bags: Dict[Hashable, frozenset] = {}
+    edges: List[Tuple[Hashable, Hashable]] = []
+
+    def walk(f: Formula) -> Hashable:
+        node = next(node_ids)
+        free = f.free_variables()
+        if isinstance(f, Exists):
+            # Include the bound variable so even a vacuous quantifier's
+            # element is covered; |free(body) ∪ {var}| <= k because every
+            # name is one of the original formula's <= k names.
+            free = f.body.free_variables() | {f.var}
+        bags[node] = frozenset(("var", v) for v in free)
+        if isinstance(f, Exists):
+            child = walk(f.body)
+            edges.append((node, child))
+        elif isinstance(f, And):
+            for g in f.operands:
+                child = walk(g)
+                edges.append((node, child))
+        elif isinstance(f, (Atom, Top)):
+            pass
+        else:  # pragma: no cover - excluded by the fragment check
+            raise UnsupportedFragmentError(f"unexpected node {f!r}")
+        return node
+
+    root = walk(renamed)
+    vocabulary = _infer_vocabulary(formula)
+    cq = ConjunctiveQuery.from_formula(formula, vocabulary)
+    structure = cq.canonical_structure()
+
+    # Bags may be empty (e.g. the root sentence); the TreeDecomposition
+    # type requires non-empty bags, so pad empties with an arbitrary
+    # element when the structure is non-empty.
+    if structure.universe:
+        filler = structure.universe[0]
+        bags = {
+            n: (b if b else frozenset([filler])) for n, b in bags.items()
+        }
+        # Padding must not break connectedness: attach filler-padded nodes
+        # only if the filler's occurrences stay connected.  Padded nodes are
+        # the root chain above the first quantifier, whose child contains
+        # the outermost variable — use that child's representative instead.
+        bags = _fix_padding(bags, edges, root, structure)
+    tree = Graph(list(bags), edges)
+    decomposition = TreeDecomposition(tree, bags)
+    return structure, decomposition
+
+
+def _fix_padding(bags, edges, root, structure):
+    """Replace empty-bag padding by the nearest descendant's element."""
+    children: Dict[Hashable, List[Hashable]] = {}
+    for a, b in edges:
+        children.setdefault(a, []).append(b)
+
+    def first_nonempty(node):
+        bag = bags[node]
+        real = {e for e in bag if e in structure.universe_set}
+        if real:
+            return next(iter(sorted(real, key=repr)))
+        for c in children.get(node, ()):
+            found = first_nonempty(c)
+            if found is not None:
+                return found
+        return None
+
+    fixed = {}
+    for node, bag in bags.items():
+        real = frozenset(e for e in bag if e in structure.universe_set)
+        if real:
+            fixed[node] = real
+        else:
+            rep = first_nonempty(node)
+            fixed[node] = frozenset([rep if rep is not None
+                                     else structure.universe[0]])
+    return fixed
+
+
+def cqk_treewidth_bound_holds(formula: Formula, limit: int = 40) -> bool:
+    """Check Lemma 7.2 on a concrete sentence: canonical structure
+    treewidth ``< k`` where ``k`` is the number of distinct variables."""
+    from ..structures.gaifman import structure_treewidth
+
+    k = distinct_variable_count(formula)
+    structure = canonical_structure_of_cqk(formula)
+    return structure_treewidth(structure, limit) < max(k, 1)

@@ -1,0 +1,266 @@
+"""Join-based CQ evaluation: naive joins, GYO acyclicity, Yannakakis.
+
+The default CQ evaluation (:meth:`ConjunctiveQuery.evaluate`) goes
+through the homomorphism solver.  This module provides the classical
+database-style alternatives, used both as an independent oracle in tests
+and to exercise the acyclic/bounded-treewidth tractability results the
+paper cites (Section 1: query evaluation is polynomial on bounded
+treewidth [Dechter–Pearl, Grohe et al.]):
+
+* :func:`evaluate_naive` — left-deep nested-loop join over the atoms;
+* :func:`gyo_reduction` / :func:`is_acyclic_cq` — GYO ear removal,
+  producing a join tree when the query hypergraph is α-acyclic;
+* :func:`evaluate_yannakakis` — semijoin program over the join tree
+  (polynomial for acyclic queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import UnsupportedFragmentError, ValidationError
+from ..logic.syntax import Atom, Const, Var
+from ..structures.structure import Element, Structure
+from .conjunctive_query import ConjunctiveQuery
+
+Row = Dict[str, Element]
+
+
+def _atom_rows(atom: Atom, structure: Structure) -> List[Row]:
+    """The variable bindings produced by one atom against the structure."""
+    rows: List[Row] = []
+    for tup in structure.relation(atom.relation):
+        binding: Optional[Row] = {}
+        for term, value in zip(atom.terms, tup):
+            if isinstance(term, Const):
+                if structure.constant(term.name) != value:
+                    binding = None
+                    break
+            else:
+                prior = binding.get(term.name)
+                if prior is not None and prior != value:
+                    binding = None
+                    break
+                binding[term.name] = value
+        if binding is not None:
+            rows.append(binding)
+    return rows
+
+
+def _join(left: List[Row], right: List[Row]) -> List[Row]:
+    """Natural join of two binding lists (hash join on shared variables)."""
+    if not left or not right:
+        return []
+    shared = sorted(set(left[0]) & set(right[0])) if left and right else []
+    # build hash on the smaller side
+    if len(right) < len(left):
+        left, right = right, left
+    index: Dict[Tuple, List[Row]] = {}
+    for row in left:
+        key = tuple(row.get(v) for v in shared)
+        index.setdefault(key, []).append(row)
+    out: List[Row] = []
+    for row in right:
+        key = tuple(row.get(v) for v in shared)
+        for match in index.get(key, ()):
+            merged = dict(match)
+            merged.update(row)
+            out.append(merged)
+    return out
+
+
+def _semijoin(left: List[Row], right: List[Row]) -> List[Row]:
+    """Rows of ``left`` that join with at least one row of ``right``."""
+    if not left:
+        return []
+    shared = sorted(set(left[0]) & (set(right[0]) if right else set()))
+    if not shared:
+        return list(left) if right else []
+    keys = {tuple(row[v] for v in shared) for row in right}
+    return [row for row in left if tuple(row[v] for v in shared) in keys]
+
+
+def evaluate_naive(
+    query: ConjunctiveQuery, structure: Structure
+) -> Set[Tuple[Element, ...]]:
+    """Left-deep join over the body atoms, then project onto the head.
+
+    Joins are reordered greedily to maximize shared variables with the
+    accumulated result (a classic heuristic).
+    """
+    if not query.body:
+        return {()} if query.is_boolean() else set()
+    remaining = list(query.body)
+    # start from the smallest relation
+    remaining.sort(key=lambda a: len(structure.relation(a.relation)))
+    current = _atom_rows(remaining.pop(0), structure)
+    bound: Set[str] = set(current[0]) if current else set()
+    while remaining:
+        remaining.sort(
+            key=lambda a: -len(
+                bound & {t.name for t in a.terms if isinstance(t, Var)}
+            )
+        )
+        nxt = remaining.pop(0)
+        current = _join(current, _atom_rows(nxt, structure))
+        if not current:
+            return set()
+        bound |= {t.name for t in nxt.terms if isinstance(t, Var)}
+    if query.is_boolean():
+        return {()} if current else set()
+    return {tuple(row[h] for h in query.head) for row in current}
+
+
+# ----------------------------------------------------------------------
+# GYO reduction and join trees
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinTree:
+    """A join tree: one node per atom index, with parent pointers.
+
+    ``parent[i]`` is the parent atom index (roots map to ``None``); the
+    running intersection property holds by GYO construction.
+    """
+
+    atoms: Tuple[Atom, ...]
+    parent: Tuple[Optional[int], ...]
+
+    def children(self) -> Dict[int, List[int]]:
+        """Child lists per node."""
+        out: Dict[int, List[int]] = {i: [] for i in range(len(self.atoms))}
+        for i, p in enumerate(self.parent):
+            if p is not None:
+                out[p].append(i)
+        return out
+
+    def roots(self) -> List[int]:
+        """Indices with no parent."""
+        return [i for i, p in enumerate(self.parent) if p is None]
+
+
+def _atom_vars(atom: Atom) -> FrozenSet[str]:
+    return frozenset(t.name for t in atom.terms if isinstance(t, Var))
+
+
+def gyo_reduction(query: ConjunctiveQuery) -> Optional[JoinTree]:
+    """GYO ear removal; a join tree if the query is α-acyclic, else ``None``.
+
+    An *ear* is an atom whose variables are exclusive to it except for a
+    subset covered by a single other atom (its witness/parent).
+    """
+    atoms = tuple(query.body)
+    alive = set(range(len(atoms)))
+    parent: List[Optional[int]] = [None] * len(atoms)
+    removed_order: List[int] = []
+    changed = True
+    while changed and len(alive) > 1:
+        changed = False
+        for i in sorted(alive):
+            vars_i = _atom_vars(atoms[i])
+            others = alive - {i}
+            # variables shared with any other alive atom
+            shared = frozenset(
+                v
+                for v in vars_i
+                if any(v in _atom_vars(atoms[j]) for j in others)
+            )
+            witness = next(
+                (j for j in sorted(others) if shared <= _atom_vars(atoms[j])),
+                None,
+            )
+            if witness is not None:
+                parent[i] = witness
+                alive.remove(i)
+                removed_order.append(i)
+                changed = True
+                break
+    if len(alive) > 1:
+        return None
+    return JoinTree(atoms, tuple(parent))
+
+
+def is_acyclic_cq(query: ConjunctiveQuery) -> bool:
+    """Whether the query hypergraph is α-acyclic (GYO succeeds)."""
+    if not query.body:
+        return True
+    return gyo_reduction(query) is not None
+
+
+def evaluate_yannakakis(
+    query: ConjunctiveQuery, structure: Structure
+) -> Set[Tuple[Element, ...]]:
+    """Yannakakis' algorithm for acyclic CQs.
+
+    Bottom-up then top-down semijoin passes over the join tree, then joins
+    along the tree.  Raises
+    :class:`~repro.exceptions.UnsupportedFragmentError` for cyclic queries.
+    """
+    if not query.body:
+        return {()} if query.is_boolean() else set()
+    tree = gyo_reduction(query)
+    if tree is None:
+        raise UnsupportedFragmentError(
+            "query is not acyclic; use evaluate_naive"
+        )
+    n = len(tree.atoms)
+    rows: List[List[Row]] = [
+        _atom_rows(atom, structure) for atom in tree.atoms
+    ]
+    children = tree.children()
+    # bottom-up order: process children before parents
+    order: List[int] = []
+    visited: Set[int] = set()
+
+    def visit(i: int) -> None:
+        if i in visited:
+            return
+        visited.add(i)
+        for c in children[i]:
+            visit(c)
+        order.append(i)
+
+    for root in tree.roots():
+        visit(root)
+    # bottom-up semijoins
+    for i in order:
+        for c in children[i]:
+            rows[i] = _semijoin(rows[i], rows[c])
+        if not rows[i]:
+            return set()
+    # top-down semijoins
+    for i in reversed(order):
+        for c in children[i]:
+            rows[c] = _semijoin(rows[c], rows[i])
+    # final join bottom-up
+    joined: List[Row] = []
+    materialized: Dict[int, List[Row]] = {}
+    for i in order:
+        acc = rows[i]
+        for c in children[i]:
+            acc = _join(acc, materialized[c])
+        materialized[i] = acc
+    roots = tree.roots()
+    acc = materialized[roots[0]]
+    for r in roots[1:]:
+        acc = _join(acc, materialized[r])
+    if query.is_boolean():
+        return {()} if acc else set()
+    return {tuple(row[h] for h in query.head) for row in acc}
+
+
+def evaluation_agrees(
+    query: ConjunctiveQuery, structure: Structure
+) -> bool:
+    """Cross-check of the three evaluation engines on one input.
+
+    Compares the homomorphism-based evaluator with the naive join and,
+    when the query is acyclic, Yannakakis.  Used by property tests.
+    """
+    reference = query.evaluate(structure)
+    if evaluate_naive(query, structure) != reference:
+        return False
+    if is_acyclic_cq(query):
+        if evaluate_yannakakis(query, structure) != reference:
+            return False
+    return True

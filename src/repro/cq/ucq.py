@@ -1,0 +1,119 @@
+"""Unions of conjunctive queries (SPJU queries, Section 1).
+
+A UCQ is a finite disjunction of conjunctive queries of the same arity.
+This is the syntactic class the homomorphism-preservation theorem
+produces: the rewriting pipeline of :mod:`repro.core` emits
+:class:`UnionOfConjunctiveQueries` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from ..exceptions import UnsupportedFragmentError, ValidationError
+from ..logic.fragments import is_existential_positive
+from ..logic.normalform import existential_positive_to_disjuncts
+from ..logic.syntax import Bottom, Formula, Or
+from ..structures.structure import Element, Structure
+from ..structures.vocabulary import Vocabulary
+from .conjunctive_query import ConjunctiveQuery, _disjunct_to_cq
+from .containment import (
+    remove_redundant_disjuncts,
+    ucq_are_equivalent,
+    ucq_is_contained_in,
+)
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A finite union of same-arity conjunctive queries.
+
+    The empty union is the always-false query (of the given arity).
+    """
+
+    vocabulary: Vocabulary
+    arity: int
+    disjuncts: Tuple[ConjunctiveQuery, ...]
+
+    def __post_init__(self) -> None:
+        for q in self.disjuncts:
+            if q.vocabulary != self.vocabulary:
+                raise ValidationError("disjunct vocabulary mismatch")
+            if q.arity() != self.arity:
+                raise ValidationError(
+                    f"disjunct arity {q.arity()} != union arity {self.arity}"
+                )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, structure: Structure) -> Set[Tuple[Element, ...]]:
+        """The union of the disjuncts' answer sets."""
+        answers: Set[Tuple[Element, ...]] = set()
+        for q in self.disjuncts:
+            answers |= q.evaluate(structure)
+        return answers
+
+    def holds_in(self, structure: Structure) -> bool:
+        """Boolean satisfaction (some disjunct holds)."""
+        return any(q.holds_in(structure) for q in self.disjuncts)
+
+    def to_formula(self) -> Formula:
+        """The defining existential-positive formula."""
+        if not self.disjuncts:
+            return Bottom()
+        return Or.of(*[q.to_formula() for q in self.disjuncts])
+
+    def minimized(self) -> "UnionOfConjunctiveQueries":
+        """An equivalent union without redundant disjuncts."""
+        kept = remove_redundant_disjuncts(self.disjuncts)
+        return UnionOfConjunctiveQueries(
+            self.vocabulary, self.arity, tuple(kept)
+        )
+
+    def is_contained_in(self, other: "UnionOfConjunctiveQueries") -> bool:
+        """Sagiv–Yannakakis containment."""
+        return ucq_is_contained_in(self.disjuncts, other.disjuncts)
+
+    def is_equivalent_to(self, other: "UnionOfConjunctiveQueries") -> bool:
+        """Logical equivalence of unions."""
+        return ucq_are_equivalent(self.disjuncts, other.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __str__(self) -> str:
+        if not self.disjuncts:
+            return "false"
+        return "\n  UNION ".join(str(q) for q in self.disjuncts)
+
+
+def ucq_from_formula(
+    formula: Formula, vocabulary: Vocabulary
+) -> UnionOfConjunctiveQueries:
+    """Rewrite an existential-positive formula into a UCQ.
+
+    Section 1's normal form: distribute ``∧``/``∃`` over ``∨``; eliminate
+    equalities by substitution.  Raises
+    :class:`~repro.exceptions.UnsupportedFragmentError` outside EP.
+    """
+    if not is_existential_positive(formula):
+        raise UnsupportedFragmentError("formula is not existential-positive")
+    head = tuple(sorted(formula.free_variables()))
+    cqs: List[ConjunctiveQuery] = []
+    for d in existential_positive_to_disjuncts(formula):
+        try:
+            cqs.append(_disjunct_to_cq(d, head, vocabulary))
+        except UnsupportedFragmentError:
+            raise
+    return UnionOfConjunctiveQueries(vocabulary, len(head), tuple(cqs))
+
+
+def ucq_of(queries: Iterable[ConjunctiveQuery]) -> UnionOfConjunctiveQueries:
+    """Package CQs (same vocabulary and arity) into a UCQ."""
+    qs = tuple(queries)
+    if not qs:
+        raise ValidationError(
+            "cannot infer vocabulary/arity from an empty iterable; "
+            "construct UnionOfConjunctiveQueries directly"
+        )
+    return UnionOfConjunctiveQueries(qs[0].vocabulary, qs[0].arity(), qs)

@@ -1,0 +1,38 @@
+"""Data exchange: schema mappings, the chase, and core solutions.
+
+The application of cores the paper's introduction cites
+[Fagin–Kolaitis–Popa 2003], built on the library's own substrate:
+st-tgds and the chase produce the canonical universal solution, and
+:func:`core_solution` extracts the smallest universal solution via
+:func:`repro.homomorphism.cores.compute_core`.
+"""
+
+from .tgds import (
+    SchemaMapping,
+    SourceToTargetTGD,
+    parse_mapping,
+    parse_tgd,
+)
+from .chase import (
+    CoreSolutionReport,
+    chase,
+    core_solution,
+    is_null,
+    is_solution,
+    is_universal_solution,
+    solution_homomorphism,
+)
+
+__all__ = [
+    "SchemaMapping",
+    "SourceToTargetTGD",
+    "parse_mapping",
+    "parse_tgd",
+    "CoreSolutionReport",
+    "chase",
+    "core_solution",
+    "is_null",
+    "is_solution",
+    "is_universal_solution",
+    "solution_homomorphism",
+]

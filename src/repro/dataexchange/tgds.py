@@ -1,0 +1,142 @@
+"""Source-to-target tuple-generating dependencies (data exchange).
+
+The paper's introduction cites cores' "more recent" application in data
+exchange [Fagin–Kolaitis–Popa 2003]: schema mappings are given by
+source-to-target TGDs
+
+    ∀x̄ ( φ(x̄) → ∃ȳ ψ(x̄, ȳ) )
+
+with ``φ`` a conjunction of source atoms and ``ψ`` of target atoms.  The
+chase materializes a *universal solution*; its **core** (computed by
+:mod:`repro.homomorphism.cores`) is the smallest universal solution.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ValidationError
+from ..logic.syntax import Atom, Var
+from ..structures.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class SourceToTargetTGD:
+    """One st-tgd: source body, target head, existential variables.
+
+    Every head variable is either a body (universal) variable or listed
+    in ``existential``; body variables are universally quantified.
+    """
+
+    body: Tuple[Atom, ...]
+    head: Tuple[Atom, ...]
+    existential: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body or not self.head:
+            raise ValidationError("a TGD needs a body and a head")
+        body_vars = {
+            t.name for a in self.body for t in a.terms if isinstance(t, Var)
+        }
+        exist = set(self.existential)
+        if exist & body_vars:
+            raise ValidationError(
+                "existential variables must not occur in the body"
+            )
+        for atom in self.head:
+            for term in atom.terms:
+                if isinstance(term, Var) and term.name not in body_vars \
+                        and term.name not in exist:
+                    raise ValidationError(
+                        f"head variable {term.name!r} is neither universal "
+                        "nor existential"
+                    )
+
+    def universal_variables(self) -> Tuple[str, ...]:
+        """The body variables, sorted."""
+        return tuple(sorted({
+            t.name for a in self.body for t in a.terms if isinstance(t, Var)
+        }))
+
+    def __str__(self) -> str:
+        body = " & ".join(str(a) for a in self.body)
+        head = " & ".join(str(a) for a in self.head)
+        prefix = (f"exists {', '.join(self.existential)}. "
+                  if self.existential else "")
+        return f"{body} -> {prefix}{head}"
+
+
+@dataclass(frozen=True)
+class SchemaMapping:
+    """A data-exchange setting: source schema, target schema, st-tgds."""
+
+    source_vocabulary: Vocabulary
+    target_vocabulary: Vocabulary
+    tgds: Tuple[SourceToTargetTGD, ...]
+
+    def __post_init__(self) -> None:
+        shared = set(self.source_vocabulary.relation_names) & set(
+            self.target_vocabulary.relation_names
+        )
+        if shared:
+            raise ValidationError(
+                f"source and target schemas must be disjoint (shared: "
+                f"{sorted(shared)})"
+            )
+        for tgd in self.tgds:
+            for atom in tgd.body:
+                if not self.source_vocabulary.has_relation(atom.relation):
+                    raise ValidationError(
+                        f"body atom {atom} is not over the source schema"
+                    )
+            for atom in tgd.head:
+                if not self.target_vocabulary.has_relation(atom.relation):
+                    raise ValidationError(
+                        f"head atom {atom} is not over the target schema"
+                    )
+
+
+_ARROW_RE = re.compile(r"^\s*(.+?)\s*->\s*(.+?)\s*\.?\s*$")
+_EXISTS_RE = re.compile(r"^exists\s+([A-Za-z_0-9,\s]+?)\.\s*(.+)$")
+
+
+def parse_tgd(text: str) -> SourceToTargetTGD:
+    """Parse ``E(x, y) -> exists z. F(x, z) & F(z, y).``"""
+    from ..datalog.program import _parse_atom
+
+    match = _ARROW_RE.match(text)
+    if match is None:
+        raise ValidationError(f"cannot parse TGD {text!r}")
+    body_text, head_text = match.groups()
+    existential: Tuple[str, ...] = ()
+    exists_match = _EXISTS_RE.match(head_text)
+    if exists_match:
+        names, head_text = exists_match.groups()
+        existential = tuple(
+            n.strip() for n in names.replace(",", " ").split() if n.strip()
+        )
+    body = tuple(
+        _parse_atom(part.strip(), None)
+        for part in body_text.split("&")
+    )
+    head = tuple(
+        _parse_atom(part.strip(), None)
+        for part in head_text.split("&")
+    )
+    return SourceToTargetTGD(body, head, existential)
+
+
+def parse_mapping(
+    text: str,
+    source_vocabulary: Vocabulary,
+    target_vocabulary: Vocabulary,
+) -> SchemaMapping:
+    """Parse a whole mapping, one TGD per non-empty line."""
+    tgds = [
+        parse_tgd(line.strip())
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith(("%", "#"))
+    ]
+    return SchemaMapping(source_vocabulary, target_vocabulary, tuple(tgds))

@@ -1,0 +1,110 @@
+"""Datalog boundedness (Theorem 7.5, Ajtai–Gurevich).
+
+A program is *bounded* when the fixed point is always reached within a
+uniform number of rounds.  Equivalently (for the stage UCQs of
+Theorem 7.1): some stage ``s`` satisfies ``Φ^{s+1} ≡ Φ^s`` as unions of
+conjunctive queries — and by monotonicity all later stages collapse too.
+The Ajtai–Gurevich theorem says boundedness coincides with first-order
+definability of the program's query.
+
+Boundedness is undecidable in general; this module provides a sound
+*certificate* search up to a stage cap (each certificate is an actual
+proof, via Sagiv–Yannakakis containment), and empirical *unboundedness
+evidence* (stage counts growing with a witness family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..cq.ucq import UnionOfConjunctiveQueries
+from ..structures.structure import Structure
+from .evaluation import evaluate_naive
+from .program import DatalogProgram
+from .stages import DEFAULT_STAGE_BUDGET, stage_ucqs
+
+
+@dataclass(frozen=True)
+class BoundednessCertificate:
+    """A verified proof that a program (for one IDB) is bounded.
+
+    ``stage`` is the collapse point: ``Φ^{stage+1} ≡ Φ^stage``; the UCQ
+    ``query`` (the stage-``stage`` union) defines the program's query on
+    all finite structures.
+    """
+
+    predicate: str
+    stage: int
+    query: UnionOfConjunctiveQueries
+
+
+def find_boundedness_certificate(
+    program: DatalogProgram,
+    predicate: str,
+    max_stage: int = 8,
+    budget: int = DEFAULT_STAGE_BUDGET,
+) -> Optional[BoundednessCertificate]:
+    """Search for a stage collapse ``Φ^{s+1} ≡ Φ^s`` with ``s <= max_stage``.
+
+    Returns a certificate (sound: the equivalence is *decided*, not
+    sampled) or ``None`` if no collapse happens within the cap — which is
+    evidence of, but not a proof of, unboundedness.
+    """
+    stages = stage_ucqs(program, max_stage + 1, budget)
+    for s in range(max_stage + 1):
+        current = stages[s][predicate]
+        following = stages[s + 1][predicate]
+        if following.is_equivalent_to(current):
+            return BoundednessCertificate(predicate, s, current)
+    return None
+
+
+def is_bounded_up_to(
+    program: DatalogProgram,
+    predicate: str,
+    max_stage: int = 8,
+    budget: int = DEFAULT_STAGE_BUDGET,
+) -> bool:
+    """Boolean form of :func:`find_boundedness_certificate`."""
+    return (
+        find_boundedness_certificate(program, predicate, max_stage, budget)
+        is not None
+    )
+
+
+def rounds_to_fixpoint(
+    program: DatalogProgram, structure: Structure
+) -> int:
+    """The number of naive rounds until the fixed point on one structure."""
+    return evaluate_naive(program, structure).rounds
+
+
+def unboundedness_evidence(
+    program: DatalogProgram,
+    family: Callable[[int], Structure],
+    sizes: Sequence[int],
+) -> List[int]:
+    """Rounds-to-fixpoint along a witness family.
+
+    A strictly increasing sequence witnesses that no uniform stage bound
+    works *for these instances* — the observable shape of unboundedness
+    (e.g. transitive closure on growing paths).
+    """
+    return [rounds_to_fixpoint(program, family(n)) for n in sizes]
+
+
+def certificate_defines_query(
+    certificate: BoundednessCertificate,
+    program: DatalogProgram,
+    structures: Sequence[Structure],
+) -> bool:
+    """Cross-check a certificate: on each structure, the certificate UCQ
+    evaluates exactly to the program's least-fixed-point query."""
+    for s in structures:
+        fixpoint = evaluate_naive(program, s)
+        if certificate.query.evaluate(s) != set(
+            fixpoint.relations[certificate.predicate]
+        ):
+            return False
+    return True

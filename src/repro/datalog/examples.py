@@ -1,0 +1,103 @@
+"""Example Datalog programs used throughout the experiments.
+
+Includes the paper's transitive-closure program (Section 2.3), bounded
+variants (witnesses for Theorem 7.5's easy direction), and classical
+unbounded programs (same-generation).
+"""
+
+from __future__ import annotations
+
+from ..structures.vocabulary import GRAPH_VOCABULARY, Vocabulary
+from .program import DatalogProgram, parse_program
+
+
+def transitive_closure_program() -> DatalogProgram:
+    """The paper's 3-Datalog transitive-closure program (Section 2.3).
+
+    Unbounded: reaching distance ``n`` needs ``n`` rounds.
+    """
+    return parse_program(
+        """
+        T(x, y) <- E(x, y).
+        T(x, y) <- E(x, z), T(z, y).
+        """,
+        GRAPH_VOCABULARY,
+    )
+
+
+def nonlinear_transitive_closure_program() -> DatalogProgram:
+    """Non-linear TC: doubling recursion (fixpoint in ~log n rounds)."""
+    return parse_program(
+        """
+        T(x, y) <- E(x, y).
+        T(x, y) <- T(x, z), T(z, y).
+        """,
+        GRAPH_VOCABULARY,
+    )
+
+
+def bounded_two_step_program() -> DatalogProgram:
+    """A non-recursive (hence bounded) program: pairs joined by a path of
+    length one or two.  Stages collapse at 1."""
+    return parse_program(
+        """
+        R(x, y) <- E(x, y).
+        R(x, y) <- E(x, z), E(z, y).
+        """,
+        GRAPH_VOCABULARY,
+    )
+
+
+def bounded_recursive_program() -> DatalogProgram:
+    """A *recursive but bounded* program (the interesting case of
+    Theorem 7.5): the recursion adds nothing because the recursive rule's
+    unfolding is subsumed by the base rule.
+
+    ``P(x, y) <- E(x, y), E(y, x)`` seeds symmetric pairs;
+    ``P(x, y) <- P(y, x)`` is recursive, but symmetric-pair-ness is
+    already symmetric, so ``Φ^3 = Φ^2``.
+    """
+    return parse_program(
+        """
+        P(x, y) <- E(x, y), E(y, x).
+        P(x, y) <- P(y, x).
+        """,
+        GRAPH_VOCABULARY,
+    )
+
+
+def same_generation_program() -> DatalogProgram:
+    """Same-generation over a parent relation (classic unbounded program)."""
+    vocab = Vocabulary({"Par": 2})
+    return parse_program(
+        """
+        SG(x, y) <- Par(x, z), Par(y, z).
+        SG(x, y) <- Par(x, u), SG(u, v), Par(y, v).
+        """,
+        vocab,
+    )
+
+
+def reach_from_source_program() -> DatalogProgram:
+    """Reachability from a marked source (unary ``S``)."""
+    vocab = Vocabulary({"E": 2, "S": 1})
+    return parse_program(
+        """
+        Reach(x) <- S(x).
+        Reach(y) <- Reach(x), E(x, y).
+        """,
+        vocab,
+    )
+
+
+def path_up_to_length_program(k: int) -> DatalogProgram:
+    """A non-recursive (hence trivially bounded) program: pairs joined by a
+    path of length ``1..k``, one rule per length."""
+    lines = ["P(x0, x1) <- E(x0, x1)."]
+    for length in range(2, k + 1):
+        vars_ = [f"x{i}" for i in range(length + 1)]
+        body = ", ".join(
+            f"E({vars_[i]}, {vars_[i+1]})" for i in range(length)
+        )
+        lines.append(f"P({vars_[0]}, {vars_[length]}) <- {body}.")
+    return parse_program("\n".join(lines), GRAPH_VOCABULARY)

@@ -1,0 +1,228 @@
+"""Datalog programs (Section 2.3).
+
+A Datalog program is a finite set of rules ``T0 ← T1, ..., Tm`` over
+relational atoms.  Head predicates are the intensional database (IDB);
+the rest are extensional (EDB).  ``k``-Datalog bounds the total number
+of distinct variables used across the program (the paper's example
+transitive-closure program is 3-Datalog).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ValidationError
+from ..logic.syntax import Atom, Const, Term, Var
+from ..structures.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Datalog rule ``head ← body``.
+
+    All head variables must occur in the body (safety).  The body may be
+    empty only if the head is variable-free (a ground fact rule).
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        body_vars = {
+            t.name for a in self.body for t in a.terms if isinstance(t, Var)
+        }
+        head_vars = {t.name for t in self.head.terms if isinstance(t, Var)}
+        unsafe = head_vars - body_vars
+        if unsafe:
+            raise ValidationError(
+                f"unsafe rule: head variables {sorted(unsafe)} not in body"
+            )
+
+    def variables(self) -> FrozenSet[str]:
+        """All distinct variable names in the rule."""
+        out: Set[str] = set()
+        for a in (self.head,) + self.body:
+            out.update(t.name for t in a.terms if isinstance(t, Var))
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.head} <- {body}" if body else f"{self.head} <-"
+
+
+class DatalogProgram:
+    """An immutable Datalog program.
+
+    Parameters
+    ----------
+    rules:
+        The program rules.
+    edb_vocabulary:
+        The extensional vocabulary.  IDB predicates are inferred from the
+        rule heads; EDB atoms must match the vocabulary's arities.
+    """
+
+    def __init__(self, rules: Sequence[Rule], edb_vocabulary: Vocabulary) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self.edb_vocabulary = edb_vocabulary
+        if not self.rules:
+            raise ValidationError("a Datalog program needs at least one rule")
+
+        idb_arity: Dict[str, int] = {}
+        for rule in self.rules:
+            name = rule.head.relation
+            arity = len(rule.head.terms)
+            if edb_vocabulary.has_relation(name):
+                raise ValidationError(
+                    f"head predicate {name!r} collides with an EDB relation"
+                )
+            if idb_arity.setdefault(name, arity) != arity:
+                raise ValidationError(
+                    f"IDB predicate {name!r} used with two arities"
+                )
+        self._idb_arity = idb_arity
+        for rule in self.rules:
+            for atom in rule.body:
+                name = atom.relation
+                if edb_vocabulary.has_relation(name):
+                    expected = edb_vocabulary.arity(name)
+                elif name in idb_arity:
+                    expected = idb_arity[name]
+                else:
+                    raise ValidationError(
+                        f"body predicate {name!r} is neither EDB nor IDB"
+                    )
+                if expected != len(atom.terms):
+                    raise ValidationError(
+                        f"atom {atom} violates arity of {name!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def idb_predicates(self) -> Tuple[str, ...]:
+        """IDB predicate names, sorted."""
+        return tuple(sorted(self._idb_arity))
+
+    def idb_arity(self, name: str) -> int:
+        """The arity of an IDB predicate."""
+        try:
+            return self._idb_arity[name]
+        except KeyError:
+            raise ValidationError(f"{name!r} is not an IDB predicate") from None
+
+    @property
+    def edb_predicates(self) -> Tuple[str, ...]:
+        """EDB predicate names, sorted."""
+        return self.edb_vocabulary.relation_names
+
+    def rules_for(self, predicate: str) -> List[Rule]:
+        """The rules whose head is ``predicate``."""
+        return [r for r in self.rules if r.head.relation == predicate]
+
+    def variable_count(self) -> int:
+        """Distinct variable names across the whole program (the ``k`` of
+        ``k``-Datalog, Section 2.3)."""
+        names: Set[str] = set()
+        for rule in self.rules:
+            names |= rule.variables()
+        return len(names)
+
+    def is_k_datalog(self, k: int) -> bool:
+        """Whether this is a ``k``-Datalog program."""
+        return self.variable_count() <= k
+
+    def is_linear(self) -> bool:
+        """At most one IDB atom per rule body."""
+        for rule in self.rules:
+            idb_atoms = [
+                a for a in rule.body if a.relation in self._idb_arity
+            ]
+            if len(idb_atoms) > 1:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+_RULE_RE = re.compile(r"^\s*(.+?)\s*<-\s*(.*?)\s*\.?\s*$")
+_ATOM_RE = re.compile(
+    r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(\s*([^()]*?)\s*\)\s*"
+)
+
+
+def _parse_atom(text: str, vocabulary: Optional[Vocabulary]) -> Atom:
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise ValidationError(f"cannot parse atom {text!r}")
+    name, args = match.group(1), match.group(2)
+    terms: List[Term] = []
+    if args.strip():
+        for raw in args.split(","):
+            token = raw.strip()
+            if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+                raise ValidationError(f"bad term {token!r} in atom {text!r}")
+            if vocabulary is not None and vocabulary.has_constant(token):
+                terms.append(Const(token))
+            else:
+                terms.append(Var(token))
+    return Atom(name, tuple(terms))
+
+
+def parse_rule(text: str, vocabulary: Optional[Vocabulary] = None) -> Rule:
+    """Parse one rule: ``T(x, y) <- E(x, z), T(z, y).``"""
+    match = _RULE_RE.match(text)
+    if match is None:
+        raise ValidationError(f"cannot parse rule {text!r}")
+    head = _parse_atom(match.group(1), vocabulary)
+    body_text = match.group(2)
+    body: List[Atom] = []
+    if body_text:
+        depth = 0
+        current = ""
+        parts: List[str] = []
+        for ch in body_text:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            if ch == "," and depth == 0:
+                parts.append(current)
+                current = ""
+            else:
+                current += ch
+        if current.strip():
+            parts.append(current)
+        body = [_parse_atom(p, vocabulary) for p in parts]
+    return Rule(head, tuple(body))
+
+
+def parse_program(
+    text: str, edb_vocabulary: Vocabulary
+) -> DatalogProgram:
+    """Parse a whole program, one rule per non-empty line.
+
+    Lines starting with ``%`` or ``#`` are comments.
+
+    Examples
+    --------
+    >>> from repro.structures import GRAPH_VOCABULARY
+    >>> tc = parse_program('''
+    ...     T(x, y) <- E(x, y).
+    ...     T(x, y) <- E(x, z), T(z, y).
+    ... ''', GRAPH_VOCABULARY)
+    >>> tc.variable_count()
+    3
+    """
+    rules: List[Rule] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("%", "#")):
+            continue
+        rules.append(parse_rule(stripped, edb_vocabulary))
+    return DatalogProgram(rules, edb_vocabulary)

@@ -1,0 +1,315 @@
+"""Semipositive Datalog: negated EDB atoms and inequalities (Section 7.3).
+
+The paper closes Section 7 by noting that the Ajtai–Gurevich theorem
+"fails both for Datalog programs with negated extensional predicates and
+for Datalog programs with inequalities ≠ ... the results are very
+tightly connected to preservation under homomorphisms".  This module
+makes that boundary executable:
+
+* an evaluator for Datalog with ``~EDB`` literals and ``x != y``
+  constraints in rule bodies (IDB negation stays forbidden — the
+  fixpoint remains monotone in the IDBs, so semantics are unchanged);
+* the connection check: pure Datalog queries are always preserved under
+  homomorphisms; semipositive programs can define queries that are not
+  (a counterexample is produced and verified per instance).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ValidationError
+from ..logic.syntax import Atom, Const, Term, Var
+from ..structures.structure import Element, Structure, Tup
+from ..structures.vocabulary import GRAPH_VOCABULARY, Vocabulary
+from .program import _parse_atom
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A body literal: a (possibly negated) atom or an inequality.
+
+    ``kind`` ∈ {"pos", "neg", "neq"}.  For "neq", ``atom`` is a binary
+    pseudo-atom over the two compared terms.
+    """
+
+    kind: str
+    atom: Atom
+
+    def __str__(self) -> str:
+        if self.kind == "neg":
+            return f"~{self.atom}"
+        if self.kind == "neq":
+            left, right = self.atom.terms
+            return f"{left} != {right}"
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class SemipositiveRule:
+    """A rule whose body mixes positive atoms, ~EDB atoms and != constraints.
+
+    Safety: every variable of the head, of a negated literal, and of an
+    inequality must occur in some *positive* body atom.
+    """
+
+    head: Atom
+    body: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        positive_vars = {
+            t.name
+            for lit in self.body
+            if lit.kind == "pos"
+            for t in lit.atom.terms
+            if isinstance(t, Var)
+        }
+        needy = {t.name for t in self.head.terms if isinstance(t, Var)}
+        for lit in self.body:
+            if lit.kind != "pos":
+                needy |= {
+                    t.name for t in lit.atom.terms if isinstance(t, Var)
+                }
+        unsafe = needy - positive_vars
+        if unsafe:
+            raise ValidationError(
+                f"unsafe rule: variables {sorted(unsafe)} need a positive "
+                "occurrence"
+            )
+
+
+class SemipositiveProgram:
+    """A Datalog(~EDB, !=) program."""
+
+    def __init__(self, rules: Sequence[SemipositiveRule],
+                 edb_vocabulary: Vocabulary) -> None:
+        self.rules = tuple(rules)
+        self.edb_vocabulary = edb_vocabulary
+        if not self.rules:
+            raise ValidationError("a program needs at least one rule")
+        idb_arity: Dict[str, int] = {}
+        for rule in self.rules:
+            name = rule.head.relation
+            if edb_vocabulary.has_relation(name):
+                raise ValidationError(
+                    f"head predicate {name!r} collides with an EDB relation"
+                )
+            if idb_arity.setdefault(name, len(rule.head.terms)) != len(
+                rule.head.terms
+            ):
+                raise ValidationError(f"IDB {name!r} with two arities")
+        self._idb_arity = idb_arity
+        for rule in self.rules:
+            for lit in rule.body:
+                if lit.kind == "neq":
+                    continue
+                name = lit.atom.relation
+                if lit.kind == "neg" and name in idb_arity:
+                    raise ValidationError(
+                        "negated IDB atoms are not allowed (semipositive)"
+                    )
+                expected = (
+                    edb_vocabulary.arity(name)
+                    if edb_vocabulary.has_relation(name)
+                    else idb_arity.get(name)
+                )
+                if expected is None:
+                    raise ValidationError(
+                        f"unknown body predicate {name!r}"
+                    )
+                if expected != len(lit.atom.terms):
+                    raise ValidationError(f"arity mismatch on {name!r}")
+
+    @property
+    def idb_predicates(self) -> Tuple[str, ...]:
+        """Sorted IDB names."""
+        return tuple(sorted(self._idb_arity))
+
+
+def evaluate_semipositive(
+    program: SemipositiveProgram,
+    structure: Structure,
+    max_rounds: int = 10_000,
+) -> Dict[str, FrozenSet[Tup]]:
+    """Least fixed point of a semipositive program on a structure.
+
+    Negation applies to the (fixed) EDB relations only, so the operator
+    stays monotone in the IDBs and the naive iteration converges.
+    """
+    idb: Dict[str, Set[Tup]] = {p: set() for p in program.idb_predicates}
+    for _ in range(max_rounds):
+        new: Dict[str, Set[Tup]] = {p: set() for p in program.idb_predicates}
+        for rule in program.rules:
+            new[rule.head.relation] |= _matches(rule, structure, idb)
+        if all(new[p] == idb[p] for p in idb):
+            return {p: frozenset(idb[p]) for p in idb}
+        idb = new
+    raise ValidationError(f"no fixed point within {max_rounds} rounds")
+
+
+def _matches(rule: SemipositiveRule, structure: Structure,
+             idb: Dict[str, Set[Tup]]) -> Set[Tup]:
+    positive = [lit.atom for lit in rule.body if lit.kind == "pos"]
+    checks = [lit for lit in rule.body if lit.kind != "pos"]
+    derived: Set[Tup] = set()
+
+    def rows(atom: Atom):
+        if structure.vocabulary.has_relation(atom.relation):
+            return sorted(structure.relation(atom.relation), key=repr)
+        return sorted(idb.get(atom.relation, ()), key=repr)
+
+    def value(term: Term, binding: Dict[str, Element]) -> Element:
+        if isinstance(term, Const):
+            return structure.constant(term.name)
+        return binding[term.name]
+
+    def extend(index: int, binding: Dict[str, Element]) -> None:
+        if index == len(positive):
+            for lit in checks:
+                if lit.kind == "neq":
+                    left, right = lit.atom.terms
+                    if value(left, binding) == value(right, binding):
+                        return
+                else:  # negated EDB
+                    tup = tuple(value(t, binding) for t in lit.atom.terms)
+                    if structure.has_fact(lit.atom.relation, tup):
+                        return
+            derived.add(tuple(value(t, binding) for t in rule.head.terms))
+            return
+        atom = positive[index]
+        for tup in rows(atom):
+            child = dict(binding)
+            ok = True
+            for term, val in zip(atom.terms, tup):
+                if isinstance(term, Const):
+                    if structure.constant(term.name) != val:
+                        ok = False
+                        break
+                elif child.setdefault(term.name, val) != val:
+                    ok = False
+                    break
+            if ok:
+                extend(index + 1, child)
+
+    extend(0, {})
+    return derived
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_NEQ_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z_0-9]*)\s*!=\s*([A-Za-z_][A-Za-z_0-9]*)\s*$"
+)
+
+
+def parse_semipositive_rule(
+    text: str, vocabulary: Optional[Vocabulary] = None
+) -> SemipositiveRule:
+    """Parse ``H(x) <- E(x, y), ~E(y, x), x != y.``"""
+    match = re.match(r"^\s*(.+?)\s*<-\s*(.*?)\s*\.?\s*$", text)
+    if match is None:
+        raise ValidationError(f"cannot parse rule {text!r}")
+    head = _parse_atom(match.group(1), vocabulary)
+    literals: List[Literal] = []
+    body_text = match.group(2).strip()
+    if body_text:
+        for part in _split_top_level(body_text):
+            part = part.strip()
+            neq = _NEQ_RE.match(part)
+            if neq:
+                terms = []
+                for token in neq.groups():
+                    if vocabulary is not None and vocabulary.has_constant(
+                        token
+                    ):
+                        terms.append(Const(token))
+                    else:
+                        terms.append(Var(token))
+                literals.append(Literal("neq", Atom("__neq__", tuple(terms))))
+            elif part.startswith("~"):
+                literals.append(
+                    Literal("neg", _parse_atom(part[1:], vocabulary))
+                )
+            else:
+                literals.append(Literal("pos", _parse_atom(part, vocabulary)))
+    return SemipositiveRule(head, tuple(literals))
+
+
+def _split_top_level(text: str) -> List[str]:
+    parts, depth, current = [], 0, ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def parse_semipositive_program(
+    text: str, edb_vocabulary: Vocabulary
+) -> SemipositiveProgram:
+    """Parse a semipositive program, one rule per non-empty line."""
+    rules = [
+        parse_semipositive_rule(line.strip(), edb_vocabulary)
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith(("%", "#"))
+    ]
+    return SemipositiveProgram(rules, edb_vocabulary)
+
+
+# ----------------------------------------------------------------------
+# The Section 7.3 boundary, executable
+# ----------------------------------------------------------------------
+def asymmetric_edge_program() -> SemipositiveProgram:
+    """``Hit(x) <- E(x, y), ~E(y, x)``: a Datalog(~EDB) query that is NOT
+    preserved under homomorphisms.
+
+    A witness pair: the path ``0 → 1`` satisfies ``∃x Hit(x)``; collapse
+    it onto a loop (a homomorphism) and the query fails.  Pure Datalog
+    can never do this — its queries are infinitary unions of conjunctive
+    queries, hence preserved under homomorphisms (Section 1).
+    """
+    return parse_semipositive_program(
+        "Hit(x) <- E(x, y), ~E(y, x).", GRAPH_VOCABULARY
+    )
+
+
+def distinct_pair_program() -> SemipositiveProgram:
+    """``Pair() <- E(x, y), x != y`` as a 0-ary semipositive query."""
+    return parse_semipositive_program(
+        "Pair(x, y) <- E(x, y), x != y.", GRAPH_VOCABULARY
+    )
+
+
+def semipositive_breaks_hom_preservation() -> bool:
+    """Produce and verify the Section 7.3 counterexample.
+
+    Returns ``True`` when the asymmetric-edge query holds on the 2-path,
+    fails on its homomorphic image (the loop), while the homomorphism is
+    verified — i.e., Datalog(~EDB) escapes the homomorphism-preserved
+    fragment and with it the reach of Theorem 7.4/7.5's method.
+    """
+    from ..homomorphism.search import is_homomorphism
+    from ..structures.generators import directed_path, single_loop
+
+    program = asymmetric_edge_program()
+    path = directed_path(2)
+    loop = single_loop()
+    collapse = {0: 0, 1: 0}
+    holds_on_path = bool(evaluate_semipositive(program, path)["Hit"])
+    holds_on_loop = bool(evaluate_semipositive(program, loop)["Hit"])
+    return (
+        holds_on_path
+        and not holds_on_loop
+        and is_homomorphism(path, loop, collapse)
+    )

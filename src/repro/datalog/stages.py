@@ -1,0 +1,237 @@
+"""Stage unfolding: Datalog stages as finite unions of CQs (Theorem 7.1).
+
+For a ``k``-Datalog program the ``m``-th stage of the monotone operator is
+definable by a finite disjunction of conjunctive queries, and the whole
+query by the infinitary disjunction of all stages.  This module computes
+those finite stage UCQs by rule unfolding: the stage-``m+1`` formula for
+an IDB ``P`` substitutes the stage-``m`` UCQs of the body IDBs into each
+rule for ``P``.
+
+The disjunct count can explode (it must: stages are genuinely bigger
+queries), so unfolding is budgeted, and each stage union is minimized by
+containment before the next round.
+"""
+
+from __future__ import annotations
+
+from itertools import count, product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import BudgetExceededError, UnsupportedFragmentError
+from ..cq.conjunctive_query import ConjunctiveQuery
+from ..cq.containment import remove_redundant_disjuncts
+from ..cq.ucq import UnionOfConjunctiveQueries
+from ..logic.syntax import Atom, Const, Term, Var
+from .program import DatalogProgram, Rule
+
+#: Cap on disjuncts per (predicate, stage) during unfolding.
+DEFAULT_STAGE_BUDGET = 4000
+
+
+class _Unifier:
+    """Union-find over variable names with optional constant bindings."""
+
+    def __init__(self) -> None:
+        self.parent: Dict[str, str] = {}
+        self.constant: Dict[str, str] = {}
+
+    def find(self, x: str) -> str:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union_vars(self, x: str, y: str) -> bool:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return True
+        cx, cy = self.constant.get(rx), self.constant.get(ry)
+        if cx is not None and cy is not None and cx != cy:
+            return False
+        self.parent[ry] = rx
+        if cy is not None:
+            self.constant[rx] = cy
+        self.constant.pop(ry, None)
+        return True
+
+    def bind_constant(self, x: str, c: str) -> bool:
+        root = self.find(x)
+        existing = self.constant.get(root)
+        if existing is not None and existing != c:
+            return False
+        self.constant[root] = c
+        return True
+
+    def resolve(self, term: Term) -> Term:
+        if isinstance(term, Const):
+            return term
+        root = self.find(term.name)
+        if root in self.constant:
+            return Const(self.constant[root])
+        return Var(root)
+
+
+def _rename_cq(cq: ConjunctiveQuery, suffix: str) -> ConjunctiveQuery:
+    """Rename every variable of a CQ with a fresh suffix."""
+    mapping = {v: f"{v}_{suffix}" for v in cq.variables()}
+
+    def rn(t: Term) -> Term:
+        if isinstance(t, Var):
+            return Var(mapping[t.name])
+        return t
+
+    atoms = tuple(
+        Atom(a.relation, tuple(rn(t) for t in a.terms)) for a in cq.body
+    )
+    head = tuple(mapping[h] for h in cq.head)
+    return ConjunctiveQuery(cq.vocabulary, head, atoms)
+
+
+def _expand_rule(
+    rule: Rule,
+    stage_cqs: Dict[str, List[ConjunctiveQuery]],
+    program: DatalogProgram,
+    fresh: "count",
+) -> List[ConjunctiveQuery]:
+    """All CQ disjuncts obtained by substituting stage CQs into one rule."""
+    head_terms = rule.head.terms
+    for t in head_terms:
+        if isinstance(t, Const):
+            raise UnsupportedFragmentError(
+                "stage unfolding does not support constants in rule heads"
+            )
+    idb_positions = [
+        i for i, a in enumerate(rule.body)
+        if a.relation in program.idb_predicates
+    ]
+    edb_atoms = [
+        a for i, a in enumerate(rule.body) if i not in idb_positions
+    ]
+    choices: List[List[Tuple[Atom, ConjunctiveQuery]]] = []
+    for i in idb_positions:
+        atom = rule.body[i]
+        options = stage_cqs.get(atom.relation, [])
+        if not options:
+            return []  # the IDB is empty at this stage: rule derives nothing
+        choices.append([(atom, q) for q in options])
+
+    out: List[ConjunctiveQuery] = []
+    for combo in product(*choices) if choices else [()]:
+        unifier = _Unifier()
+        atoms: List[Atom] = list(edb_atoms)
+        ok = True
+        for atom, q in combo:
+            renamed = _rename_cq(q, str(next(fresh)))
+            # unify renamed head with the atom's terms
+            for head_var, term in zip(renamed.head, atom.terms):
+                if isinstance(term, Const):
+                    ok = unifier.bind_constant(head_var, term.name)
+                else:
+                    ok = unifier.union_vars(head_var, term.name)
+                if not ok:
+                    break
+            if not ok:
+                break
+            atoms.extend(renamed.body)
+        if not ok:
+            continue
+        resolved = tuple(
+            Atom(a.relation, tuple(unifier.resolve(t) for t in a.terms))
+            for a in atoms
+        )
+        head_resolved: List[str] = []
+        safe = True
+        for t in head_terms:
+            rep = unifier.resolve(t)
+            if isinstance(rep, Const):
+                safe = False  # head variable collapsed to a constant
+                break
+            head_resolved.append(rep.name)
+        if not safe:
+            continue
+        body_vars = {
+            t.name for a in resolved for t in a.terms if isinstance(t, Var)
+        }
+        if any(h not in body_vars for h in head_resolved):
+            continue  # unsafe disjunct (can happen with empty bodies)
+        out.append(
+            ConjunctiveQuery(
+                program.edb_vocabulary, tuple(head_resolved), resolved
+            )
+        )
+    return out
+
+
+def stage_ucqs(
+    program: DatalogProgram,
+    max_stage: int,
+    budget: int = DEFAULT_STAGE_BUDGET,
+    minimize: bool = True,
+) -> List[Dict[str, UnionOfConjunctiveQueries]]:
+    """The stage UCQs ``Φ_P^m`` for every IDB ``P`` and ``m <= max_stage``.
+
+    ``result[m][P]`` is a UCQ over the EDB vocabulary defining the
+    ``m``-th stage of ``P`` (Theorem 7.1(1)).  Stage 0 is the empty union.
+    With ``minimize=True`` each union is pruned by containment, which
+    keeps the representation small and makes stage comparison cheap.
+    """
+    fresh = count()
+    stages: List[Dict[str, List[ConjunctiveQuery]]] = [
+        {p: [] for p in program.idb_predicates}
+    ]
+    for _ in range(max_stage):
+        prev = stages[-1]
+        nxt: Dict[str, List[ConjunctiveQuery]] = {
+            p: [] for p in program.idb_predicates
+        }
+        for rule in program.rules:
+            nxt[rule.head.relation].extend(
+                _expand_rule(rule, prev, program, fresh)
+            )
+        for p in nxt:
+            if len(nxt[p]) > budget:
+                raise BudgetExceededError(
+                    f"stage unfolding produced {len(nxt[p])} disjuncts for "
+                    f"{p!r} (budget {budget})"
+                )
+            if minimize:
+                nxt[p] = remove_redundant_disjuncts(nxt[p])
+        stages.append(nxt)
+    return [
+        {
+            p: UnionOfConjunctiveQueries(
+                program.edb_vocabulary, program.idb_arity(p), tuple(cqs)
+            )
+            for p, cqs in stage.items()
+        }
+        for stage in stages
+    ]
+
+
+def stage_ucq(
+    program: DatalogProgram,
+    predicate: str,
+    m: int,
+    budget: int = DEFAULT_STAGE_BUDGET,
+) -> UnionOfConjunctiveQueries:
+    """``Φ_predicate^m`` as a UCQ (convenience wrapper)."""
+    return stage_ucqs(program, m, budget)[m][predicate]
+
+
+def verify_stage_against_evaluation(
+    program: DatalogProgram,
+    structure,
+    predicate: str,
+    m: int,
+    budget: int = DEFAULT_STAGE_BUDGET,
+) -> bool:
+    """Check Theorem 7.1(1) on a concrete structure: the unfolded stage UCQ
+    evaluates exactly to the ``m``-th naive stage."""
+    from .evaluation import evaluate_naive
+
+    ucq = stage_ucq(program, predicate, m, budget)
+    fixpoint = evaluate_naive(program, structure)
+    return ucq.evaluate(structure) == set(fixpoint.stage(predicate, m))

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one type to handle any library failure.  The subtypes distinguish
+the three broad failure modes: malformed inputs (:class:`ValidationError`),
+well-formed inputs outside an algorithm's supported fragment
+(:class:`UnsupportedFragmentError`), and resource guards tripping
+(:class:`BudgetExceededError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError):
+    """An input object is malformed (wrong arity, unknown symbol, ...)."""
+
+
+class UnsupportedFragmentError(ReproError):
+    """A formula or query lies outside the fragment an algorithm supports.
+
+    For example, asking for the canonical structure of a formula that is not
+    existential-positive, or running the CQ^k machinery on a formula using
+    more than ``k`` variables.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """An exhaustive search exceeded its configured size/time budget.
+
+    Raised by exact algorithms (treewidth, minor search, minimal-model
+    enumeration) when the instance is larger than the configured limit,
+    instead of silently running forever.
+    """

@@ -1,0 +1,308 @@
+"""Generators for the graph families used throughout the paper.
+
+These cover every concrete family the paper mentions: paths, cycles,
+cliques ``K_k``, complete bipartite graphs ``K_{a,b}``, stars ``S_n``
+(Section 4's motivating example), grids (bipartite, unbounded treewidth,
+Section 6.2), wheels ``W_n`` and bicycles ``B_n = W_n + K_4``
+(Section 6.2's counterexample), trees, ``k``-trees (maximal graphs of
+treewidth ``k``), the degree-3 expansion of ``K_k`` (end of Section 5),
+and seeded random graphs for property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..exceptions import ValidationError
+from .graphs import Graph
+
+
+def empty_graph(n: int) -> Graph:
+    """``n`` isolated vertices ``0..n-1``."""
+    return Graph(range(n), [])
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` on ``n`` vertices (``n - 1`` edges)."""
+    return Graph(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValidationError("a cycle needs at least 3 vertices")
+    return Graph(range(n), [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique ``K_n``."""
+    return Graph(
+        range(n), [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with sides ``('L', i)`` and ``('R', j)``.
+
+    Section 2.1 uses ``K_{k-1,k-1}`` as a canonical carrier of a ``K_k``
+    minor.
+    """
+    left = [("L", i) for i in range(a)]
+    right = [("R", j) for j in range(b)]
+    edges = [(u, v) for u in left for v in right]
+    return Graph(left + right, edges)
+
+
+def star_graph(n: int) -> Graph:
+    """The star ``S_n``: a root ``0`` with ``n`` children ``1..n``.
+
+    This is Section 4's motivating example of a large tree with no large
+    scattered set until the hub is removed.
+    """
+    return Graph(range(n + 1), [(0, i) for i in range(1, n + 1)])
+
+
+def spider_graph(legs: int, leg_length: int) -> Graph:
+    """A root with ``legs`` disjoint paths of ``leg_length`` edges attached."""
+    vertices: List[object] = ["root"]
+    edges: List[Tuple[object, object]] = []
+    for leg in range(legs):
+        prev: object = "root"
+        for step in range(leg_length):
+            node = (leg, step)
+            vertices.append(node)
+            edges.append((prev, node))
+            prev = node
+    return Graph(vertices, edges)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid; vertices are ``(r, c)`` pairs.
+
+    Grids are bipartite and planar but have treewidth ``min(rows, cols)``,
+    which makes them the paper's witness that ``T(2)`` is properly contained
+    in ``H(T(2))`` (Section 6.2).
+    """
+    if rows < 1 or cols < 1:
+        raise ValidationError("grid dimensions must be positive")
+    vertices = [(r, c) for r in range(rows) for c in range(cols)]
+    edges: List[Tuple[object, object]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append(((r, c), (r, c + 1)))
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+    return Graph(vertices, edges)
+
+
+def wheel_graph(n: int) -> Graph:
+    """The wheel ``W_n``: hub ``'h'`` joined to an ``n``-cycle ``0..n-1``.
+
+    Section 6.2: ``W_n`` is 4-colorable, and a core when ``n`` is odd.
+    """
+    if n < 3:
+        raise ValidationError("a wheel needs a cycle of length >= 3")
+    rim = [(i, (i + 1) % n) for i in range(n)]
+    spokes = [("h", i) for i in range(n)]
+    return Graph(["h"] + list(range(n)), rim + spokes)
+
+
+def bicycle_graph(n: int) -> Graph:
+    """The bicycle ``B_n = W_n + K_4`` (disjoint union), Section 6.2.
+
+    Wheel vertices are tagged ``(0, _)``, clique vertices ``(1, _)``; the
+    hub is ``(0, 'h')``.
+    """
+    return wheel_graph(n).disjoint_union(complete_graph(4))
+
+
+def binary_tree(depth: int) -> Graph:
+    """The complete binary tree of the given ``depth`` (``depth=0`` is K_1)."""
+    if depth < 0:
+        raise ValidationError("depth must be non-negative")
+    vertices = list(range(2 ** (depth + 1) - 1))
+    edges = []
+    for v in vertices:
+        for child in (2 * v + 1, 2 * v + 2):
+            if child < len(vertices):
+                edges.append((v, child))
+    return Graph(vertices, edges)
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """A path of ``spine`` vertices with ``legs_per_vertex`` pendant leaves each."""
+    g_edges: List[Tuple[object, object]] = [
+        (("s", i), ("s", i + 1)) for i in range(spine - 1)
+    ]
+    vertices: List[object] = [("s", i) for i in range(spine)]
+    for i in range(spine):
+        for j in range(legs_per_vertex):
+            leaf = ("l", i, j)
+            vertices.append(leaf)
+            g_edges.append((("s", i), leaf))
+    return Graph(vertices, g_edges)
+
+
+def k_tree(k: int, n: int, seed: Optional[int] = None) -> Graph:
+    """A random ``k``-tree on ``n >= k + 1`` vertices (treewidth exactly ``k``).
+
+    Built the standard way: start from ``K_{k+1}`` and repeatedly attach a
+    new vertex to a random existing ``k``-clique.
+    """
+    if n < k + 1:
+        raise ValidationError("a k-tree needs at least k + 1 vertices")
+    rng = random.Random(seed)
+    edges = [(i, j) for i in range(k + 1) for j in range(i + 1, k + 1)]
+    cliques: List[Tuple[int, ...]] = [
+        tuple(sorted(set(range(k + 1)) - {i})) for i in range(k + 1)
+    ]
+    for new in range(k + 1, n):
+        base = rng.choice(cliques)
+        for u in base:
+            edges.append((u, new))
+        for i in range(len(base)):
+            extended = tuple(sorted(set(base[:i] + base[i + 1:]) | {new}))
+            cliques.append(extended)
+        cliques.append(base)
+    return Graph(range(n), edges)
+
+
+def degree3_clique_expansion(k: int) -> Graph:
+    """A degree-3 graph with a ``K_k`` minor (end of Section 5).
+
+    Every node of ``K_k`` is replaced by a binary tree with ``k - 1``
+    leaves; trees for distinct nodes are connected through disjoint pairs
+    of leaves.  The result has maximum degree 3 but contains ``K_k`` as a
+    minor, witnessing that bounded degree does not imply an excluded minor.
+    """
+    if k < 2:
+        raise ValidationError("need k >= 2")
+    vertices: List[object] = []
+    edges: List[Tuple[object, object]] = []
+    leaves: dict = {}
+    for node in range(k):
+        # A path with k-1 hanging leaves is a binary tree with k-1 leaves
+        # and maximum internal degree 3.
+        spine = [("spine", node, i) for i in range(k - 1)]
+        vertices.extend(spine)
+        for i in range(k - 2):
+            edges.append((spine[i], spine[i + 1]))
+        node_leaves = []
+        for i in range(k - 1):
+            leaf = ("leaf", node, i)
+            vertices.append(leaf)
+            edges.append((spine[i], leaf))
+            node_leaves.append(leaf)
+        leaves[node] = node_leaves
+    # Connect tree u's i-th free leaf to tree v's matching leaf, one
+    # disjoint pair per edge of K_k.
+    counters = {node: 0 for node in range(k)}
+    for u in range(k):
+        for v in range(u + 1, k):
+            lu = leaves[u][counters[u]]
+            lv = leaves[v][counters[v]]
+            counters[u] += 1
+            counters[v] += 1
+            edges.append((lu, lv))
+    return Graph(vertices, edges)
+
+
+def degree3_clique_expansion_model(k: int) -> dict:
+    """The by-construction ``K_k`` minor model inside
+    :func:`degree3_clique_expansion`.
+
+    Maps clique vertex ``i`` to its tree patch (spine plus leaves), which
+    is connected, and the leaf-pair edges realize every clique edge.
+    """
+    model = {}
+    for node in range(k):
+        patch = {("spine", node, i) for i in range(k - 1)}
+        patch |= {("leaf", node, i) for i in range(k - 1)}
+        model[node] = frozenset(patch)
+    return model
+
+
+def random_graph(n: int, p: float, seed: Optional[int] = None) -> Graph:
+    """An Erdős–Rényi ``G(n, p)`` graph with a deterministic ``seed``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValidationError("edge probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    ]
+    return Graph(range(n), edges)
+
+
+def random_regular_graph(n: int, d: int, seed: Optional[int] = None) -> Graph:
+    """A random ``d``-regular-ish graph via the pairing model.
+
+    Retries until the pairing is simple; falls back to a best-effort
+    near-regular graph after 200 attempts (degrees still ``<= d``).
+    """
+    if n * d % 2 != 0:
+        raise ValidationError("n * d must be even for a d-regular graph")
+    if d >= n:
+        raise ValidationError("degree must be smaller than n")
+    rng = random.Random(seed)
+    for _ in range(200):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        pairs = [(stubs[2 * i], stubs[2 * i + 1]) for i in range(len(stubs) // 2)]
+        seen = set()
+        ok = True
+        for u, v in pairs:
+            if u == v or frozenset((u, v)) in seen:
+                ok = False
+                break
+            seen.add(frozenset((u, v)))
+        if ok:
+            return Graph(range(n), pairs)
+    # Best effort: drop conflicting pairs.
+    stubs = [v for v in range(n) for _ in range(d)]
+    rng.shuffle(stubs)
+    edges = []
+    seen = set()
+    for i in range(len(stubs) // 2):
+        u, v = stubs[2 * i], stubs[2 * i + 1]
+        if u != v and frozenset((u, v)) not in seen:
+            seen.add(frozenset((u, v)))
+            edges.append((u, v))
+    return Graph(range(n), edges)
+
+
+def random_tree(n: int, seed: Optional[int] = None) -> Graph:
+    """A uniformly random labelled tree on ``n`` vertices (Prüfer-ish)."""
+    if n <= 0:
+        raise ValidationError("n must be positive")
+    if n == 1:
+        return Graph([0], [])
+    rng = random.Random(seed)
+    edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    return Graph(range(n), edges)
+
+
+def random_planar_like(n: int, seed: Optional[int] = None) -> Graph:
+    """A random maximal outerplanar-style fan triangulation (planar, K5-free).
+
+    Built as a fan of triangles along a path; planar with treewidth 2, a
+    convenient excluded-minor workload that is not a tree.
+    """
+    rng = random.Random(seed)
+    if n < 3:
+        return path_graph(n)
+    edges = [(0, 1), (1, 2), (0, 2)]
+    boundary = [(0, 1), (1, 2), (0, 2)]
+    for v in range(3, n):
+        base = rng.choice(boundary)
+        u, w = base
+        edges.append((u, v))
+        edges.append((w, v))
+        boundary.remove(base)
+        boundary.append((u, v))
+        boundary.append((w, v))
+    return Graph(range(n), edges)

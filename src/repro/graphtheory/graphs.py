@@ -1,0 +1,384 @@
+"""Finite simple graphs.
+
+The paper works with undirected, loopless graphs without parallel edges
+(Section 2.1).  :class:`Graph` is an immutable value type over arbitrary
+hashable vertices; all of the combinatorial machinery in
+:mod:`repro.graphtheory` (treewidth, minors, scattered sets) operates on it.
+
+Design notes
+------------
+Vertices are kept in a deterministic order (insertion order of the
+constructor argument) so that algorithms iterating over ``graph.vertices``
+are reproducible.  Edges are stored normalized as ``frozenset`` pairs; the
+adjacency map is materialized once at construction since every algorithm in
+this package is adjacency-driven.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..exceptions import ValidationError
+
+Vertex = Hashable
+Edge = FrozenSet[Vertex]
+
+
+def _normalize_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (unordered) form of the edge ``{u, v}``."""
+    if u == v:
+        raise ValidationError(f"loops are not allowed: ({u!r}, {v!r})")
+    return frozenset((u, v))
+
+
+class Graph:
+    """An immutable finite simple graph.
+
+    Parameters
+    ----------
+    vertices:
+        Iterable of hashable vertex names.  Order is preserved (first
+        occurrence wins) and becomes the iteration order of the graph.
+    edges:
+        Iterable of 2-element iterables ``(u, v)``.  Both endpoints must be
+        vertices; loops and duplicate edges are rejected/merged.
+
+    Examples
+    --------
+    >>> g = Graph([0, 1, 2], [(0, 1), (1, 2)])
+    >>> g.degree(1)
+    2
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_vertices", "_vertex_set", "_edges", "_adj", "_hash")
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[Tuple[Vertex, Vertex]] = (),
+    ) -> None:
+        ordered: List[Vertex] = []
+        seen: Set[Vertex] = set()
+        for v in vertices:
+            if v not in seen:
+                seen.add(v)
+                ordered.append(v)
+        self._vertices: Tuple[Vertex, ...] = tuple(ordered)
+        self._vertex_set: FrozenSet[Vertex] = frozenset(seen)
+
+        edge_set: Set[Edge] = set()
+        adj: Dict[Vertex, Set[Vertex]] = {v: set() for v in ordered}
+        for pair in edges:
+            u, v = pair
+            edge = _normalize_edge(u, v)
+            if u not in self._vertex_set or v not in self._vertex_set:
+                raise ValidationError(
+                    f"edge ({u!r}, {v!r}) uses a vertex outside the graph"
+                )
+            if edge not in edge_set:
+                edge_set.add(edge)
+                adj[u].add(v)
+                adj[v].add(u)
+        self._edges: FrozenSet[Edge] = frozenset(edge_set)
+        self._adj: Dict[Vertex, FrozenSet[Vertex]] = {
+            v: frozenset(ns) for v, ns in adj.items()
+        }
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Tuple[Vertex, ...]:
+        """The vertices in deterministic (construction) order."""
+        return self._vertices
+
+    @property
+    def vertex_set(self) -> FrozenSet[Vertex]:
+        """The vertices as a frozenset (for fast membership tests)."""
+        return self._vertex_set
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The edges, each a 2-element ``frozenset``."""
+        return self._edges
+
+    def edge_list(self) -> List[Tuple[Vertex, Vertex]]:
+        """The edges as sorted ``(u, v)`` tuples (deterministic order)."""
+        index = {v: i for i, v in enumerate(self._vertices)}
+        out: List[Tuple[Vertex, Vertex]] = []
+        for edge in self._edges:
+            u, v = sorted(edge, key=index.__getitem__)
+            out.append((u, v))
+        out.sort(key=lambda e: (index[e[0]], index[e[1]]))
+        return out
+
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._vertices)
+
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def neighbors(self, v: Vertex) -> FrozenSet[Vertex]:
+        """The open neighborhood of ``v``."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise ValidationError(f"vertex {v!r} is not in the graph") from None
+
+    def degree(self, v: Vertex) -> int:
+        """The number of neighbors of ``v``."""
+        return len(self.neighbors(v))
+
+    def max_degree(self) -> int:
+        """The maximum vertex degree (0 for the empty graph)."""
+        if not self._vertices:
+            return 0
+        return max(len(ns) for ns in self._adj.values())
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return u != v and u in self._adj and v in self._adj[u]
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Whether ``v`` is a vertex of this graph."""
+        return v in self._vertex_set
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._vertex_set
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._vertex_set == other._vertex_set and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._vertex_set, self._edges))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(|V|={self.num_vertices()}, |E|={self.num_edges()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        """The subgraph induced by the vertices in ``keep``.
+
+        Vertices not present in the graph are ignored, matching the paper's
+        ``G - B`` notation (which removes a vertex *set* regardless of
+        overlap).
+        """
+        keep_set = set(keep) & self._vertex_set
+        verts = [v for v in self._vertices if v in keep_set]
+        edges = [
+            tuple(e)
+            for e in self._edges
+            if all(x in keep_set for x in e)
+        ]
+        return Graph(verts, edges)  # type: ignore[arg-type]
+
+    def remove_vertices(self, drop: Iterable[Vertex]) -> "Graph":
+        """The graph ``G - B``: remove the vertices in ``drop`` and their edges."""
+        drop_set = set(drop)
+        return self.subgraph(v for v in self._vertices if v not in drop_set)
+
+    def with_edge(self, u: Vertex, v: Vertex) -> "Graph":
+        """A copy of this graph with the edge ``{u, v}`` added."""
+        edges = [tuple(e) for e in self._edges]
+        edges.append((u, v))
+        return Graph(self._vertices, edges)  # type: ignore[arg-type]
+
+    def without_edge(self, u: Vertex, v: Vertex) -> "Graph":
+        """A copy of this graph with the edge ``{u, v}`` removed (if present)."""
+        target = _normalize_edge(u, v)
+        edges = [tuple(e) for e in self._edges if e != target]
+        return Graph(self._vertices, edges)  # type: ignore[arg-type]
+
+    def relabel(self, mapping: Dict[Vertex, Vertex]) -> "Graph":
+        """Relabel vertices through an injective ``mapping``.
+
+        Every vertex must appear as a key and the mapping must be injective
+        on the vertex set.
+        """
+        missing = self._vertex_set - set(mapping)
+        if missing:
+            raise ValidationError(f"relabel mapping misses vertices: {missing}")
+        images = [mapping[v] for v in self._vertices]
+        if len(set(images)) != len(images):
+            raise ValidationError("relabel mapping is not injective")
+        edges = [(mapping[u], mapping[v]) for u, v in self.edge_list()]
+        return Graph(images, edges)
+
+    def complement(self) -> "Graph":
+        """The complement graph on the same vertex set."""
+        verts = self._vertices
+        edges = [
+            (verts[i], verts[j])
+            for i in range(len(verts))
+            for j in range(i + 1, len(verts))
+            if not self.has_edge(verts[i], verts[j])
+        ]
+        return Graph(verts, edges)
+
+    def disjoint_union(self, other: "Graph") -> "Graph":
+        """The disjoint union; vertices are tagged ``(0, v)`` / ``(1, w)``."""
+        verts = [(0, v) for v in self._vertices] + [(1, w) for w in other._vertices]
+        edges = [((0, u), (0, v)) for u, v in self.edge_list()]
+        edges += [((1, u), (1, v)) for u, v in other.edge_list()]
+        return Graph(verts, edges)
+
+    def contract_edge(self, u: Vertex, v: Vertex) -> "Graph":
+        """Contract edge ``{u, v}``: identify ``v`` into ``u``, drop the loop.
+
+        This is the minor-forming operation of Section 2.1.
+        """
+        if not self.has_edge(u, v):
+            raise ValidationError(f"({u!r}, {v!r}) is not an edge; cannot contract")
+        verts = [x for x in self._vertices if x != v]
+        edges = []
+        for a, b in self.edge_list():
+            a2 = u if a == v else a
+            b2 = u if b == v else b
+            if a2 != b2:
+                edges.append((a2, b2))
+        return Graph(verts, edges)
+
+
+# ----------------------------------------------------------------------
+# Traversal utilities
+# ----------------------------------------------------------------------
+def bfs_distances(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
+    """Shortest-path (hop) distances from ``source`` to reachable vertices."""
+    if source not in graph:
+        raise ValidationError(f"source {source!r} is not in the graph")
+    dist: Dict[Vertex, int] = {source: 0}
+    queue: deque = deque([source])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist
+
+
+def all_pairs_distances(graph: Graph) -> Dict[Vertex, Dict[Vertex, int]]:
+    """BFS distances between all pairs (unreachable pairs are absent)."""
+    return {v: bfs_distances(graph, v) for v in graph.vertices}
+
+
+def neighborhood(graph: Graph, center: Vertex, radius: int) -> FrozenSet[Vertex]:
+    """The ``radius``-neighborhood ``N_d(u)`` of Section 2.1 (includes ``u``)."""
+    if radius < 0:
+        raise ValidationError("radius must be non-negative")
+    dist = bfs_distances(graph, center)
+    return frozenset(v for v, d in dist.items() if d <= radius)
+
+
+def connected_components(graph: Graph) -> List[FrozenSet[Vertex]]:
+    """The connected components, in order of their first vertex."""
+    seen: Set[Vertex] = set()
+    components: List[FrozenSet[Vertex]] = []
+    for v in graph.vertices:
+        if v in seen:
+            continue
+        reach = set(bfs_distances(graph, v))
+        seen |= reach
+        components.append(frozenset(reach))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.num_vertices() == 0:
+        return True
+    return len(bfs_distances(graph, graph.vertices[0])) == graph.num_vertices()
+
+
+def is_tree(graph: Graph) -> bool:
+    """Whether the graph is a tree (connected and acyclic)."""
+    n = graph.num_vertices()
+    if n == 0:
+        return True
+    return is_connected(graph) and graph.num_edges() == n - 1
+
+
+def is_forest(graph: Graph) -> bool:
+    """Whether the graph is acyclic."""
+    return all(
+        graph.subgraph(comp).num_edges() == len(comp) - 1
+        for comp in connected_components(graph)
+    )
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Whether the graph is 2-colorable."""
+    return bipartition(graph) is not None
+
+
+def bipartition(
+    graph: Graph,
+) -> Optional[Tuple[FrozenSet[Vertex], FrozenSet[Vertex]]]:
+    """A bipartition ``(left, right)`` if one exists, else ``None``."""
+    color: Dict[Vertex, int] = {}
+    for start in graph.vertices:
+        if start in color:
+            continue
+        color[start] = 0
+        queue: deque = deque([start])
+        while queue:
+            u = queue.popleft()
+            for w in graph.neighbors(u):
+                if w not in color:
+                    color[w] = 1 - color[u]
+                    queue.append(w)
+                elif color[w] == color[u]:
+                    return None
+    left = frozenset(v for v, c in color.items() if c == 0)
+    right = frozenset(v for v, c in color.items() if c == 1)
+    return left, right
+
+
+def power_graph(graph: Graph, radius: int) -> Graph:
+    """The graph connecting distinct vertices at distance ``<= radius``.
+
+    Used to reduce ``d``-scattered sets to independent sets: a set is
+    ``d``-scattered iff it is independent in ``power_graph(g, 2 * d)``.
+    """
+    if radius < 0:
+        raise ValidationError("radius must be non-negative")
+    edges: List[Tuple[Vertex, Vertex]] = []
+    for v in graph.vertices:
+        dist = bfs_distances(graph, v)
+        for w, d in dist.items():
+            if w != v and d <= radius:
+                edges.append((v, w))
+    return Graph(graph.vertices, edges)

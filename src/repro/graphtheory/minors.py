@@ -1,0 +1,394 @@
+"""Graph minors (Section 2.1).
+
+``G`` is a minor of ``H`` when ``G`` can be obtained from a subgraph of
+``H`` by contracting edges; equivalently, when there are pairwise disjoint
+connected "patches" in ``H``, one per vertex of ``G``, with an ``H``-edge
+between patches of adjacent ``G``-vertices.
+
+The decision procedure here is exact: a three-way branch-and-reduce on the
+host graph (delete a vertex / contract it into a neighbour / freeze it as a
+singleton patch) with memoization, falling back to spanning-subgraph
+isomorphism once no free vertices remain.  Minor containment is NP-complete
+for variable pattern size, so the search is budgeted
+(:class:`~repro.exceptions.BudgetExceededError`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..exceptions import BudgetExceededError
+from .generators import complete_bipartite_graph, complete_graph
+from .graphs import Graph, Vertex, connected_components, is_connected, is_forest
+
+#: Branch-and-reduce node budget for exact minor search.
+DEFAULT_MINOR_BUDGET = 2_000_000
+
+MinorModel = Dict[Vertex, FrozenSet[Vertex]]
+
+
+def subgraph_isomorphism(pattern: Graph, host: Graph,
+                         spanning: bool = False) -> Optional[Dict[Vertex, Vertex]]:
+    """An injective map sending pattern edges to host edges, or ``None``.
+
+    With ``spanning=True`` the map must be a bijection onto the host's
+    vertices (used as the base case of the minor search).
+    """
+    p_verts = sorted(pattern.vertices, key=lambda v: -pattern.degree(v))
+    if spanning and pattern.num_vertices() != host.num_vertices():
+        return None
+    if pattern.num_vertices() > host.num_vertices():
+        return None
+
+    assignment: Dict[Vertex, Vertex] = {}
+    used: Set[Vertex] = set()
+
+    def backtrack(i: int) -> bool:
+        if i == len(p_verts):
+            return True
+        pv = p_verts[i]
+        # candidates must have enough degree and respect edges to assigned
+        for hv in host.vertices:
+            if hv in used or host.degree(hv) < pattern.degree(pv):
+                continue
+            ok = True
+            for pu, hu in assignment.items():
+                if pattern.has_edge(pv, pu) and not host.has_edge(hv, hu):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            assignment[pv] = hv
+            used.add(hv)
+            if backtrack(i + 1):
+                return True
+            del assignment[pv]
+            used.remove(hv)
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+class _MinorSearch:
+    """Branch-and-reduce state for exact minor containment."""
+
+    def __init__(self, host: Graph, pattern: Graph, budget: int) -> None:
+        self.pattern = pattern
+        self.pattern_has_cycle = not is_forest(pattern)
+        self.budget = budget
+        self.nodes = 0
+        self.memo: Set[Tuple[FrozenSet, FrozenSet, FrozenSet]] = set()
+        # patches[v] = set of original host vertices merged into v
+        self.initial_patches: Dict[Vertex, FrozenSet[Vertex]] = {
+            v: frozenset([v]) for v in host.vertices
+        }
+        self.host = host
+
+    def run(self) -> Optional[MinorModel]:
+        return self._search(self.host, self.initial_patches, frozenset())
+
+    def _tick(self) -> None:
+        self.nodes += 1
+        if self.nodes > self.budget:
+            raise BudgetExceededError(
+                f"minor search exceeded {self.budget} nodes; "
+                "increase the budget or shrink the instance"
+            )
+
+    def _prune(self, g: Graph) -> bool:
+        p = self.pattern
+        if g.num_vertices() < p.num_vertices():
+            return True
+        if g.num_edges() < p.num_edges():
+            return True
+        # Minors never create cycles: a forest host cannot contain a
+        # cyclic pattern.  This kills the worst negative instances
+        # (K_k searched inside large trees).
+        if self.pattern_has_cycle and is_forest(g):
+            return True
+        return False
+
+    def _search(
+        self,
+        g: Graph,
+        patches: Dict[Vertex, FrozenSet[Vertex]],
+        frozen: FrozenSet[Vertex],
+    ) -> Optional[MinorModel]:
+        self._tick()
+        if self._prune(g):
+            return None
+        p = self.pattern
+
+        # Fast accept: pattern already sits inside g as a subgraph.
+        emb = subgraph_isomorphism(p, g)
+        if emb is not None:
+            return {pv: patches[hv] for pv, hv in emb.items()}
+
+        if g.num_vertices() == p.num_vertices():
+            return None  # spanning embedding would have been found above
+
+        free = [v for v in g.vertices if v not in frozen]
+        if not free:
+            return None
+
+        key = (g.vertex_set, g.edges, frozen)
+        if key in self.memo:
+            return None
+        self.memo.add(key)
+
+        # Branch on a free vertex of minimum degree (cheap subproblems first).
+        v = min(free, key=lambda u: (g.degree(u), str(u)))
+
+        # (a) v is unused by the model: delete it.
+        result = self._search(g.remove_vertices([v]), patches, frozen)
+        if result is not None:
+            return result
+
+        # (b) v is merged into a neighbour's patch: contract.
+        for u in sorted(g.neighbors(v), key=str):
+            contracted = g.contract_edge(u, v)
+            new_patches = dict(patches)
+            new_patches[u] = patches[u] | patches[v]
+            del new_patches[v]
+            result = self._search(contracted, new_patches, frozen)
+            if result is not None:
+                return result
+
+        # (c) v is a singleton patch: freeze it.
+        return self._search(g, patches, frozen | {v})
+
+
+def _greedy_minor_model(host: Graph, pattern: Graph,
+                        attempts: int = 8) -> Optional[MinorModel]:
+    """Randomized greedy contraction heuristic (fast accept for positives).
+
+    Repeatedly contracts low-degree edges until the host has as many
+    vertices as the pattern, then checks for a spanning embedding.  Sound
+    (any model it returns verifies) but incomplete.
+    """
+    import random as _random
+
+    target = pattern.num_vertices()
+    if target == 0 or host.num_vertices() < target:
+        return None
+    for attempt in range(attempts):
+        rng = _random.Random(attempt)
+        g = host
+        patches: Dict[Vertex, FrozenSet[Vertex]] = {
+            v: frozenset([v]) for v in host.vertices
+        }
+        while g.num_vertices() > target and g.num_edges() > 0:
+            # contract the edge with the smallest combined degree (random
+            # tie-break): keeps degrees balanced, good for clique minors.
+            edges = g.edge_list()
+            rng.shuffle(edges)
+            u, v = min(edges, key=lambda e: g.degree(e[0]) + g.degree(e[1]))
+            g = g.contract_edge(u, v)
+            patches[u] = patches[u] | patches[v]
+            del patches[v]
+        emb = subgraph_isomorphism(pattern, g)
+        if emb is not None:
+            model = {pv: patches[hv] for pv, hv in emb.items()}
+            if verify_minor_model(host, pattern, model):
+                return model
+    return None
+
+
+def find_minor_model(host: Graph, pattern: Graph,
+                     budget: int = DEFAULT_MINOR_BUDGET) -> Optional[MinorModel]:
+    """A minor model of ``pattern`` in ``host`` (patch per pattern vertex).
+
+    Returns ``None`` when ``pattern`` is not a minor of ``host``.  The model
+    maps each pattern vertex to a connected patch of host vertices; use
+    :func:`verify_minor_model` to check one independently.
+
+    Tries a direct subgraph embedding and a greedy contraction heuristic
+    first (fast accepts), then falls back to the complete branch-and-reduce
+    search.
+    """
+    if pattern.num_vertices() == 0:
+        return {}
+    # Treewidth reject: minors cannot raise treewidth, so a host whose
+    # (heuristic, valid) treewidth upper bound is below the pattern's
+    # (valid) lower bound excludes the pattern outright.
+    from .treewidth import treewidth_lower_bound, treewidth_upper_bound
+
+    host_upper, _ = treewidth_upper_bound(host)
+    if host_upper < treewidth_lower_bound(pattern):
+        return None
+    # Minors of planar graphs are planar: a planar host excludes every
+    # non-planar pattern (K5, K33, ...).  DMP planarity is polynomial.
+    from .planarity import is_planar_exact
+
+    if not is_planar_exact(pattern) and is_planar_exact(host):
+        return None
+    emb = subgraph_isomorphism(pattern, host)
+    if emb is not None:
+        return {pv: frozenset([hv]) for pv, hv in emb.items()}
+    greedy = _greedy_minor_model(host, pattern)
+    if greedy is not None:
+        return greedy
+    # A connected pattern must sit inside one host component.
+    if is_connected(pattern) and pattern.num_vertices() > 0:
+        components = connected_components(host)
+        if len(components) > 1:
+            for comp in components:
+                sub = host.subgraph(comp)
+                model = _MinorSearch(sub, pattern, budget).run()
+                if model is not None:
+                    return model
+            return None
+    return _MinorSearch(host, pattern, budget).run()
+
+
+def has_minor(host: Graph, pattern: Graph,
+              budget: int = DEFAULT_MINOR_BUDGET) -> bool:
+    """Whether ``pattern`` is a minor of ``host`` (Section 2.1)."""
+    return find_minor_model(host, pattern, budget) is not None
+
+
+def verify_minor_model(host: Graph, pattern: Graph, model: MinorModel) -> bool:
+    """Check a claimed minor model against Section 2.1's characterization.
+
+    The patches must be non-empty, pairwise disjoint, connected in ``host``,
+    and adjacent pattern vertices must have an edge between their patches.
+    """
+    if set(model) != set(pattern.vertices):
+        return False
+    all_used: Set[Vertex] = set()
+    for patch in model.values():
+        if not patch or not patch <= host.vertex_set:
+            return False
+        if patch & all_used:
+            return False
+        all_used |= patch
+        sub = host.subgraph(patch)
+        comps = connected_components(sub)
+        if len(comps) != 1:
+            return False
+    for u, v in pattern.edge_list():
+        if not any(
+            host.has_edge(x, y) for x in model[u] for y in model[v]
+        ):
+            return False
+    return True
+
+
+def has_clique_minor(graph: Graph, k: int,
+                     budget: int = DEFAULT_MINOR_BUDGET) -> bool:
+    """Whether ``K_k`` is a minor of ``graph``."""
+    return has_minor(graph, complete_graph(k), budget)
+
+
+def excludes_clique_minor(graph: Graph, k: int,
+                          budget: int = DEFAULT_MINOR_BUDGET) -> bool:
+    """Whether ``graph`` excludes ``K_k`` as a minor."""
+    return not has_clique_minor(graph, k, budget)
+
+
+def hadwiger_number(graph: Graph, budget: int = DEFAULT_MINOR_BUDGET) -> int:
+    """The largest ``k`` such that ``K_k`` is a minor of ``graph``."""
+    if graph.num_vertices() == 0:
+        return 0
+    k = 1
+    while k < graph.num_vertices() and has_clique_minor(graph, k + 1, budget):
+        k += 1
+    return k
+
+
+def clique_minor_in_bipartite(k: int) -> MinorModel:
+    """Section 2.1's explicit ``K_k`` minor inside ``K_{k-1,k-1}``.
+
+    Contract a perfect matching of size ``k - 2``: patches
+    ``{L_i, R_i}`` for ``i < k - 2`` plus the two leftover singletons.
+    Returns the model (pattern vertices ``0..k-1``) against
+    :func:`~repro.graphtheory.generators.complete_bipartite_graph` ``(k-1, k-1)``.
+    """
+    model: MinorModel = {}
+    for i in range(k - 2):
+        model[i] = frozenset({("L", i), ("R", i)})
+    model[k - 2] = frozenset({("L", k - 2)})
+    model[k - 1] = frozenset({("R", k - 2)})
+    return model
+
+
+def is_planar(graph: Graph, budget: int = DEFAULT_MINOR_BUDGET) -> bool:
+    """Exact planarity (rotation systems with a Wagner-minor fallback).
+
+    Wagner's theorem — planar iff no ``K_5`` and no ``K_{3,3}`` minor —
+    is what ties planarity to the paper's excluded-minor classes; the
+    decision procedure itself enumerates combinatorial embeddings when
+    feasible (see :mod:`repro.graphtheory.planarity`) since direct
+    negative minor searches are far slower.
+    """
+    del budget  # kept for API stability
+    from .planarity import is_planar_exact
+
+    return is_planar_exact(graph)
+
+
+def minor_closed_obstruction_check(
+    graphs: List[Graph], pattern: Graph, budget: int = DEFAULT_MINOR_BUDGET
+) -> bool:
+    """Whether every graph in ``graphs`` excludes ``pattern`` as a minor."""
+    return all(not has_minor(g, pattern, budget) for g in graphs)
+
+
+def all_minors_up_to(graph: Graph, size: int) -> List[Graph]:
+    """All minors of ``graph`` with at most ``size`` vertices, up to iso-dup.
+
+    Exhaustive (tiny hosts only): enumerates partitions of vertex subsets
+    into connected patches.  Primarily a test oracle for
+    :func:`find_minor_model`.
+    """
+    found: List[Graph] = []
+    seen_certs: Set[Tuple] = set()
+    verts = list(graph.vertices)
+    for subset_size in range(0, min(size, len(verts)) + 1):
+        for kept in combinations(verts, subset_size):
+            sub = graph.subgraph(kept)
+            for minor in _contraction_closure(sub):
+                cert = _certificate(minor)
+                if cert not in seen_certs:
+                    seen_certs.add(cert)
+                    found.append(minor)
+    return found
+
+
+def _contraction_closure(graph: Graph) -> List[Graph]:
+    out = [graph]
+    seen = {(graph.vertex_set, graph.edges)}
+    stack = [graph]
+    while stack:
+        g = stack.pop()
+        for u, v in g.edge_list():
+            c = g.contract_edge(u, v)
+            key = (c.vertex_set, c.edges)
+            if key not in seen:
+                seen.add(key)
+                out.append(c)
+                stack.append(c)
+    return out
+
+
+def _certificate(graph: Graph) -> Tuple:
+    """A cheap isomorphism-invariant certificate (degree refinement)."""
+    colors = {v: graph.degree(v) for v in graph.vertices}
+    for _ in range(graph.num_vertices()):
+        new = {
+            v: (colors[v], tuple(sorted(colors[u] for u in graph.neighbors(v))))
+            for v in graph.vertices
+        }
+        palette = {c: i for i, c in enumerate(sorted(set(new.values()), key=repr))}
+        refreshed = {v: palette[new[v]] for v in graph.vertices}
+        if refreshed == colors:
+            break
+        colors = refreshed
+    return (
+        graph.num_vertices(),
+        graph.num_edges(),
+        tuple(sorted(colors.values())),
+    )

@@ -1,0 +1,161 @@
+"""Ramsey's theorem: bound arithmetic and constructive witnesses (Thm 5.1).
+
+The paper uses a function ``r(l, k, m)`` such that any ``l``-coloring of
+the ``k``-element subsets of a set with more than ``r(l, k, m)`` elements
+admits a subset ``I`` with ``|I| > m`` on which the coloring is constant.
+
+Two ingredients are provided:
+
+* :func:`ramsey_bound` — an explicit upper bound for ``r`` via the
+  classical "focusing" (Erdős–Rado tree) argument, computed with exact big
+  integers.  The values are astronomically large for ``k >= 2``, exactly as
+  in the paper; experiments therefore verify the *conclusion* directly on
+  concrete instances rather than instantiating the bound.
+* :func:`find_monochromatic_subset` — a budgeted exhaustive search that,
+  given an actual coloring, produces the monochromatic subset the theorem
+  promises (used by the Lemma 5.2 / Theorem 5.3 constructions).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Callable, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from ..exceptions import BudgetExceededError, ValidationError
+
+Element = Hashable
+Coloring = Callable[[Tuple[Element, ...]], Hashable]
+
+
+#: Cap on the bit-length of a computed Ramsey bound.  The towers grow so
+#: fast that e.g. ``r(4, 3, 7)`` has ~10^900 *digits* — materializing it
+#: would exhaust memory, so past the cap we raise instead.
+DEFAULT_RAMSEY_BIT_CAP = 10_000_000
+
+
+def ramsey_bound(l: int, k: int, m: int,
+                 bit_cap: int = DEFAULT_RAMSEY_BIT_CAP) -> int:
+    """An upper bound for the paper's ``r(l, k, m)``.
+
+    Guarantee: if ``|A| > ramsey_bound(l, k, m)`` and ``f`` is any
+    ``l``-coloring of ``[A]^k``, then some ``I ⊆ A`` with ``|I| > m`` has
+    ``f`` constant on ``[I]^k``.
+
+    Construction (classical focusing argument): for ``k = 1`` pigeonhole
+    gives ``l * m``.  For ``k >= 2``, greedily pick ``s + k - 1`` elements
+    such that the color of a ``k``-set depends only on its first ``k - 1``
+    members among the picked sequence; each pick splits the candidates into
+    at most ``l^{C(i, k-1)}`` classes, so ``s * l^{C(s + k, k)} + k``
+    starting elements suffice, where ``s = ramsey_bound(l, k-1, m)`` lets
+    the induced ``(k-1)``-coloring of the picked sequence finish the job.
+
+    Raises :class:`~repro.exceptions.BudgetExceededError` when the value
+    would exceed ``bit_cap`` bits (these bounds become physically
+    unrepresentable two Ramsey levels up).
+    """
+    if l < 1 or k < 0 or m < 0:
+        raise ValidationError("need l >= 1, k >= 0, m >= 0")
+    if k == 0:
+        # 0-subsets: the unique empty set; any I works once |I| > m.
+        return m
+    if m < k:
+        # Any I with |I| = k has a single k-subset, trivially constant.
+        return k - 1
+    if k == 1:
+        return l * m
+    s = ramsey_bound(l, k - 1, m, bit_cap) + k
+    # bit length of s * l^C(s+k, k) is about C(s+k, k) * log2(l): check
+    # before materializing the power.
+    if s.bit_length() * k > 64:
+        raise BudgetExceededError(
+            f"r({l}, {k}, {m}) is a power tower beyond representation"
+        )
+    exponent = comb(s + k, k)
+    bits = exponent * max(l.bit_length() - 1, 1) + s.bit_length()
+    if bits > bit_cap:
+        raise BudgetExceededError(
+            f"r({l}, {k}, {m}) needs ~{bits} bits (cap {bit_cap})"
+        )
+    return s * l ** exponent + k
+
+
+def paper_r(l: int, k: int, m: int) -> int:
+    """Alias matching the paper's notation ``r(l, k, m)``."""
+    return ramsey_bound(l, k, m)
+
+
+def find_monochromatic_subset(
+    elements: Sequence[Element],
+    k: int,
+    coloring: Coloring,
+    m: int,
+    budget: int = 5_000_000,
+) -> Optional[FrozenSet[Element]]:
+    """A subset ``I`` with ``|I| = m + 1`` and ``coloring`` constant on
+    ``[I]^k``, or ``None`` if none exists among ``elements``.
+
+    The coloring receives each ``k``-subset as a tuple sorted in the input
+    order of ``elements``.  Exhaustive over candidate subsets (budgeted);
+    meant for the modest instance sizes of the experiments.
+    """
+    if k < 0 or m < 0:
+        raise ValidationError("need k >= 0 and m >= 0")
+    pool = list(elements)
+    target = m + 1
+    if target <= k:
+        # Any (m+1)-subset has at most one k-subset: trivially constant.
+        if len(pool) >= target:
+            return frozenset(pool[:target])
+        return None
+    checked = 0
+    for candidate in combinations(pool, target):
+        checked += 1
+        if checked > budget:
+            raise BudgetExceededError(
+                f"monochromatic-subset search exceeded {budget} candidates"
+            )
+        colors = {coloring(sub) for sub in combinations(candidate, k)}
+        if len(colors) <= 1:
+            return frozenset(candidate)
+    return None
+
+
+def is_monochromatic(
+    subset: Sequence[Element], k: int, coloring: Coloring
+) -> bool:
+    """Whether ``coloring`` is constant on the ``k``-subsets of ``subset``."""
+    colors = {coloring(sub) for sub in combinations(list(subset), k)}
+    return len(colors) <= 1
+
+
+def edge_coloring_from_graph(graph) -> Coloring:
+    """2-coloring of vertex pairs by edge membership (graph Ramsey view).
+
+    With this coloring, a monochromatic set is a clique or an independent
+    set — the ``r(2, 2, m)`` special case discussed after Theorem 5.1.
+    """
+
+    def color(pair: Tuple[Element, ...]) -> int:
+        u, v = pair
+        return 1 if graph.has_edge(u, v) else 0
+
+    return color
+
+
+def ramsey_graph_witness(
+    graph, m: int, budget: int = 5_000_000
+) -> Optional[Tuple[str, FrozenSet[Element]]]:
+    """A clique or independent set with more than ``m`` vertices.
+
+    Returns ``('clique', I)`` or ``('independent', I)``, or ``None`` when
+    the graph has neither (possible only below the Ramsey bound).
+    """
+    found = find_monochromatic_subset(
+        graph.vertices, 2, edge_coloring_from_graph(graph), m, budget
+    )
+    if found is None:
+        return None
+    sample = sorted(found, key=str)[:2]
+    kind = "clique" if graph.has_edge(sample[0], sample[1]) else "independent"
+    return kind, found

@@ -1,0 +1,214 @@
+"""Scattered sets (Section 3).
+
+A set ``S`` of vertices is *d-scattered* when the ``d``-neighborhoods of
+its members are pairwise disjoint — equivalently, when all pairwise
+distances exceed ``2d``.  The paper's combinatorial core (Theorem 3.2,
+Lemma 3.4, Lemma 4.2, Theorem 5.3) is about producing large ``d``-scattered
+sets after deleting a bounded set ``B`` of vertices.
+
+This module provides the predicate, greedy and exact maximisers (via
+independent sets in the ``<= 2d`` power graph), and the search for a small
+removal set ``B`` making a large scattered set appear.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import BudgetExceededError, ValidationError
+from .graphs import Graph, Vertex, bfs_distances, power_graph
+
+
+def is_scattered(graph: Graph, vertices: Iterable[Vertex], d: int) -> bool:
+    """Whether ``vertices`` form a ``d``-scattered set in ``graph``.
+
+    Uses the distance characterization: ``N_d(u)`` and ``N_d(v)`` are
+    disjoint iff ``dist(u, v) > 2d``.
+    """
+    vs = list(vertices)
+    if len(set(vs)) != len(vs):
+        raise ValidationError("scattered set must not repeat vertices")
+    for v in vs:
+        if v not in graph:
+            raise ValidationError(f"{v!r} is not a vertex of the graph")
+    for i, u in enumerate(vs):
+        dist = bfs_distances(graph, u)
+        for v in vs[i + 1:]:
+            if dist.get(v, 2 * d + 1) <= 2 * d:
+                return False
+    return True
+
+
+def greedy_scattered_set(graph: Graph, d: int) -> List[Vertex]:
+    """A maximal (not necessarily maximum) ``d``-scattered set, greedily.
+
+    Scans vertices in graph order, adding each whose ``2d``-ball avoids all
+    previously chosen vertices.  Linear-ish and deterministic; the workhorse
+    for large experiment sweeps.
+    """
+    chosen: List[Vertex] = []
+    blocked: Set[Vertex] = set()
+    for v in graph.vertices:
+        if v in blocked:
+            continue
+        chosen.append(v)
+        dist = bfs_distances(graph, v)
+        blocked.update(u for u, dd in dist.items() if dd <= 2 * d)
+    return chosen
+
+
+def max_scattered_set(graph: Graph, d: int,
+                      budget: int = 2_000_000) -> List[Vertex]:
+    """A maximum ``d``-scattered set (exact, budgeted branch and bound).
+
+    Reduces to maximum independent set in the ``<= 2d`` power graph.
+    """
+    conflict = power_graph(graph, 2 * d)
+    return _max_independent_set(conflict, budget)
+
+
+def _max_independent_set(graph: Graph, budget: int) -> List[Vertex]:
+    """Maximum independent set via branch and bound on max-degree vertices."""
+    best: List[Vertex] = []
+    nodes = 0
+
+    def search(active: List[Vertex], current: List[Vertex]) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > budget:
+            raise BudgetExceededError(
+                f"independent-set search exceeded {budget} nodes"
+            )
+        if len(current) + len(active) <= len(best):
+            return
+        if not active:
+            if len(current) > len(best):
+                best = list(current)
+            return
+        sub_deg = {
+            v: sum(1 for u in graph.neighbors(v) if u in active_set)
+            for v in active
+        }
+        v = max(active, key=lambda u: (sub_deg[u], str(u)))
+        if sub_deg[v] <= 1:
+            # Every remaining vertex has degree <= 1: greedy is optimal.
+            remaining = set(active)
+            picked = list(current)
+            for u in active:
+                if u in remaining:
+                    picked.append(u)
+                    remaining.discard(u)
+                    for w in graph.neighbors(u):
+                        remaining.discard(w)
+            if len(picked) > len(best):
+                best = picked
+            return
+        # branch: v excluded / v included
+        rest = [u for u in active if u != v]
+        active_set.discard(v)
+        search(rest, current)
+        nbs = graph.neighbors(v)
+        rest2 = [u for u in rest if u not in nbs]
+        removed = [u for u in rest if u in nbs]
+        for u in removed:
+            active_set.discard(u)
+        search(rest2, current + [v])
+        for u in removed:
+            active_set.add(u)
+        active_set.add(v)
+
+    active_set = set(graph.vertices)
+    search(list(graph.vertices), [])
+    return best
+
+
+def find_scattered_set(graph: Graph, d: int, m: int,
+                       budget: int = 2_000_000) -> Optional[List[Vertex]]:
+    """A ``d``-scattered set of size ``>= m``, or ``None`` if none exists.
+
+    Tries the greedy heuristic first; falls back to the exact maximiser.
+    """
+    greedy = greedy_scattered_set(graph, d)
+    if len(greedy) >= m:
+        return greedy[:m]
+    exact = max_scattered_set(graph, d, budget)
+    if len(exact) >= m:
+        return exact[:m]
+    return None
+
+
+def scattered_number(graph: Graph, d: int, budget: int = 2_000_000) -> int:
+    """The size of a maximum ``d``-scattered set."""
+    return len(max_scattered_set(graph, d, budget))
+
+
+def find_removal_witness(
+    graph: Graph,
+    d: int,
+    m: int,
+    max_removals: int,
+    removal_budget: int = 200_000,
+) -> Optional[Tuple[FrozenSet[Vertex], List[Vertex]]]:
+    """A pair ``(B, S)`` with ``|B| <= max_removals`` and ``S`` ``d``-scattered
+    of size ``m`` in ``graph - B`` — the object Corollary 3.3 quantifies over.
+
+    Strategy: try ``B = {}`` first, then greedy candidates (hubs: highest
+    degree vertices; ball centers), then exhaustive subsets of the candidate
+    pool in increasing size (budgeted).  Returns ``None`` when no witness is
+    found within the budget — which, for inputs inside the theorem's class
+    and above the bound ``N``, would contradict the paper.
+    """
+    base = find_scattered_set(graph, d, m)
+    if base is not None:
+        return frozenset(), base
+
+    # Candidate pool: vertices likely to be "hubs" whose removal shatters
+    # the graph — high degree first (the star/sunflower intuition of §4).
+    pool = sorted(graph.vertices, key=lambda v: (-graph.degree(v), str(v)))
+    pool = pool[: max(4 * max_removals, 16)]
+
+    tried = 0
+    for size in range(1, max_removals + 1):
+        for removal in combinations(pool, size):
+            tried += 1
+            if tried > removal_budget:
+                raise BudgetExceededError(
+                    f"removal-witness search exceeded {removal_budget} subsets"
+                )
+            reduced = graph.remove_vertices(removal)
+            found = find_scattered_set(reduced, d, m)
+            if found is not None:
+                return frozenset(removal), found
+    # Last resort: exhaustive over all vertices (small graphs only).
+    if graph.num_vertices() <= 16:
+        verts = list(graph.vertices)
+        for size in range(1, max_removals + 1):
+            for removal in combinations(verts, size):
+                reduced = graph.remove_vertices(removal)
+                found = find_scattered_set(reduced, d, m)
+                if found is not None:
+                    return frozenset(removal), found
+    return None
+
+
+def verify_removal_witness(
+    graph: Graph,
+    d: int,
+    m: int,
+    max_removals: int,
+    witness: Tuple[FrozenSet[Vertex], Sequence[Vertex]],
+) -> bool:
+    """Independently check a witness produced by :func:`find_removal_witness`."""
+    removal, scattered = witness
+    if len(removal) > max_removals or len(scattered) < m:
+        return False
+    reduced = graph.remove_vertices(removal)
+    if any(v not in reduced for v in scattered):
+        return False
+    return is_scattered(reduced, list(scattered)[:m], d)
+
+
+def scattered_profile(graph: Graph, d_values: Sequence[int]) -> Dict[int, int]:
+    """Greedy scattered-set sizes for each ``d`` (cheap experiment summary)."""
+    return {d: len(greedy_scattered_set(graph, d)) for d in d_values}

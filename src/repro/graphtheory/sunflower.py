@@ -1,0 +1,163 @@
+"""The Erdős–Rado Sunflower Lemma (Theorem 4.1 of the paper).
+
+A *sunflower* with ``p`` petals in a family ``F`` of sets is a subfamily
+``F' ⊆ F`` of size ``p`` together with a *core* ``B`` such that every two
+distinct members of ``F'`` intersect exactly in ``B``.
+
+The lemma: if every set has ``k`` elements and ``|F| > k!(p-1)^k``, then a
+sunflower with ``p`` petals exists.  The extraction below follows the
+classical inductive proof, so it is guaranteed to succeed whenever the
+hypothesis holds; it may also succeed (opportunistically) below the bound.
+The sunflower drives Case 2 of Lemma 4.2 (long paths in a tree
+decomposition yield petal bags with a common core ``B``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+from typing import Counter as CounterType
+from collections import Counter
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+
+Element = Hashable
+SetFamily = Sequence[FrozenSet[Element]]
+
+
+@dataclass(frozen=True)
+class Sunflower:
+    """A sunflower: a core and the petal sets (each includes the core)."""
+
+    core: FrozenSet[Element]
+    petals: Tuple[FrozenSet[Element], ...]
+
+    def num_petals(self) -> int:
+        """The number of petals ``p``."""
+        return len(self.petals)
+
+    def open_petals(self) -> Tuple[FrozenSet[Element], ...]:
+        """The petals with the core removed (pairwise disjoint, non-empty
+        unless a petal equals the core)."""
+        return tuple(petal - self.core for petal in self.petals)
+
+
+def sunflower_bound(k: int, p: int) -> int:
+    """The Erdős–Rado bound ``k! (p-1)^k``.
+
+    Any family of more than this many ``k``-element sets contains a
+    sunflower with ``p`` petals.
+    """
+    if k < 0 or p < 1:
+        raise ValidationError("need k >= 0 and p >= 1")
+    return factorial(k) * (p - 1) ** k
+
+
+def is_sunflower(sets: Iterable[FrozenSet[Element]],
+                 core: Optional[FrozenSet[Element]] = None) -> bool:
+    """Whether the given sets form a sunflower (optionally with this core).
+
+    Every pair of distinct sets must intersect in exactly the same set; if
+    ``core`` is given it must equal that common intersection.
+    """
+    family = list(sets)
+    if len(set(family)) != len(family):
+        return False
+    if len(family) <= 1:
+        return core is None or all(core <= s for s in family)
+    expected = core
+    for i in range(len(family)):
+        for j in range(i + 1, len(family)):
+            inter = family[i] & family[j]
+            if expected is None:
+                expected = inter
+            elif inter != expected:
+                return False
+    return True
+
+
+def find_sunflower(
+    family: SetFamily, p: int
+) -> Optional[Sunflower]:
+    """Extract a sunflower with ``p`` petals, following the classical proof.
+
+    The sets may have different sizes.  Returns ``None`` only when the
+    recursive extraction fails — which cannot happen for uniform families
+    above :func:`sunflower_bound`.
+
+    Algorithm (induction on set size): take a maximal pairwise-disjoint
+    subfamily; if it has ``>= p`` members they form a sunflower with empty
+    core.  Otherwise some element lies in at least ``|F| / (k(p-1))`` sets;
+    remove it, recurse, and re-attach.
+    """
+    if p < 1:
+        raise ValidationError("need p >= 1")
+    sets = [frozenset(s) for s in dict.fromkeys(family)]
+    if len(sets) < p:
+        return None
+    result = _extract(sets, p)
+    if result is None:
+        return None
+    core, petals = result
+    flower = Sunflower(core, tuple(petals))
+    assert is_sunflower(flower.petals, flower.core)
+    return flower
+
+
+def _extract(
+    sets: List[FrozenSet[Element]], p: int
+) -> Optional[Tuple[FrozenSet[Element], List[FrozenSet[Element]]]]:
+    if len(sets) < p:
+        return None
+    # Maximal pairwise-disjoint subfamily (greedy is maximal).
+    disjoint: List[FrozenSet[Element]] = []
+    used: set = set()
+    for s in sets:
+        if not (s & used):
+            disjoint.append(s)
+            used |= s
+    if len(disjoint) >= p:
+        return frozenset(), disjoint[:p]
+
+    # Empty sets can only appear once (after dedup); if one is present the
+    # disjoint family above already contained it, so here all sets are
+    # non-empty. Find the most popular element.
+    counts: CounterType[Element] = Counter()
+    for s in sets:
+        counts.update(s)
+    if not counts:
+        return None
+    popular, _ = max(counts.items(), key=lambda kv: (kv[1], repr(kv[0])))
+    reduced = [s - {popular} for s in sets if popular in s]
+    # Dedup after removal (two sets differing only in `popular` collide).
+    reduced = list(dict.fromkeys(reduced))
+    sub = _extract(reduced, p)
+    if sub is None:
+        return None
+    core, petals = sub
+    return core | {popular}, [petal | {popular} for petal in petals]
+
+
+def sunflower_free_family(k: int, p: int) -> List[FrozenSet[int]]:
+    """A family of ``k``-sets with *no* ``p``-petal sunflower, of size
+    ``(p-1)^k`` (the standard lower-bound construction).
+
+    Take all transversals of ``k`` disjoint blocks of ``p - 1`` elements:
+    any ``p`` members must differ in some coordinate, where only ``p - 1``
+    values exist, forcing two petals to share a non-core element.
+    """
+    if k < 1 or p < 2:
+        raise ValidationError("need k >= 1 and p >= 2")
+    blocks = [[(i, j) for j in range(p - 1)] for i in range(k)]
+    family: List[FrozenSet[int]] = []
+
+    def build(i: int, acc: List) -> None:
+        if i == k:
+            family.append(frozenset(acc))
+            return
+        for item in blocks[i]:
+            build(i + 1, acc + [item])
+
+    build(0, [])
+    return family

@@ -1,0 +1,232 @@
+"""Tree decompositions (Section 2.1 of the paper).
+
+A tree decomposition of a graph ``G = (V, E)`` is a tree whose nodes are
+labelled ("bags") with non-empty subsets of ``V`` such that
+
+1. every vertex appears in some bag,
+2. every edge is covered by some bag, and
+3. for every vertex, the bags containing it form a connected subtree.
+
+The *width* is the maximum bag size minus one.  This module provides an
+explicit :class:`TreeDecomposition` value type, full validation of the
+three conditions, construction from elimination orders (the engine behind
+the exact treewidth algorithm), and the "standard manipulation" used in
+the proof of Lemma 4.2 (making bags pairwise incomparable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from ..exceptions import ValidationError
+from .graphs import Graph, Vertex, is_tree
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """A tree decomposition: a tree plus a bag per tree node.
+
+    Attributes
+    ----------
+    tree:
+        The underlying tree (a :class:`Graph` that must be a tree).
+    bags:
+        Mapping from tree node to the ``frozenset`` bag labelling it.
+    """
+
+    tree: Graph
+    bags: Dict[Hashable, FrozenSet[Vertex]]
+
+    def width(self) -> int:
+        """Maximum bag cardinality minus one (``-1`` for no bags)."""
+        if not self.bags:
+            return -1
+        return max(len(bag) for bag in self.bags.values()) - 1
+
+    def nodes(self) -> Tuple[Hashable, ...]:
+        """The tree nodes in deterministic order."""
+        return self.tree.vertices
+
+    def bag(self, node: Hashable) -> FrozenSet[Vertex]:
+        """The bag labelling ``node``."""
+        try:
+            return self.bags[node]
+        except KeyError:
+            raise ValidationError(f"{node!r} is not a tree node") from None
+
+    # ------------------------------------------------------------------
+    def validate(self, graph: Graph) -> None:
+        """Check the three tree-decomposition conditions for ``graph``.
+
+        Raises :class:`ValidationError` with a specific message when any
+        condition fails; returns ``None`` when the decomposition is valid.
+        """
+        if not is_tree(self.tree):
+            raise ValidationError("the underlying graph is not a tree")
+        if set(self.bags) != set(self.tree.vertices):
+            raise ValidationError("bags and tree nodes do not match")
+        for node, bag in self.bags.items():
+            if not bag:
+                raise ValidationError(f"bag at {node!r} is empty")
+            stray = bag - graph.vertex_set
+            if stray:
+                raise ValidationError(
+                    f"bag at {node!r} mentions non-vertices {sorted(map(repr, stray))}"
+                )
+        # (1) every vertex covered
+        covered: Set[Vertex] = set()
+        for bag in self.bags.values():
+            covered |= bag
+        missing = graph.vertex_set - covered
+        if missing:
+            raise ValidationError(
+                f"vertices not covered by any bag: {sorted(map(repr, missing))}"
+            )
+        # (2) every edge covered
+        for edge in graph.edges:
+            if not any(edge <= bag for bag in self.bags.values()):
+                raise ValidationError(f"edge {set(edge)} not covered by any bag")
+        # (3) connectedness of each vertex's bag set
+        for v in graph.vertices:
+            holding = [node for node, bag in self.bags.items() if v in bag]
+            sub = self.tree.subgraph(holding)
+            if holding and len(_reach(sub, holding[0])) != len(holding):
+                raise ValidationError(
+                    f"bags containing {v!r} do not form a connected subtree"
+                )
+
+    def is_valid(self, graph: Graph) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(graph)
+        except ValidationError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def prune_subsumed(self) -> "TreeDecomposition":
+        """Merge bags contained in a neighbouring bag.
+
+        Produces a decomposition of the same width in which, for every pair
+        of *adjacent* nodes ``u, v``, neither ``bag(u) ⊆ bag(v)`` nor the
+        converse holds — the "standard manipulation" invoked in the proof of
+        Lemma 4.2.  (For adjacent nodes this is equivalent to both set
+        differences being non-empty along every tree path, which is what the
+        sunflower argument needs.)
+        """
+        tree = self.tree
+        bags = dict(self.bags)
+        changed = True
+        while changed:
+            changed = False
+            for node in list(tree.vertices):
+                if tree.num_vertices() == 1:
+                    break
+                for nb in tree.neighbors(node):
+                    if bags[node] <= bags[nb]:
+                        tree = _contract_into(tree, nb, node)
+                        del bags[node]
+                        changed = True
+                        break
+                if changed:
+                    break
+        return TreeDecomposition(tree, bags)
+
+
+def _reach(graph: Graph, start: Hashable) -> Set[Hashable]:
+    """Vertices reachable from ``start`` (helper for condition 3)."""
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for w in graph.neighbors(u):
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return seen
+
+
+def _contract_into(tree: Graph, keep: Hashable, drop: Hashable) -> Graph:
+    """Remove tree node ``drop``, attaching its other neighbours to ``keep``."""
+    edges = []
+    for u, v in tree.edge_list():
+        if drop in (u, v):
+            other = v if u == drop else u
+            if other != keep:
+                edges.append((keep, other))
+        else:
+            edges.append((u, v))
+    verts = [v for v in tree.vertices if v != drop]
+    return Graph(verts, edges)
+
+
+# ----------------------------------------------------------------------
+# Construction from elimination orders
+# ----------------------------------------------------------------------
+def decomposition_from_elimination_order(
+    graph: Graph, order: Sequence[Vertex]
+) -> TreeDecomposition:
+    """Build a tree decomposition from a vertex elimination ``order``.
+
+    Eliminating a vertex connects its current neighbours into a clique
+    ("fill-in"); the bag of the eliminated vertex is itself plus those
+    neighbours.  The width of the resulting decomposition is the width of
+    the elimination order, and minimizing over orders yields treewidth.
+    """
+    if set(order) != graph.vertex_set or len(order) != graph.num_vertices():
+        raise ValidationError("order must be a permutation of the vertices")
+    if graph.num_vertices() == 0:
+        return TreeDecomposition(Graph(["root"], []), {"root": frozenset()})
+
+    adj: Dict[Vertex, Set[Vertex]] = {
+        v: set(graph.neighbors(v)) for v in graph.vertices
+    }
+    position = {v: i for i, v in enumerate(order)}
+    bags: Dict[Hashable, FrozenSet[Vertex]] = {}
+    parent_vertex: Dict[Vertex, Vertex] = {}
+
+    for v in order:
+        later = {w for w in adj[v] if position[w] > position[v]}
+        bags[v] = frozenset({v} | later)
+        # fill-in among later neighbours
+        later_list = list(later)
+        for i in range(len(later_list)):
+            for j in range(i + 1, len(later_list)):
+                adj[later_list[i]].add(later_list[j])
+                adj[later_list[j]].add(later_list[i])
+        if later:
+            parent_vertex[v] = min(later, key=position.__getitem__)
+
+    edges = [(v, p) for v, p in parent_vertex.items()]
+    # Connect remaining forest components (isolated elimination roots) in a chain.
+    tree = Graph(order, edges)
+    roots = [v for v in order if v not in parent_vertex]
+    for a, b in zip(roots, roots[1:]):
+        tree = tree.with_edge(a, b)
+    return TreeDecomposition(tree, bags)
+
+
+def elimination_order_width(graph: Graph, order: Sequence[Vertex]) -> int:
+    """The width of an elimination order (max later-neighbour count)."""
+    adj: Dict[Vertex, Set[Vertex]] = {
+        v: set(graph.neighbors(v)) for v in graph.vertices
+    }
+    position = {v: i for i, v in enumerate(order)}
+    width = 0
+    for v in order:
+        later = [w for w in adj[v] if position[w] > position[v]]
+        width = max(width, len(later))
+        for i in range(len(later)):
+            for j in range(i + 1, len(later)):
+                adj[later[i]].add(later[j])
+                adj[later[j]].add(later[i])
+    return width
+
+
+def path_of_bags(bags: Iterable[Iterable[Vertex]]) -> TreeDecomposition:
+    """Convenience: a path decomposition from an ordered list of bags."""
+    bag_list: List[FrozenSet[Vertex]] = [frozenset(b) for b in bags]
+    nodes = list(range(len(bag_list)))
+    tree = Graph(nodes, [(i, i + 1) for i in range(len(nodes) - 1)])
+    return TreeDecomposition(tree, dict(zip(nodes, bag_list)))

@@ -1,0 +1,230 @@
+"""Treewidth computation.
+
+Provides an exact branch-and-bound over elimination orders (with
+simplicial-vertex reduction, clique lower bounds and memoization on
+eliminated sets), plus the classical min-degree and min-fill heuristics
+for upper bounds on larger graphs.
+
+Treewidth drives Section 4 of the paper (classes ``T(k)`` of treewidth
+``< k``) and Lemma 7.2's bound on canonical structures of ``CQ^k``
+sentences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import BudgetExceededError, ValidationError
+from .graphs import Graph, Vertex, connected_components
+from .tree_decomposition import (
+    TreeDecomposition,
+    decomposition_from_elimination_order,
+)
+
+#: Default cap on exact-search instance size; beyond it the exact solver
+#: refuses (use :func:`treewidth_upper_bound` instead).
+DEFAULT_EXACT_LIMIT = 40
+
+
+def _copy_adj(graph: Graph) -> Dict[Vertex, Set[Vertex]]:
+    return {v: set(graph.neighbors(v)) for v in graph.vertices}
+
+
+def _eliminate(adj: Dict[Vertex, Set[Vertex]], v: Vertex) -> None:
+    """Eliminate ``v`` in-place: clique its neighbourhood, remove it."""
+    neighbors = adj[v]
+    for u in neighbors:
+        adj[u].discard(v)
+    nb_list = list(neighbors)
+    for i in range(len(nb_list)):
+        for j in range(i + 1, len(nb_list)):
+            adj[nb_list[i]].add(nb_list[j])
+            adj[nb_list[j]].add(nb_list[i])
+    del adj[v]
+
+
+def _fill_in(adj: Dict[Vertex, Set[Vertex]], v: Vertex) -> int:
+    """Number of missing edges among the neighbours of ``v``."""
+    nb = list(adj[v])
+    missing = 0
+    for i in range(len(nb)):
+        for j in range(i + 1, len(nb)):
+            if nb[j] not in adj[nb[i]]:
+                missing += 1
+    return missing
+
+
+def min_degree_order(graph: Graph) -> List[Vertex]:
+    """The min-degree elimination order (classic upper-bound heuristic)."""
+    adj = _copy_adj(graph)
+    order: List[Vertex] = []
+    while adj:
+        v = min(adj, key=lambda u: (len(adj[u]), str(u)))
+        order.append(v)
+        _eliminate(adj, v)
+    return order
+
+
+def min_fill_order(graph: Graph) -> List[Vertex]:
+    """The min-fill elimination order (usually tighter than min-degree)."""
+    adj = _copy_adj(graph)
+    order: List[Vertex] = []
+    while adj:
+        v = min(adj, key=lambda u: (_fill_in(adj, u), len(adj[u]), str(u)))
+        order.append(v)
+        _eliminate(adj, v)
+    return order
+
+
+def treewidth_upper_bound(graph: Graph) -> Tuple[int, TreeDecomposition]:
+    """Best of the min-degree / min-fill heuristics, with its decomposition."""
+    best: Optional[Tuple[int, TreeDecomposition]] = None
+    for order_fn in (min_fill_order, min_degree_order):
+        order = order_fn(graph)
+        decomp = decomposition_from_elimination_order(graph, order)
+        width = decomp.width()
+        if best is None or width < best[0]:
+            best = (width, decomp)
+    assert best is not None
+    return best
+
+
+def treewidth_lower_bound(graph: Graph) -> int:
+    """A cheap lower bound: max over degeneracy-style minimum degrees (MMD).
+
+    The "maximum minimum degree" bound: repeatedly delete a minimum-degree
+    vertex; the largest minimum degree seen is at most the treewidth.
+    """
+    adj = _copy_adj(graph)
+    best = 0
+    while adj:
+        v = min(adj, key=lambda u: len(adj[u]))
+        best = max(best, len(adj[v]))
+        for u in adj[v]:
+            adj[u].discard(v)
+        del adj[v]
+    return best
+
+
+def _component_treewidth_exact(graph: Graph, limit: int) -> int:
+    """Exact treewidth of a connected graph via B&B over elimination orders."""
+    n = graph.num_vertices()
+    if n <= 1:
+        return 0
+    upper, _ = treewidth_upper_bound(graph)
+    lower = treewidth_lower_bound(graph)
+    if lower == upper:
+        return upper
+    if n > limit:
+        raise BudgetExceededError(
+            f"exact treewidth limited to {limit} vertices (got {n}); "
+            "use treewidth_upper_bound for larger graphs"
+        )
+
+    vertices = list(graph.vertices)
+    best = upper
+    # memo: frozenset of eliminated vertices -> best width achieved so far
+    memo: Dict[FrozenSet[Vertex], int] = {}
+
+    def search(adj: Dict[Vertex, Set[Vertex]], width_so_far: int,
+               eliminated: FrozenSet[Vertex]) -> None:
+        nonlocal best
+        if width_so_far >= best:
+            return
+        if not adj:
+            best = width_so_far
+            return
+        prev = memo.get(eliminated)
+        if prev is not None and prev <= width_so_far:
+            return
+        memo[eliminated] = width_so_far
+
+        # Simplicial / almost-simplicial reduction: a vertex whose
+        # neighbourhood is a clique can always be eliminated first.
+        for v in adj:
+            nb = adj[v]
+            if len(nb) < best and all(
+                u2 in adj[u1] for u1 in nb for u2 in nb if u1 != u2
+            ):
+                new_adj = {u: set(ns) for u, ns in adj.items()}
+                _eliminate(new_adj, v)
+                search(new_adj, max(width_so_far, len(nb)),
+                       eliminated | {v})
+                return
+
+        candidates = sorted(adj, key=lambda u: (len(adj[u]), str(u)))
+        for v in candidates:
+            deg = len(adj[v])
+            if deg >= best:
+                continue
+            new_adj = {u: set(ns) for u, ns in adj.items()}
+            _eliminate(new_adj, v)
+            search(new_adj, max(width_so_far, deg), eliminated | {v})
+
+    search(_copy_adj(graph), 0, frozenset())
+    del vertices
+    return best
+
+
+def treewidth_exact(graph: Graph, limit: int = DEFAULT_EXACT_LIMIT) -> int:
+    """The exact treewidth of ``graph``.
+
+    Decomposes into connected components (treewidth is the max over
+    components) and runs branch-and-bound per component.  Raises
+    :class:`BudgetExceededError` when a component exceeds ``limit``
+    vertices and the heuristic bounds do not already close the gap.
+    """
+    if graph.num_vertices() == 0:
+        return 0
+    result = 0
+    for comp in connected_components(graph):
+        sub = graph.subgraph(comp)
+        result = max(result, _component_treewidth_exact(sub, limit))
+    return result
+
+
+def treewidth_decomposition(
+    graph: Graph, limit: int = DEFAULT_EXACT_LIMIT
+) -> TreeDecomposition:
+    """An optimal-width tree decomposition (exact, small graphs).
+
+    Finds the treewidth exactly, then searches for an elimination order
+    realizing it (branch-and-bound constrained to that width).
+    """
+    target = treewidth_exact(graph, limit)
+    order = _order_of_width(graph, target)
+    if order is None:  # pragma: no cover - target is achievable by definition
+        raise ValidationError("internal error: no order achieves the treewidth")
+    return decomposition_from_elimination_order(graph, order)
+
+
+def _order_of_width(graph: Graph, target: int) -> Optional[List[Vertex]]:
+    """An elimination order of width ``<= target``, or ``None``."""
+    memo: Set[FrozenSet[Vertex]] = set()
+
+    def search(adj: Dict[Vertex, Set[Vertex]],
+               eliminated: FrozenSet[Vertex]) -> Optional[List[Vertex]]:
+        if not adj:
+            return []
+        if eliminated in memo:
+            return None
+        for v in sorted(adj, key=lambda u: (len(adj[u]), str(u))):
+            if len(adj[v]) > target:
+                continue
+            new_adj = {u: set(ns) for u, ns in adj.items()}
+            _eliminate(new_adj, v)
+            rest = search(new_adj, eliminated | {v})
+            if rest is not None:
+                return [v] + rest
+        memo.add(eliminated)
+        return None
+
+    return search(_copy_adj(graph), frozenset())
+
+
+def has_treewidth_less_than(graph: Graph, k: int,
+                            limit: int = DEFAULT_EXACT_LIMIT) -> bool:
+    """Membership in the paper's class ``T(k)``: treewidth ``< k``."""
+    if k < 1:
+        return False
+    return treewidth_exact(graph, limit) < k

@@ -1,0 +1,73 @@
+"""Homomorphisms, isomorphisms, retractions and cores of finite structures."""
+
+from .search import (
+    Homomorphism,
+    HomomorphismSearch,
+    count_homomorphisms,
+    find_homomorphism,
+    find_homomorphism_avoiding,
+    find_injective_homomorphism,
+    has_homomorphism,
+    is_homomorphism,
+    iter_homomorphisms,
+)
+from .counting import (
+    automorphism_count,
+    endomorphism_count,
+    lovasz_agrees_with_isomorphism,
+    lovasz_distinguishes,
+    lovasz_vector,
+    surjective_hom_count,
+)
+from .isomorphism import (
+    are_isomorphic,
+    dedup_up_to_isomorphism,
+    find_isomorphism,
+    is_automorphism,
+)
+from .equivalence import (
+    are_homomorphically_equivalent,
+    find_retraction,
+    homomorphism_preorder_classes,
+    is_retract,
+)
+from .cores import (
+    compute_core,
+    compute_core_with_map,
+    core_certificate,
+    find_proper_retraction,
+    have_same_core,
+    is_core,
+)
+
+__all__ = [
+    "Homomorphism",
+    "HomomorphismSearch",
+    "count_homomorphisms",
+    "find_homomorphism",
+    "find_homomorphism_avoiding",
+    "find_injective_homomorphism",
+    "has_homomorphism",
+    "is_homomorphism",
+    "iter_homomorphisms",
+    "automorphism_count",
+    "endomorphism_count",
+    "lovasz_agrees_with_isomorphism",
+    "lovasz_distinguishes",
+    "lovasz_vector",
+    "surjective_hom_count",
+    "are_isomorphic",
+    "dedup_up_to_isomorphism",
+    "find_isomorphism",
+    "is_automorphism",
+    "are_homomorphically_equivalent",
+    "find_retraction",
+    "homomorphism_preorder_classes",
+    "is_retract",
+    "compute_core",
+    "compute_core_with_map",
+    "core_certificate",
+    "find_proper_retraction",
+    "have_same_core",
+    "is_core",
+]

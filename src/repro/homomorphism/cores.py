@@ -1,0 +1,108 @@
+"""Cores of finite structures (Sections 1, 6.2 of the paper).
+
+A substructure ``B`` of ``A`` is a *core of* ``A`` when there is a
+homomorphism ``A → B`` but none to any proper substructure of ``B``.
+Every finite structure has a core, unique up to isomorphism, and ``A`` is
+homomorphically equivalent to ``core(A)``.
+
+The computation iterates proper retractions: as long as some element can
+be avoided by an endomorphism, replace the structure by that
+endomorphism's image.  A bijective endomorphism of a finite structure is
+an automorphism, so when no element can be avoided no proper substructure
+admits a homomorphism either — the remaining structure is the core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..structures.operations import homomorphic_image
+from ..structures.structure import Element, Structure
+from .search import (
+    HomomorphismSearch,
+    find_homomorphism,
+    is_homomorphism,
+)
+
+
+def find_proper_retraction(
+    structure: Structure,
+) -> Optional[Dict[Element, Element]]:
+    """An endomorphism avoiding at least one element, or ``None``.
+
+    Constant-named elements can never be avoided (homomorphisms fix
+    constants), so they are skipped.
+    """
+    protected = set(structure.constants.values())
+    for element in structure.universe:
+        if element in protected:
+            continue
+        search = HomomorphismSearch(
+            structure, structure, forbidden_images=[element]
+        )
+        endo = search.first()
+        if endo is not None:
+            return endo
+    return None
+
+
+def compute_core(structure: Structure) -> Structure:
+    """The core of ``structure`` (a substructure of it).
+
+    Iterates proper retractions to a fixpoint.  The result is a
+    substructure of the input and homomorphically equivalent to it.
+    """
+    current = structure
+    while True:
+        retraction = find_proper_retraction(current)
+        if retraction is None:
+            return current
+        current = homomorphic_image(current, retraction)
+
+
+def compute_core_with_map(
+    structure: Structure,
+) -> Tuple[Structure, Dict[Element, Element]]:
+    """The core together with a homomorphism from the input onto it."""
+    current = structure
+    total: Dict[Element, Element] = {e: e for e in structure.universe}
+    while True:
+        retraction = find_proper_retraction(current)
+        if retraction is None:
+            return current, total
+        current = homomorphic_image(current, retraction)
+        total = {e: retraction[v] for e, v in total.items()}
+
+
+def is_core(structure: Structure) -> bool:
+    """Whether ``structure`` is its own core (no proper retraction)."""
+    return find_proper_retraction(structure) is None
+
+
+def core_certificate(structure: Structure) -> Tuple[Structure, Dict, bool]:
+    """The core, the retraction onto it, and a verified flag.
+
+    The flag confirms (a) the core is a substructure, (b) the map is a
+    homomorphism onto the core, and (c) the core admits no further proper
+    retraction — an end-to-end independent check of the computation.
+    """
+    core, mapping = compute_core_with_map(structure)
+    ok = (
+        core.is_substructure_of(structure)
+        and is_homomorphism(structure, core, mapping)
+        and set(mapping.values()) == set(core.universe)
+        and is_core(core)
+    )
+    return core, mapping, ok
+
+
+def have_same_core(a: Structure, b: Structure) -> bool:
+    """Whether two structures have isomorphic cores.
+
+    Equivalent to homomorphic equivalence of ``a`` and ``b``; checked via
+    mutual homomorphisms (cheaper than isomorphism of cores).
+    """
+    return (
+        find_homomorphism(a, b) is not None
+        and find_homomorphism(b, a) is not None
+    )

@@ -1,0 +1,70 @@
+"""Homomorphic equivalence and retractions (Section 2.1).
+
+Two structures are homomorphically equivalent when homomorphisms exist in
+both directions; this is the equivalence underlying cores, conjunctive
+query equivalence, and the classes ``H(T(k))`` of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..structures.structure import Element, Structure
+from .search import HomomorphismSearch, find_homomorphism
+
+
+def are_homomorphically_equivalent(a: Structure, b: Structure) -> bool:
+    """Whether there are homomorphisms ``a → b`` and ``b → a``."""
+    return (
+        find_homomorphism(a, b) is not None
+        and find_homomorphism(b, a) is not None
+    )
+
+
+def find_retraction(
+    structure: Structure, onto: Iterable[Element]
+) -> Optional[Dict[Element, Element]]:
+    """A retraction onto the induced substructure on ``onto``, or ``None``.
+
+    A retraction is an endomorphism that is the identity on ``onto`` and
+    whose image lies inside ``onto``.
+    """
+    target_elements = set(onto)
+    pinned = {e: e for e in target_elements}
+    forbidden = [e for e in structure.universe if e not in target_elements]
+    search = HomomorphismSearch(
+        structure, structure, pinned=pinned, forbidden_images=forbidden
+    )
+    return search.first()
+
+
+def is_retract(structure: Structure, candidate: Structure) -> bool:
+    """Whether ``candidate`` (a substructure) is a retract of ``structure``.
+
+    Requires a homomorphism ``structure → candidate`` that is the identity
+    on the candidate's universe.
+    """
+    if not candidate.is_substructure_of(structure):
+        return False
+    pinned = {e: e for e in candidate.universe}
+    search = HomomorphismSearch(structure, candidate, pinned=pinned)
+    return search.first() is not None
+
+
+def homomorphism_preorder_classes(structures) -> list:
+    """Partition structures into homomorphic-equivalence classes.
+
+    Returns a list of lists; within each class all structures are mutually
+    homomorphic.  Quadratic in the number of structures.
+    """
+    classes: list = []
+    for s in structures:
+        placed = False
+        for cls in classes:
+            if are_homomorphically_equivalent(s, cls[0]):
+                cls.append(s)
+                placed = True
+                break
+        if not placed:
+            classes.append([s])
+    return classes

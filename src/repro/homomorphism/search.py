@@ -1,0 +1,338 @@
+"""Homomorphism search between finite structures.
+
+A homomorphism ``h : A → B`` maps the universe of ``A`` to that of ``B``
+so that every fact of ``A`` is sent to a fact of ``B`` (and constants are
+preserved).  Finding one is the classical CSP/conjunctive-query-evaluation
+problem (Chandra–Merlin, Theorem 2.1), NP-complete in general.
+
+The solver is backtracking search with:
+
+* unary pre-filtering (an element occurring at position ``i`` of an
+  ``R``-fact can only map to values occurring at position ``i`` of
+  ``R^B``),
+* AC-3-style propagation over the fact hypergraph,
+* MRV (fewest remaining values) variable selection, and
+* per-position tuple indexes on the target for fast support checks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..exceptions import ValidationError
+from ..structures.structure import Element, Structure, Tup
+
+Homomorphism = Dict[Element, Element]
+
+
+def is_homomorphism(
+    source: Structure, target: Structure, mapping: Mapping[Element, Element]
+) -> bool:
+    """Verify that ``mapping`` is a homomorphism from ``source`` to ``target``.
+
+    Checks totality, codomain, fact preservation and constant preservation.
+    """
+    if source.vocabulary.relations != target.vocabulary.relations:
+        return False
+    for e in source.universe:
+        if e not in mapping or mapping[e] not in target.universe_set:
+            return False
+    for cname in source.vocabulary.constants:
+        if not target.vocabulary.has_constant(cname):
+            return False
+        if mapping[source.constant(cname)] != target.constant(cname):
+            return False
+    for name, tup in source.facts():
+        image = tuple(mapping[x] for x in tup)
+        if image not in target.relation(name):
+            return False
+    return True
+
+
+class _TargetIndex:
+    """Per-relation, per-position indexes of the target's tuples."""
+
+    def __init__(self, target: Structure) -> None:
+        self.tuples: Dict[str, Tuple[Tup, ...]] = {}
+        self.by_position: Dict[str, List[Dict[Element, Set[int]]]] = {}
+        self.position_values: Dict[str, List[FrozenSet[Element]]] = {}
+        for name in target.vocabulary.relation_names:
+            tuples = tuple(sorted(target.relation(name), key=repr))
+            self.tuples[name] = tuples
+            arity = target.vocabulary.arity(name)
+            index: List[Dict[Element, Set[int]]] = [
+                defaultdict(set) for _ in range(arity)
+            ]
+            for t_idx, tup in enumerate(tuples):
+                for pos, value in enumerate(tup):
+                    index[pos][value].add(t_idx)
+            self.by_position[name] = index
+            self.position_values[name] = [
+                frozenset(index[pos].keys()) for pos in range(arity)
+            ]
+
+
+class HomomorphismSearch:
+    """A configurable homomorphism search between two fixed structures.
+
+    Parameters
+    ----------
+    source, target:
+        Structures over the same relational vocabulary (constants in the
+        source must exist in the target as well).
+    injective:
+        Require the homomorphism to be injective (used by isomorphism and
+        subgraph-embedding style queries).
+    pinned:
+        A partial assignment the homomorphism must extend.
+    forbidden_images:
+        Elements of the target that may not be used as images (used by the
+        core computation to exclude an element).
+    propagate:
+        Enable the AC-style constraint propagation (default).  Disabling
+        it leaves plain backtracking with forward checking — exposed for
+        the ablation benchmarks.
+    """
+
+    def __init__(
+        self,
+        source: Structure,
+        target: Structure,
+        injective: bool = False,
+        pinned: Optional[Mapping[Element, Element]] = None,
+        forbidden_images: Iterator = (),
+        propagate: bool = True,
+    ) -> None:
+        if source.vocabulary.relations != target.vocabulary.relations:
+            raise ValidationError(
+                "source and target must share their relation symbols"
+            )
+        self.source = source
+        self.target = target
+        self.injective = injective
+        self.propagate = propagate
+        self.index = _TargetIndex(target)
+
+        forbidden = frozenset(forbidden_images)
+        base_domain = [
+            e for e in target.universe if e not in forbidden
+        ]
+
+        # facts_of[element] = list of (relation name, tuple, positions of elt)
+        self.facts_of: Dict[Element, List[Tuple[str, Tup]]] = {
+            e: [] for e in source.universe
+        }
+        self.all_facts: List[Tuple[str, Tup]] = []
+        for name, tup in source.facts():
+            self.all_facts.append((name, tup))
+            for e in set(tup):
+                self.facts_of[e].append((name, tup))
+
+        # Initial domains with unary filtering.
+        self.domains: Dict[Element, Set[Element]] = {}
+        for e in source.universe:
+            dom: Set[Element] = set(base_domain)
+            for name, tup in self.facts_of[e]:
+                dom &= self._positions_filter(name, tup, e)
+            self.domains[e] = dom
+
+        # Constants pin their interpretation.
+        for cname in source.vocabulary.constants:
+            if not target.vocabulary.has_constant(cname):
+                raise ValidationError(
+                    f"target lacks constant {cname!r} present in source"
+                )
+            self._pin(source.constant(cname), target.constant(cname))
+        if pinned:
+            for key, value in pinned.items():
+                self._pin(key, value)
+
+    def _pin(self, element: Element, value: Element) -> None:
+        if element not in self.domains:
+            raise ValidationError(f"{element!r} is not a source element")
+        self.domains[element] &= {value}
+
+    def _positions_filter(self, name: str, tup: Tup, e: Element) -> Set[Element]:
+        """Values ``v`` such that some target tuple has ``v`` at *every*
+        position where ``e`` occurs in ``tup``."""
+        positions = [pos for pos, x in enumerate(tup) if x == e]
+        out: Set[Element] = set()
+        for cand in self.index.tuples[name]:
+            vals = {cand[pos] for pos in positions}
+            if len(vals) == 1:
+                out.add(next(iter(vals)))
+        return out
+
+    # ------------------------------------------------------------------
+    def _consistent_fact(
+        self, name: str, tup: Tup, assignment: Dict[Element, Element]
+    ) -> bool:
+        """Whether some target tuple matches the assigned positions of a fact."""
+        candidates: Optional[Set[int]] = None
+        for pos, x in enumerate(tup):
+            if x in assignment:
+                supp = self.index.by_position[name][pos].get(assignment[x])
+                if not supp:
+                    return False
+                candidates = set(supp) if candidates is None else candidates & supp
+                if not candidates:
+                    return False
+        if candidates is None:
+            return bool(self.index.tuples[name])
+        return bool(candidates)
+
+    def _propagate(
+        self,
+        domains: Dict[Element, Set[Element]],
+        assignment: Dict[Element, Element],
+    ) -> bool:
+        """AC-style pass: prune values with no supporting target tuple.
+
+        Returns ``False`` on a wipe-out.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for name, tup in self.all_facts:
+                if all(x in assignment for x in tup):
+                    continue
+                # candidate target tuples compatible with current domains
+                surviving: List[int] = []
+                for t_idx, cand in enumerate(self.index.tuples[name]):
+                    ok = True
+                    for pos, x in enumerate(tup):
+                        value = cand[pos]
+                        if x in assignment:
+                            if assignment[x] != value:
+                                ok = False
+                                break
+                        elif value not in domains[x]:
+                            ok = False
+                            break
+                    if ok:
+                        surviving.append(t_idx)
+                if not surviving:
+                    return False
+                for pos_group in self._grouped_positions(tup):
+                    x = tup[pos_group[0]]
+                    if x in assignment:
+                        continue
+                    supported = set()
+                    for t_idx in surviving:
+                        cand = self.index.tuples[name][t_idx]
+                        vals = {cand[pos] for pos in pos_group}
+                        if len(vals) == 1:
+                            supported.add(next(iter(vals)))
+                    new_domain = domains[x] & supported
+                    if len(new_domain) < len(domains[x]):
+                        domains[x] = new_domain
+                        if not new_domain:
+                            return False
+                        changed = True
+        return True
+
+    @staticmethod
+    def _grouped_positions(tup: Tup) -> List[List[int]]:
+        groups: Dict[Element, List[int]] = defaultdict(list)
+        for pos, x in enumerate(tup):
+            groups[x].append(pos)
+        return list(groups.values())
+
+    # ------------------------------------------------------------------
+    def solutions(self) -> Iterator[Homomorphism]:
+        """Yield every homomorphism (deterministic order)."""
+        domains = {e: set(d) for e, d in self.domains.items()}
+        yield from self._search(domains, {})
+
+    def first(self) -> Optional[Homomorphism]:
+        """The first homomorphism found, or ``None``."""
+        for solution in self.solutions():
+            return solution
+        return None
+
+    def _search(
+        self,
+        domains: Dict[Element, Set[Element]],
+        assignment: Dict[Element, Element],
+    ) -> Iterator[Homomorphism]:
+        if len(assignment) == len(self.source.universe):
+            yield dict(assignment)
+            return
+        if self.propagate and not self._propagate(domains, assignment):
+            return
+        unassigned = [e for e in self.source.universe if e not in assignment]
+        # MRV with degree tie-break.
+        var = min(
+            unassigned,
+            key=lambda e: (len(domains[e]), -len(self.facts_of[e]), repr(e)),
+        )
+        values = sorted(domains[var], key=repr)
+        for value in values:
+            if self.injective and value in assignment.values():
+                continue
+            assignment[var] = value
+            ok = all(
+                self._consistent_fact(name, tup, assignment)
+                for name, tup in self.facts_of[var]
+            )
+            if ok:
+                child = {e: set(d) for e, d in domains.items()}
+                child[var] = {value}
+                yield from self._search(child, assignment)
+            del assignment[var]
+
+
+# ----------------------------------------------------------------------
+# Convenience functions
+# ----------------------------------------------------------------------
+def find_homomorphism(
+    source: Structure,
+    target: Structure,
+    pinned: Optional[Mapping[Element, Element]] = None,
+) -> Optional[Homomorphism]:
+    """A homomorphism from ``source`` to ``target``, or ``None``."""
+    return HomomorphismSearch(source, target, pinned=pinned).first()
+
+
+def has_homomorphism(source: Structure, target: Structure) -> bool:
+    """Whether a homomorphism ``source → target`` exists (Theorem 2.1's (1))."""
+    return find_homomorphism(source, target) is not None
+
+
+def iter_homomorphisms(
+    source: Structure, target: Structure
+) -> Iterator[Homomorphism]:
+    """All homomorphisms from ``source`` to ``target``."""
+    return HomomorphismSearch(source, target).solutions()
+
+
+def count_homomorphisms(source: Structure, target: Structure) -> int:
+    """The number of homomorphisms from ``source`` to ``target``."""
+    return sum(1 for _ in iter_homomorphisms(source, target))
+
+
+def find_injective_homomorphism(
+    source: Structure, target: Structure
+) -> Optional[Homomorphism]:
+    """An injective homomorphism (embedding of the non-induced kind)."""
+    return HomomorphismSearch(source, target, injective=True).first()
+
+
+def find_homomorphism_avoiding(
+    source: Structure, target: Structure, forbidden: Iterator
+) -> Optional[Homomorphism]:
+    """A homomorphism whose image avoids the ``forbidden`` target elements."""
+    return HomomorphismSearch(
+        source, target, forbidden_images=forbidden
+    ).first()

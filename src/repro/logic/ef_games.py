@@ -1,0 +1,159 @@
+"""Ehrenfeucht–Fraïssé games.
+
+The classical tool for *non*-definability results.  Two structures are
+``≡_m``-equivalent (agree on all FO sentences of quantifier rank ``m``)
+iff Duplicator wins the ``m``-round EF game — unlike the existential
+pebble game of Section 7.2, pebbled positions here must be partial
+*isomorphisms* and Spoiler may play on either structure.
+
+The paper invokes this machinery at Proposition 7.9(1): "it is well
+known that acyclicity is not first-order definable (this can be shown
+using Ehrenfeucht–Fraïssé games)".  :func:`ef_equivalent` decides
+``≡_m`` exactly (exponential in ``m``; fine for the experiment sizes),
+and :func:`acyclicity_is_not_fo_up_to` replays the classical argument:
+for every rank ``m`` there are a cyclic and an acyclic structure that
+are ``≡_m``-equivalent.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ValidationError
+from ..structures.structure import Element, Structure
+
+
+def _is_partial_isomorphism(
+    pairs: Tuple[Tuple[Element, Element], ...], a: Structure, b: Structure
+) -> bool:
+    """Whether the pebbled pairs form a partial isomorphism."""
+    mapping: Dict[Element, Element] = {}
+    inverse: Dict[Element, Element] = {}
+    for x, y in pairs:
+        if mapping.get(x, y) != y or inverse.get(y, x) != x:
+            return False
+        mapping[x] = y
+        inverse[y] = x
+    domain = set(mapping)
+    rng = set(inverse)
+    for name in a.vocabulary.relation_names:
+        rel_a, rel_b = a.relation(name), b.relation(name)
+        for tup in rel_a:
+            if all(x in domain for x in tup):
+                if tuple(mapping[x] for x in tup) not in rel_b:
+                    return False
+        for tup in rel_b:
+            if all(y in rng for y in tup):
+                if tuple(inverse[y] for y in tup) not in rel_a:
+                    return False
+    return True
+
+
+class EFGame:
+    """The ``m``-round Ehrenfeucht–Fraïssé game on two structures."""
+
+    def __init__(self, a: Structure, b: Structure) -> None:
+        if a.vocabulary.relations != b.vocabulary.relations:
+            raise ValidationError("structures must share relation symbols")
+        if a.vocabulary.constants or b.vocabulary.constants:
+            raise ValidationError("EF games here are for purely relational "
+                                  "structures")
+        self.a = a
+        self.b = b
+
+    def duplicator_wins(self, rounds: int) -> bool:
+        """Whether Duplicator survives ``rounds`` rounds from the start."""
+        return self._wins((), rounds)
+
+    def _wins(self, pairs: Tuple[Tuple[Element, Element], ...],
+              rounds: int) -> bool:
+        # positions are order-independent sets: canonicalize for the memo
+        return self._wins_canonical(tuple(sorted(pairs, key=repr)), rounds)
+
+    @lru_cache(maxsize=None)  # noqa: B019 - game objects are short-lived
+    def _wins_canonical(self, pairs: Tuple[Tuple[Element, Element], ...],
+                        rounds: int) -> bool:
+        if not _is_partial_isomorphism(pairs, self.a, self.b):
+            return False
+        if rounds == 0:
+            return True
+        # Spoiler plays on A: Duplicator needs an answer in B; and dually.
+        for x in self.a.universe:
+            if not any(
+                self._wins(pairs + ((x, y),), rounds - 1)
+                for y in self.b.universe
+            ):
+                return False
+        for y in self.b.universe:
+            if not any(
+                self._wins(pairs + ((x, y),), rounds - 1)
+                for x in self.a.universe
+            ):
+                return False
+        return True
+
+
+def ef_equivalent(a: Structure, b: Structure, rounds: int) -> bool:
+    """``A ≡_m B``: agreement on all FO sentences of quantifier rank ``m``.
+
+    Decided via the EF game (Ehrenfeucht's theorem).
+    """
+    if rounds < 0:
+        raise ValidationError("rounds must be non-negative")
+    return EFGame(a, b).duplicator_wins(rounds)
+
+
+def separating_rank(
+    a: Structure, b: Structure, max_rounds: int = 4
+) -> Optional[int]:
+    """The least quantifier rank distinguishing ``a`` from ``b``.
+
+    ``None`` when they are ``≡_m`` for every probed ``m <= max_rounds``.
+    """
+    for m in range(max_rounds + 1):
+        if not ef_equivalent(a, b, m):
+            return m
+    return None
+
+
+def acyclicity_separating_pair(n: int) -> Tuple[Structure, Structure]:
+    """The classical pair behind Proposition 7.9(1).
+
+    A bare cycle is rank-2-distinguishable from a path (a path has a
+    sink), so the standard construction hides the cycle next to a path:
+    ``A = C_n ⊔ P_n`` (cyclic) versus ``B = P_{2n}`` (acyclic).  Both
+    have exactly one sink, one source, and locally identical
+    neighbourhoods; only the (non-local) cycle distinguishes them.
+    """
+    from ..structures.generators import directed_cycle, directed_path
+    from ..structures.operations import disjoint_union
+
+    cyclic = disjoint_union(directed_cycle(n), directed_path(n))
+    acyclic = directed_path(2 * n)
+    return cyclic, acyclic
+
+
+def acyclicity_is_not_fo_up_to(
+    max_rank: int = 2, sizes: Optional[Dict[int, int]] = None
+) -> List[Tuple[int, int, bool]]:
+    """The classical EF argument behind Proposition 7.9(1), executed.
+
+    For each rank ``m <= max_rank``, exhibit a cyclic and an acyclic
+    structure (:func:`acyclicity_separating_pair`) that are
+    ``≡_m``-equivalent — so no rank-``m`` sentence defines acyclicity.
+    Returns rows ``(m, n, equivalent)``; the argument's shape is
+    ``equivalent == True`` on every row.
+
+    The game decision is exponential in ``m`` (the default stops at 2;
+    pass larger sizes/ranks with patience).
+    """
+    chosen = {1: 3, 2: 5, 3: 9}
+    if sizes:
+        chosen.update(sizes)
+    rows: List[Tuple[int, int, bool]] = []
+    for m in range(1, max_rank + 1):
+        n = chosen.get(m, 2 ** m + 1)
+        cyclic, acyclic = acyclicity_separating_pair(n)
+        rows.append((m, n, ef_equivalent(cyclic, acyclic, m)))
+    return rows

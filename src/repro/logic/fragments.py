@@ -1,0 +1,127 @@
+"""Syntactic fragment classification (Sections 2.2 and 7.1).
+
+Predicates deciding membership of a formula in the fragments the paper
+manipulates: existential-positive formulas, ``CQ^k`` (at most ``k``
+distinct variables, built from atoms by conjunction and existential
+quantification only), and ``∃FO^{k,+}`` (same with disjunction allowed).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    Equal,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+)
+
+
+def is_existential_positive(formula: Formula) -> bool:
+    """Membership in the existential-positive fragment.
+
+    Atomic formulas (including equalities and the logical constants)
+    closed under conjunction, disjunction and existential quantification
+    (Section 2.2).
+    """
+    if isinstance(formula, (Atom, Equal, Top, Bottom)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_existential_positive(f) for f in formula.operands)
+    if isinstance(formula, Exists):
+        return is_existential_positive(formula.body)
+    return False
+
+
+def is_positive(formula: Formula) -> bool:
+    """No negations (but both quantifiers allowed) — Lyndon's fragment."""
+    if isinstance(formula, (Atom, Equal, Top, Bottom)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_positive(f) for f in formula.operands)
+    if isinstance(formula, (Exists, Forall)):
+        return is_positive(formula.body)
+    return False
+
+
+def is_existential(formula: Formula) -> bool:
+    """Existential formulas: NNF with no universal quantifier.
+
+    (Łoś–Tarski fragment; negation is allowed on atoms only.)
+    """
+    if isinstance(formula, (Atom, Equal, Top, Bottom)):
+        return True
+    if isinstance(formula, Not):
+        return isinstance(formula.operand, (Atom, Equal, Top, Bottom))
+    if isinstance(formula, (And, Or)):
+        return all(is_existential(f) for f in formula.operands)
+    if isinstance(formula, Exists):
+        return is_existential(formula.body)
+    return False
+
+
+def is_cq_formula(formula: Formula, allow_equality: bool = True) -> bool:
+    """Built from atoms using conjunction and existential quantification only.
+
+    This is the shape of :math:`CQ^k` formulas (Section 7.1) before
+    counting variables; disjunction is excluded.
+    """
+    if isinstance(formula, (Atom, Top)):
+        return True
+    if isinstance(formula, Equal):
+        return allow_equality
+    if isinstance(formula, And):
+        return all(is_cq_formula(f, allow_equality) for f in formula.operands)
+    if isinstance(formula, Exists):
+        return is_cq_formula(formula.body, allow_equality)
+    return False
+
+
+def distinct_variable_count(formula: Formula) -> int:
+    """The number of distinct variable names (the ``k`` of ``CQ^k``)."""
+    return len(formula.variables())
+
+
+def is_cqk(formula: Formula, k: int) -> bool:
+    """Membership in ``CQ^k``: a CQ-shaped formula with ``<= k`` names."""
+    return is_cq_formula(formula) and distinct_variable_count(formula) <= k
+
+
+def is_existential_positive_k(formula: Formula, k: int) -> bool:
+    """Membership in ``∃FO^{k,+}`` (Section 7.1)."""
+    return is_existential_positive(formula) and distinct_variable_count(formula) <= k
+
+
+def quantifier_rank(formula: Formula) -> int:
+    """The quantifier rank (max nesting depth of quantifiers)."""
+    if isinstance(formula, (Atom, Equal, Top, Bottom)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_rank(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return max(quantifier_rank(f) for f in formula.operands)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + quantifier_rank(formula.body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def constants_used(formula: Formula) -> Set[str]:
+    """Names of constant symbols occurring in the formula."""
+    from .syntax import Const
+
+    out: Set[str] = set()
+    for sub in formula.subformulas():
+        if isinstance(sub, Atom):
+            out.update(t.name for t in sub.terms if isinstance(t, Const))
+        elif isinstance(sub, Equal):
+            for t in (sub.left, sub.right):
+                if isinstance(t, Const):
+                    out.add(t.name)
+    return out

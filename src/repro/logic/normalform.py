@@ -1,0 +1,221 @@
+"""Normal forms: NNF, variable standardization, EP → union-of-CQ form.
+
+The key transformation (Section 1: "by distributing conjunctions and
+existential quantifiers over disjunctions, every existential positive
+formula can be written as a disjunction of existential formulas whose
+quantifier-free part is a conjunction of atomic formulas") is
+:func:`existential_positive_to_disjuncts`, which rewrites an
+existential-positive formula into a finite list of *conjunctive
+disjuncts*, each a triple (existential variables, relational atoms,
+equalities).  The :mod:`repro.cq` package packages these into
+:class:`~repro.cq.ConjunctiveQuery` objects.
+
+Also provided: :func:`prenex_cq`, the quantifier-pull-out used by
+Lemma 7.2 to turn a ``CQ^k`` formula into a conjunctive query whose
+canonical structure has treewidth below ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count, product
+from typing import Dict, Iterator, List, Tuple
+
+from ..exceptions import UnsupportedFragmentError
+from .fragments import is_cq_formula, is_existential_positive
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Equal,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Term,
+    Top,
+    Var,
+    exists_many,
+)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form (negations pushed onto atoms)."""
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, (Atom, Equal)):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Top):
+        return Bottom() if negate else formula
+    if isinstance(formula, Bottom):
+        return Top() if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negate)
+    if isinstance(formula, And):
+        parts = [_nnf(f, negate) for f in formula.operands]
+        return Or.of(*parts) if negate else And.of(*parts)
+    if isinstance(formula, Or):
+        parts = [_nnf(f, negate) for f in formula.operands]
+        return And.of(*parts) if negate else Or.of(*parts)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.body, negate)
+        return Forall(formula.var, body) if negate else Exists(formula.var, body)
+    if isinstance(formula, Forall):
+        body = _nnf(formula.body, negate)
+        return Exists(formula.var, body) if negate else Forall(formula.var, body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def standardize_apart(formula: Formula, prefix: str = "v") -> Formula:
+    """Rename bound variables so each quantifier binds a fresh name.
+
+    Free variables keep their names.  Fresh names are ``{prefix}0``,
+    ``{prefix}1``, ... and are guaranteed not to collide with existing
+    names in the formula.
+    """
+    taken = set(formula.variables())
+    counter = count()
+
+    def fresh() -> str:
+        while True:
+            name = f"{prefix}{next(counter)}"
+            if name not in taken:
+                taken.add(name)
+                return name
+
+    def rename_term(term: Term, env: Dict[str, str]) -> Term:
+        if isinstance(term, Var):
+            return Var(env.get(term.name, term.name))
+        return term
+
+    def walk(f: Formula, env: Dict[str, str]) -> Formula:
+        if isinstance(f, Atom):
+            return Atom(f.relation, tuple(rename_term(t, env) for t in f.terms))
+        if isinstance(f, Equal):
+            return Equal(rename_term(f.left, env), rename_term(f.right, env))
+        if isinstance(f, (Top, Bottom)):
+            return f
+        if isinstance(f, Not):
+            return Not(walk(f.operand, env))
+        if isinstance(f, And):
+            return And.of(*[walk(g, env) for g in f.operands])
+        if isinstance(f, Or):
+            return Or.of(*[walk(g, env) for g in f.operands])
+        if isinstance(f, Exists):
+            new = fresh()
+            child = dict(env)
+            child[f.var] = new
+            return Exists(new, walk(f.body, child))
+        if isinstance(f, Forall):
+            new = fresh()
+            child = dict(env)
+            child[f.var] = new
+            return Forall(new, walk(f.body, child))
+        raise TypeError(f"unknown formula node {f!r}")
+
+    return walk(formula, {})
+
+
+@dataclass(frozen=True)
+class ConjunctiveDisjunct:
+    """One disjunct of an EP formula in union-of-CQ form.
+
+    Attributes
+    ----------
+    exist_vars:
+        The existentially quantified variable names (ordered).
+    atoms:
+        The relational atoms of the quantifier-free conjunction.
+    equalities:
+        Equality atoms (to be eliminated by substitution downstream).
+    """
+
+    exist_vars: Tuple[str, ...]
+    atoms: Tuple[Atom, ...]
+    equalities: Tuple[Equal, ...]
+
+    def to_formula(self) -> Formula:
+        """Rebuild the disjunct as a prenex existential conjunction."""
+        parts: List[Formula] = list(self.atoms) + list(self.equalities)
+        body = And.of(*parts) if parts else Top()
+        return exists_many(self.exist_vars, body)
+
+
+def existential_positive_to_disjuncts(
+    formula: Formula,
+) -> List[ConjunctiveDisjunct]:
+    """Rewrite an EP formula as a finite union of conjunctive disjuncts.
+
+    Bound variables are standardized apart first, so distribution over
+    disjunction cannot capture variables.  The number of disjuncts is the
+    product of disjunction widths (exponential in the worst case — as it
+    must be).
+    """
+    if not is_existential_positive(formula):
+        raise UnsupportedFragmentError(
+            "formula is not existential-positive"
+        )
+    clean = standardize_apart(formula)
+    return list(_disjuncts(clean))
+
+
+def _disjuncts(formula: Formula) -> Iterator[ConjunctiveDisjunct]:
+    if isinstance(formula, Atom):
+        yield ConjunctiveDisjunct((), (formula,), ())
+        return
+    if isinstance(formula, Equal):
+        yield ConjunctiveDisjunct((), (), (formula,))
+        return
+    if isinstance(formula, Top):
+        yield ConjunctiveDisjunct((), (), ())
+        return
+    if isinstance(formula, Bottom):
+        return  # empty union
+    if isinstance(formula, Or):
+        for operand in formula.operands:
+            yield from _disjuncts(operand)
+        return
+    if isinstance(formula, And):
+        parts = [list(_disjuncts(f)) for f in formula.operands]
+        for choice in product(*parts):
+            exist: List[str] = []
+            atoms: List[Atom] = []
+            equalities: List[Equal] = []
+            for d in choice:
+                exist.extend(d.exist_vars)
+                atoms.extend(d.atoms)
+                equalities.extend(d.equalities)
+            yield ConjunctiveDisjunct(tuple(exist), tuple(atoms),
+                                      tuple(equalities))
+        return
+    if isinstance(formula, Exists):
+        for d in _disjuncts(formula.body):
+            if formula.var in d.exist_vars:
+                yield d
+            else:
+                yield ConjunctiveDisjunct(
+                    (formula.var,) + d.exist_vars, d.atoms, d.equalities
+                )
+        return
+    raise UnsupportedFragmentError(f"not existential-positive: {formula!r}")
+
+
+def prenex_cq(formula: Formula) -> Tuple[Tuple[str, ...], Tuple[Atom, ...],
+                                         Tuple[Equal, ...]]:
+    """Prenex form of a CQ-shaped formula (Lemma 7.2's rewriting).
+
+    Renames quantifiers apart, pulls existentials out across conjunction,
+    and returns ``(variables, atoms, equalities)``.  Exactly the rewrite
+    rules in the proof of Lemma 7.2: replace ``ψ' ∧ ∃x ψ''`` by
+    ``∃x (ψ' ∧ ψ'')`` once every variable is quantified at most once.
+    """
+    if not is_cq_formula(formula):
+        raise UnsupportedFragmentError("formula is not CQ-shaped")
+    disjuncts = existential_positive_to_disjuncts(formula)
+    assert len(disjuncts) == 1, "CQ-shaped formulas have exactly one disjunct"
+    d = disjuncts[0]
+    return d.exist_vars, d.atoms, d.equalities

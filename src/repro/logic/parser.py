@@ -1,0 +1,238 @@
+"""A recursive-descent parser for first-order formulas.
+
+Grammar (lowest to highest precedence)::
+
+    formula     := iff
+    iff         := implies ('<->' implies)*
+    implies     := quantified ('->' implies)?            (right assoc.)
+    quantified  := ('exists' | 'forall') names '.' quantified | disjunction
+    disjunction := conjunction ('|' conjunction)*
+    conjunction := negation ('&' negation)*
+    negation    := '~' negation | primary
+    primary     := '(' formula ')' | 'true' | 'false'
+                 | NAME '(' terms ')' | term '=' term
+    term        := NAME
+
+Names are relation symbols when followed by ``(``; otherwise they denote
+the vocabulary's constants when declared there, else variables.  Multiple
+names may follow one quantifier: ``exists x y. E(x, y)``.
+
+Examples
+--------
+>>> from repro.structures import GRAPH_VOCABULARY
+>>> f = parse_formula("exists x y. E(x, y) & ~E(y, x)", GRAPH_VOCABULARY)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..exceptions import ValidationError
+from ..structures.vocabulary import Vocabulary
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Equal,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Term,
+    Top,
+    Var,
+    implies as make_implies,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9']*)"
+    r"|(?P<op><->|->|[()&|~=,.]))"
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false"}
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None or match.end() == pos:
+                remainder = text[pos:].strip()
+                if not remainder:
+                    break
+                raise ValidationError(f"cannot tokenize near: {remainder[:20]!r}")
+            token = match.group("name") or match.group("op")
+            self.tokens.append(token)
+            pos = match.end()
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ValidationError("unexpected end of formula")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ValidationError(f"expected {token!r}, got {got!r}")
+
+
+class _Parser:
+    def __init__(self, text: str, vocabulary: Optional[Vocabulary]) -> None:
+        self.tokens = _Tokens(text)
+        self.vocabulary = vocabulary
+
+    # formula := iff
+    def parse(self) -> Formula:
+        formula = self._iff()
+        leftover = self.tokens.peek()
+        if leftover is not None:
+            raise ValidationError(f"unexpected trailing token {leftover!r}")
+        return formula
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self.tokens.peek() == "<->":
+            self.tokens.next()
+            right = self._implies()
+            left = And.of(make_implies(left, right), make_implies(right, left))
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._quantified()
+        if self.tokens.peek() == "->":
+            self.tokens.next()
+            right = self._implies()
+            return make_implies(left, right)
+        return left
+
+    def _quantified(self) -> Formula:
+        token = self.tokens.peek()
+        if token in ("exists", "forall"):
+            self.tokens.next()
+            names: List[str] = []
+            while True:
+                name = self.tokens.next()
+                if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9']*", name):
+                    raise ValidationError(f"bad variable name {name!r}")
+                names.append(name)
+                if self.tokens.peek() == ",":
+                    self.tokens.next()
+                    continue
+                if self.tokens.peek() == ".":
+                    self.tokens.next()
+                    break
+                if self.tokens.peek() not in (None, "(", "~") and \
+                        self.tokens.peek() not in _KEYWORDS and \
+                        re.fullmatch(r"[A-Za-z_][A-Za-z_0-9']*",
+                                     self.tokens.peek() or ""):
+                    continue
+                raise ValidationError("quantifier variables must end with '.'")
+            body = self._quantified()
+            result = body
+            for name in reversed(names):
+                result = (Exists(name, result) if token == "exists"
+                          else Forall(name, result))
+            return result
+        return self._disjunction()
+
+    def _disjunction(self) -> Formula:
+        parts = [self._conjunction()]
+        while self.tokens.peek() == "|":
+            self.tokens.next()
+            parts.append(self._conjunction())
+        return Or.of(*parts) if len(parts) > 1 else parts[0]
+
+    def _conjunction(self) -> Formula:
+        parts = [self._negation()]
+        while self.tokens.peek() == "&":
+            self.tokens.next()
+            parts.append(self._negation())
+        return And.of(*parts) if len(parts) > 1 else parts[0]
+
+    def _negation(self) -> Formula:
+        if self.tokens.peek() == "~":
+            self.tokens.next()
+            return Not(self._negation())
+        if self.tokens.peek() in ("exists", "forall"):
+            return self._quantified()
+        return self._primary()
+
+    def _primary(self) -> Formula:
+        token = self.tokens.peek()
+        if token == "(":
+            self.tokens.next()
+            inner = self._iff()
+            self.tokens.expect(")")
+            if self.tokens.peek() == "=":
+                raise ValidationError("parenthesized terms are not supported")
+            return inner
+        if token == "true":
+            self.tokens.next()
+            return Top()
+        if token == "false":
+            self.tokens.next()
+            return Bottom()
+        name = self.tokens.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9']*", name):
+            raise ValidationError(f"unexpected token {name!r}")
+        if self.tokens.peek() == "(":
+            self.tokens.next()
+            terms: List[Term] = []
+            if self.tokens.peek() != ")":
+                while True:
+                    terms.append(self._term())
+                    if self.tokens.peek() == ",":
+                        self.tokens.next()
+                        continue
+                    break
+            self.tokens.expect(")")
+            if self.vocabulary is not None:
+                if not self.vocabulary.has_relation(name):
+                    raise ValidationError(f"unknown relation {name!r}")
+                if self.vocabulary.arity(name) != len(terms):
+                    raise ValidationError(
+                        f"relation {name!r} expects arity "
+                        f"{self.vocabulary.arity(name)}, got {len(terms)}"
+                    )
+            return Atom(name, tuple(terms))
+        left = self._name_to_term(name)
+        if self.tokens.peek() == "=":
+            self.tokens.next()
+            right = self._term()
+            return Equal(left, right)
+        raise ValidationError(
+            f"{name!r} is neither an atom nor part of an equality"
+        )
+
+    def _term(self) -> Term:
+        name = self.tokens.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9']*", name):
+            raise ValidationError(f"bad term {name!r}")
+        return self._name_to_term(name)
+
+    def _name_to_term(self, name: str) -> Term:
+        if self.vocabulary is not None and self.vocabulary.has_constant(name):
+            return Const(name)
+        return Var(name)
+
+
+def parse_formula(text: str, vocabulary: Optional[Vocabulary] = None) -> Formula:
+    """Parse ``text`` into a formula.
+
+    With a vocabulary, relation arities are checked and declared constant
+    names parse as constants; without one, every lone name is a variable.
+    """
+    return _Parser(text, vocabulary).parse()

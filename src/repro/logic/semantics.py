@@ -1,0 +1,181 @@
+"""First-order model checking over finite structures.
+
+Direct recursive evaluation of a formula on a :class:`Structure` under a
+variable assignment, plus query evaluation (the set of satisfying
+assignments of the free variables).  Exponential in quantifier depth, as
+model checking must be; fine for the structure sizes of the experiments.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ValidationError
+from ..structures.structure import Element, Structure
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Equal,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Term,
+    Top,
+    Var,
+)
+
+Assignment = Dict[str, Element]
+
+
+def _eval_term(term: Term, structure: Structure, assignment: Assignment) -> Element:
+    if isinstance(term, Var):
+        try:
+            return assignment[term.name]
+        except KeyError:
+            raise ValidationError(
+                f"free variable {term.name!r} not assigned"
+            ) from None
+    if isinstance(term, Const):
+        return structure.constant(term.name)
+    raise ValidationError(f"bad term {term!r}")
+
+
+def evaluate(
+    formula: Formula,
+    structure: Structure,
+    assignment: Optional[Assignment] = None,
+) -> bool:
+    """Whether ``structure, assignment ⊨ formula``.
+
+    ``assignment`` must cover the free variables of ``formula``.
+    """
+    assignment = assignment or {}
+    return _eval(formula, structure, assignment)
+
+
+def _eval(formula: Formula, structure: Structure, env: Assignment) -> bool:
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Atom):
+        tup = tuple(_eval_term(t, structure, env) for t in formula.terms)
+        return structure.has_fact(formula.relation, tup)
+    if isinstance(formula, Equal):
+        return (_eval_term(formula.left, structure, env)
+                == _eval_term(formula.right, structure, env))
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, structure, env)
+    if isinstance(formula, And):
+        return all(_eval(f, structure, env) for f in formula.operands)
+    if isinstance(formula, Or):
+        return any(_eval(f, structure, env) for f in formula.operands)
+    if isinstance(formula, Exists):
+        saved = env.get(formula.var, _MISSING)
+        for value in structure.universe:
+            env[formula.var] = value
+            if _eval(formula.body, structure, env):
+                _restore(env, formula.var, saved)
+                return True
+        _restore(env, formula.var, saved)
+        return False
+    if isinstance(formula, Forall):
+        saved = env.get(formula.var, _MISSING)
+        for value in structure.universe:
+            env[formula.var] = value
+            if not _eval(formula.body, structure, env):
+                _restore(env, formula.var, saved)
+                return False
+        _restore(env, formula.var, saved)
+        return True
+    raise ValidationError(f"unknown formula node {formula!r}")
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()
+
+
+def _restore(env: Assignment, var: str, saved) -> None:
+    if isinstance(saved, _Missing):
+        env.pop(var, None)
+    else:
+        env[var] = saved
+
+
+def satisfies(structure: Structure, formula: Formula) -> bool:
+    """``A ⊨ φ`` for a sentence ``φ`` (no free variables allowed)."""
+    free = formula.free_variables()
+    if free:
+        raise ValidationError(
+            f"satisfies() needs a sentence; free variables: {sorted(free)}"
+        )
+    return evaluate(formula, structure)
+
+
+def query_answers(
+    formula: Formula,
+    structure: Structure,
+    free_order: Optional[Sequence[str]] = None,
+) -> Set[Tuple[Element, ...]]:
+    """All tuples satisfying ``formula`` (the query it defines).
+
+    ``free_order`` fixes the order of the answer columns; defaults to the
+    sorted free variables.  For a sentence, returns ``{()}`` when true and
+    ``set()`` when false (the 0-ary relation convention).
+    """
+    free = sorted(formula.free_variables())
+    order = list(free_order) if free_order is not None else free
+    if set(order) != set(free):
+        raise ValidationError("free_order must list exactly the free variables")
+    answers: Set[Tuple[Element, ...]] = set()
+    if not order:
+        if evaluate(formula, structure):
+            answers.add(())
+        return answers
+    for values in product(structure.universe, repeat=len(order)):
+        env = dict(zip(order, values))
+        if evaluate(formula, structure, env):
+            answers.add(values)
+    return answers
+
+
+def agree_on(
+    f: Formula, g: Formula, structures: Sequence[Structure]
+) -> bool:
+    """Whether two formulas define the same query on every given structure."""
+    order = sorted(f.free_variables() | g.free_variables())
+    for s in structures:
+        if _answers_padded(f, s, order) != _answers_padded(g, s, order):
+            return False
+    return True
+
+
+def _answers_padded(
+    formula: Formula, structure: Structure, order: List[str]
+) -> Set[Tuple[Element, ...]]:
+    """Answers with columns for ``order`` (padding dummy free variables)."""
+    free = formula.free_variables()
+    missing = [v for v in order if v not in free]
+    answers: Set[Tuple[Element, ...]] = set()
+    own_order = [v for v in order if v in free]
+    base = query_answers(formula, structure, own_order)
+    if not missing:
+        index = {v: i for i, v in enumerate(own_order)}
+        return {
+            tuple(t[index[v]] for v in order) for t in base
+        }
+    for t in base:
+        env = dict(zip(own_order, t))
+        for pad in product(structure.universe, repeat=len(missing)):
+            env2 = dict(env)
+            env2.update(zip(missing, pad))
+            answers.add(tuple(env2[v] for v in order))
+    return answers

@@ -1,0 +1,346 @@
+"""First-order syntax (Section 2.2).
+
+Immutable AST for first-order formulas over a relational vocabulary with
+optional constants.  Terms are variables or constants; atomic formulas
+are relation atoms ``R(t1..tr)`` and equalities ``t1 = t2``; formulas are
+closed under negation, conjunction, disjunction and quantification.
+
+Conjunction and disjunction are n-ary (flattened) to keep normal forms
+readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Tuple, Union
+
+from ..exceptions import ValidationError
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant symbol (interpreted by the structure)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"#{self.name}"
+
+
+Term = Union[Var, Const]
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+class Formula:
+    """Base class for first-order formulas."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        """Names of variables occurring free."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """Names of *all* variables occurring (free or bound).
+
+        This is the count that defines the ``k`` in ``CQ^k`` and
+        ``L^k_{∞ω}`` (Section 7): distinct variable names, where a name
+        may be requantified many times.
+        """
+        raise NotImplementedError
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """This formula and all its subformulas (pre-order)."""
+        yield self
+
+    # Conjunction/disjunction sugar
+    def __and__(self, other: "Formula") -> "Formula":
+        return And.of(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+def _term_vars(terms: Tuple[Term, ...]) -> FrozenSet[str]:
+    return frozenset(t.name for t in terms if isinstance(t, Var))
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relational atom ``R(t1, ..., tr)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        for t in self.terms:
+            if not isinstance(t, (Var, Const)):
+                raise ValidationError(f"bad term {t!r} in atom")
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    def free_variables(self) -> FrozenSet[str]:
+        return _term_vars(self.terms)
+
+    def variables(self) -> FrozenSet[str]:
+        return _term_vars(self.terms)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(map(str, self.terms))})"
+
+
+@dataclass(frozen=True)
+class Equal(Formula):
+    """An equality atom ``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    def free_variables(self) -> FrozenSet[str]:
+        return _term_vars((self.left, self.right))
+
+    def variables(self) -> FrozenSet[str]:
+        return _term_vars((self.left, self.right))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The true constant."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The false constant."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.operand.free_variables()
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.operand.subformulas()
+
+    def __str__(self) -> str:
+        return f"~({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction."""
+
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 1:
+            raise ValidationError("conjunction needs at least one operand")
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    @staticmethod
+    def of(*formulas: Formula) -> Formula:
+        """Flattening smart constructor (returns the operand if singleton)."""
+        flat: list = []
+        for f in formulas:
+            if isinstance(f, And):
+                flat.extend(f.operands)
+            elif isinstance(f, Top):
+                continue
+            else:
+                flat.append(f)
+        if not flat:
+            return Top()
+        if len(flat) == 1:
+            return flat[0]
+        return And(tuple(flat))
+
+    def free_variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for f in self.operands:
+            out |= f.free_variables()
+        return out
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for f in self.operands:
+            out |= f.variables()
+        return out
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        for f in self.operands:
+            yield from f.subformulas()
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction."""
+
+    operands: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 1:
+            raise ValidationError("disjunction needs at least one operand")
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    @staticmethod
+    def of(*formulas: Formula) -> Formula:
+        """Flattening smart constructor."""
+        flat: list = []
+        for f in formulas:
+            if isinstance(f, Or):
+                flat.extend(f.operands)
+            elif isinstance(f, Bottom):
+                continue
+            else:
+                flat.append(f)
+        if not flat:
+            return Bottom()
+        if len(flat) == 1:
+            return flat[0]
+        return Or(tuple(flat))
+
+    def free_variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for f in self.operands:
+            out |= f.free_variables()
+        return out
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for f in self.operands:
+            out |= f.variables()
+        return out
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        for f in self.operands:
+            yield from f.subformulas()
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one variable."""
+
+    var: str
+    body: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.body.free_variables() - {self.var}
+
+    def variables(self) -> FrozenSet[str]:
+        return self.body.variables() | {self.var}
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return f"exists {self.var}. ({self.body})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification over one variable."""
+
+    var: str
+    body: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.body.free_variables() - {self.var}
+
+    def variables(self) -> FrozenSet[str]:
+        return self.body.variables() | {self.var}
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return f"forall {self.var}. ({self.body})"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def exists_many(variables, body: Formula) -> Formula:
+    """``∃ v1 ... ∃ vn . body`` (right-nested)."""
+    result = body
+    for v in reversed(list(variables)):
+        result = Exists(v, result)
+    return result
+
+
+def forall_many(variables, body: Formula) -> Formula:
+    """``∀ v1 ... ∀ vn . body`` (right-nested)."""
+    result = body
+    for v in reversed(list(variables)):
+        result = Forall(v, result)
+    return result
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Material implication (as ``¬a ∨ b``)."""
+    return Or.of(Not(antecedent), consequent)
+
+
+def atom(relation: str, *names_or_terms) -> Atom:
+    """Convenience atom constructor: strings become variables.
+
+    ``atom("E", "x", "y")`` is ``E(x, y)``; pass :class:`Const` objects for
+    constants.
+    """
+    terms = tuple(
+        t if isinstance(t, (Var, Const)) else Var(str(t))
+        for t in names_or_terms
+    )
+    return Atom(relation, terms)

@@ -1,0 +1,25 @@
+"""Existential k-pebble games and the queries q(A, k) of Section 7.2."""
+
+from .existential_game import (
+    ExistentialPebbleGame,
+    Position,
+    duplicator_wins,
+    preserves_all_cqk_sentences,
+)
+from .queries import (
+    dalmau_kolaitis_vardi_agrees,
+    has_directed_cycle,
+    pebble_query,
+    proposition_7_9_agrees,
+)
+
+__all__ = [
+    "ExistentialPebbleGame",
+    "Position",
+    "duplicator_wins",
+    "preserves_all_cqk_sentences",
+    "dalmau_kolaitis_vardi_agrees",
+    "has_directed_cycle",
+    "pebble_query",
+    "proposition_7_9_agrees",
+]

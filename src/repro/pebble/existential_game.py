@@ -1,0 +1,187 @@
+"""The existential k-pebble game (Kolaitis–Vardi; Section 7.2 of the paper).
+
+Spoiler places/removes up to ``k`` pebbles on elements of ``A``;
+Duplicator mirrors on ``B``.  Duplicator wins when she can forever keep
+the pebbled pairs a partial homomorphism.  Theorem 7.6: Duplicator wins
+iff every ``∃L^{k,+}_{∞ω}`` (equivalently every ``CQ^k``) sentence true
+in ``A`` is true in ``B``.
+
+Winning is decided by the standard greatest-fixed-point computation: the
+family of all partial homomorphisms with at most ``k`` pebbles is pruned
+until it is downward closed (under restriction) and has the forth
+(extension) property; Duplicator wins iff the family stays non-empty.
+The surviving family *is* a winning strategy and is returned for
+inspection.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..exceptions import BudgetExceededError, ValidationError
+from ..structures.structure import Element, Structure
+
+#: A position: the set of pebbled (source, target) pairs.
+Position = FrozenSet[Tuple[Element, Element]]
+
+#: Cap on the number of candidate positions.
+DEFAULT_POSITION_BUDGET = 5_000_000
+
+
+def _is_partial_homomorphism(
+    mapping: Dict[Element, Element], a: Structure, b: Structure
+) -> bool:
+    """Whether ``mapping`` (a partial function A → B) preserves all facts
+    of ``A`` whose elements are entirely inside its domain."""
+    domain = set(mapping)
+    for name in a.vocabulary.relation_names:
+        target_rel = b.relation(name)
+        for tup in a.relation(name):
+            if all(x in domain for x in tup):
+                if tuple(mapping[x] for x in tup) not in target_rel:
+                    return False
+    return True
+
+
+def _functional(position: Position) -> Optional[Dict[Element, Element]]:
+    """The mapping of a position, or ``None`` if two pebbles conflict.
+
+    Two pebbles may share a source element only if they agree on the
+    target (otherwise the position is not a partial function, hence not a
+    partial homomorphism).
+    """
+    mapping: Dict[Element, Element] = {}
+    for source, target in position:
+        if mapping.get(source, target) != target:
+            return None
+        mapping[source] = target
+    return mapping
+
+
+class ExistentialPebbleGame:
+    """The existential ``k``-pebble game on structures ``A`` and ``B``."""
+
+    def __init__(
+        self,
+        a: Structure,
+        b: Structure,
+        k: int,
+        budget: int = DEFAULT_POSITION_BUDGET,
+    ) -> None:
+        if k < 1:
+            raise ValidationError("the game needs at least one pebble")
+        if a.vocabulary.relations != b.vocabulary.relations:
+            raise ValidationError("structures must share relation symbols")
+        if a.vocabulary.constants or b.vocabulary.constants:
+            raise ValidationError(
+                "the pebble game is defined for purely relational structures"
+            )
+        self.a = a
+        self.b = b
+        self.k = k
+        self.budget = budget
+        self._family: Optional[Set[Position]] = None
+
+    # ------------------------------------------------------------------
+    def _initial_family(self) -> Set[Position]:
+        """All positions with ``<= k`` pebbles that are partial homs."""
+        estimated = sum(
+            _count_subsets(len(self.a.universe), size)
+            * len(self.b.universe) ** size
+            for size in range(self.k + 1)
+        )
+        if estimated > self.budget:
+            raise BudgetExceededError(
+                f"pebble game would enumerate ~{estimated} positions "
+                f"(budget {self.budget})"
+            )
+        family: Set[Position] = {frozenset()}
+        for size in range(1, self.k + 1):
+            for sources in combinations(self.a.universe, size):
+                for targets in product(self.b.universe, repeat=size):
+                    mapping = dict(zip(sources, targets))
+                    if _is_partial_homomorphism(mapping, self.a, self.b):
+                        family.add(frozenset(mapping.items()))
+        return family
+
+    def winning_family(self) -> Set[Position]:
+        """The greatest family closed under restriction with the forth
+        property (may be empty — then Spoiler wins)."""
+        if self._family is not None:
+            return self._family
+        family = self._initial_family()
+        a_elements = list(self.a.universe)
+        b_elements = list(self.b.universe)
+        changed = True
+        while changed:
+            changed = False
+            for position in list(family):
+                if position not in family:
+                    continue
+                mapping = _functional(position)
+                assert mapping is not None
+                # downward closure: every restriction must be present
+                if any(
+                    position - {pair} not in family for pair in position
+                ):
+                    family.discard(position)
+                    changed = True
+                    continue
+                # forth: when pebbles remain, every source is extendable
+                if len(mapping) < self.k:
+                    ok = True
+                    for x in a_elements:
+                        if x in mapping:
+                            continue
+                        if not any(
+                            position | {(x, y)} in family for y in b_elements
+                        ):
+                            ok = False
+                            break
+                    if not ok:
+                        family.discard(position)
+                        changed = True
+        self._family = family
+        return family
+
+    def duplicator_wins(self) -> bool:
+        """Whether Duplicator wins (Theorem 7.6's criterion)."""
+        return frozenset() in self.winning_family()
+
+    def extend(self, position: Position, source: Element) -> Optional[Element]:
+        """Duplicator's answer when Spoiler pebbles ``source`` (or ``None``).
+
+        Only meaningful from positions inside the winning family with a
+        free pebble; this lets callers *play* the winning strategy.
+        """
+        family = self.winning_family()
+        if position not in family:
+            return None
+        for target in self.b.universe:
+            if position | {(source, target)} in family:
+                return target
+        return None
+
+
+def _count_subsets(n: int, k: int) -> int:
+    from math import comb
+
+    return comb(n, k)
+
+
+def duplicator_wins(
+    a: Structure, b: Structure, k: int,
+    budget: int = DEFAULT_POSITION_BUDGET,
+) -> bool:
+    """Whether Duplicator wins the existential ``k``-pebble game on (A, B)."""
+    return ExistentialPebbleGame(a, b, k, budget).duplicator_wins()
+
+
+def preserves_all_cqk_sentences(
+    a: Structure, b: Structure, k: int,
+    budget: int = DEFAULT_POSITION_BUDGET,
+) -> bool:
+    """Alias with Theorem 7.6's reading: every ``CQ^k`` sentence true in
+    ``A`` is true in ``B`` iff Duplicator wins."""
+    return duplicator_wins(a, b, k, budget)

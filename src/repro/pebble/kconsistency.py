@@ -1,0 +1,159 @@
+"""The k-consistency procedure and its equivalence with pebble games.
+
+Establishing *strong k-consistency* is the constraint-propagation
+algorithm underlying the existential k-pebble game (Kolaitis–Vardi):
+maintain the family of partial homomorphisms with at most ``k - 1``
+pebbles that extend to ``k`` pebbles in every direction; the CSP
+"passes" k-consistency iff Duplicator wins the existential k-pebble
+game.  This module implements the procedure directly on the
+(source, target) structure pair and cross-checks the equivalence.
+
+This is the algorithmic face of Section 7.2's ``q(A, k)`` queries: they
+are decidable in polynomial time for fixed ``k`` even when homomorphism
+existence is NP-hard.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from ..exceptions import BudgetExceededError, ValidationError
+from ..structures.structure import Element, Structure
+from .existential_game import (
+    DEFAULT_POSITION_BUDGET,
+    ExistentialPebbleGame,
+    Position,
+    _is_partial_homomorphism,
+)
+
+
+def establish_k_consistency(
+    source: Structure,
+    target: Structure,
+    k: int,
+    budget: int = DEFAULT_POSITION_BUDGET,
+) -> Set[Position]:
+    """Run the k-consistency closure; returns the surviving family.
+
+    Start from all partial homomorphisms with ``< k`` pebbles; repeatedly
+    delete ``h`` when some new source element admits no extension whose
+    every ``k``-subposition is itself (recursively) surviving.  The
+    computation below reuses the pebble game's greatest fixed point —
+    the two procedures provably compute the same family, which
+    :func:`consistency_equals_game` checks instance by instance.
+    """
+    game = ExistentialPebbleGame(source, target, k, budget)
+    family = game.winning_family()
+    return {position for position in family if len(position) < k}
+
+
+def passes_k_consistency(
+    source: Structure,
+    target: Structure,
+    k: int,
+    budget: int = DEFAULT_POSITION_BUDGET,
+) -> bool:
+    """Whether the CSP (source → target) passes strong k-consistency.
+
+    Passing means the closure is non-empty (the empty position
+    survives); failing refutes homomorphism existence outright.
+    """
+    return frozenset() in establish_k_consistency(source, target, k, budget)
+
+
+def direct_k_consistency(
+    source: Structure,
+    target: Structure,
+    k: int,
+    budget: int = DEFAULT_POSITION_BUDGET,
+) -> bool:
+    """An independent, textbook implementation of the k-consistency test.
+
+    Maintains ``H`` = all partial homs of size ``<= k - 1``; repeatedly
+    removes ``h ∈ H`` such that for some source element ``x`` there is no
+    target ``y`` with ``h ∪ {x→y}`` a partial hom whose every restriction
+    to ``k - 1`` pebbles is in ``H``.  Used as an oracle against the
+    pebble-game computation.
+    """
+    if k < 2:
+        raise ValidationError("k-consistency needs k >= 2")
+    elements = list(source.universe)
+    targets = list(target.universe)
+    estimated = sum(
+        _choose(len(elements), size) * len(targets) ** size
+        for size in range(k)
+    )
+    if estimated > budget:
+        raise BudgetExceededError(
+            f"k-consistency would enumerate ~{estimated} positions"
+        )
+
+    family: Set[Position] = {frozenset()}
+    for size in range(1, k):
+        for sources in combinations(elements, size):
+            for values in product(targets, repeat=size):
+                mapping = dict(zip(sources, values))
+                if _is_partial_homomorphism(mapping, source, target):
+                    family.add(frozenset(mapping.items()))
+
+    changed = True
+    while changed:
+        changed = False
+        for position in list(family):
+            if position not in family:
+                continue
+            mapping = dict(position)
+            ok = True
+            for x in elements:
+                if x in mapping:
+                    continue
+                extendable = False
+                for y in targets:
+                    extended = dict(mapping)
+                    extended[x] = y
+                    if not _is_partial_homomorphism(extended, source, target):
+                        continue
+                    ext_position = frozenset(extended.items())
+                    if len(extended) <= k - 1:
+                        if ext_position in family:
+                            extendable = True
+                            break
+                    else:
+                        # all (k-1)-subpositions must survive
+                        if all(
+                            frozenset(sub) in family
+                            for sub in combinations(
+                                sorted(ext_position, key=repr), k - 1
+                            )
+                        ):
+                            extendable = True
+                            break
+                if not extendable:
+                    ok = False
+                    break
+            if not ok:
+                family.discard(position)
+                changed = True
+    return frozenset() in family
+
+
+def _choose(n: int, k: int) -> int:
+    from math import comb
+
+    return comb(n, k)
+
+
+def consistency_equals_game(
+    source: Structure,
+    target: Structure,
+    k: int,
+    budget: int = DEFAULT_POSITION_BUDGET,
+) -> bool:
+    """Cross-check: the direct k-consistency test agrees with the
+    existential k-pebble game on this instance."""
+    from .existential_game import duplicator_wins
+
+    return direct_k_consistency(source, target, k, budget) == duplicator_wins(
+        source, target, k, budget
+    )

@@ -1,0 +1,96 @@
+"""The pebble-game queries ``q(A, k)`` of Section 7.2.
+
+``q(A, k)(B) = 1`` iff Duplicator wins the existential ``k``-pebble game
+on ``(A, B)``.  Theorem 7.7 makes ``q(A, k)`` a ``⋀CQ^k`` query; the
+Dalmau–Kolaitis–Vardi result makes it plain homomorphism existence when
+``core(A)`` has treewidth ``< k``; Proposition 7.9 computes it for
+``A = C_3, k = 2``: it is graph cyclicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..homomorphism.cores import compute_core
+from ..homomorphism.search import has_homomorphism
+from ..structures.gaifman import structure_treewidth
+from ..structures.structure import Element, Structure
+from .existential_game import DEFAULT_POSITION_BUDGET, duplicator_wins
+
+
+def pebble_query(a: Structure, k: int):
+    """The Boolean query ``q(A, k)``: does Duplicator win on ``(A, B)``?
+
+    Returns a callable ``B -> bool``.
+    """
+
+    def query(b: Structure) -> bool:
+        return duplicator_wins(a, b, k)
+
+    return query
+
+
+def has_directed_cycle(structure: Structure, relation: str = "E") -> bool:
+    """Whether the directed graph of ``relation`` contains a cycle.
+
+    (Loops count.)  The semantic side of Proposition 7.9: Duplicator wins
+    the ∃2-pebble game on ``(C_3, B)`` iff ``B`` has a cycle.
+    """
+    adjacency: Dict[Element, list] = {e: [] for e in structure.universe}
+    for (x, y) in structure.relation(relation):
+        adjacency[x].append(y)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {e: WHITE for e in structure.universe}
+
+    for start in structure.universe:
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(adjacency[start]))]
+        color[start] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GRAY:
+                    return True
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(adjacency[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def dalmau_kolaitis_vardi_agrees(
+    a: Structure,
+    b: Structure,
+    k: int,
+    budget: int = DEFAULT_POSITION_BUDGET,
+    treewidth_limit: int = 40,
+) -> Optional[bool]:
+    """Check the §7.2 citation of Dalmau et al. on a concrete pair.
+
+    When ``core(A)`` has treewidth ``< k``, Duplicator wins the
+    ``∃k``-pebble game on ``(A, B)`` iff there is a homomorphism
+    ``A → B``.  Returns ``None`` when the hypothesis fails (core
+    treewidth ``>= k``), else whether the two sides agree.
+    """
+    core = compute_core(a)
+    if structure_treewidth(core, treewidth_limit) >= k:
+        return None
+    game = duplicator_wins(a, b, k, budget)
+    hom = has_homomorphism(a, b)
+    return game == hom
+
+
+def proposition_7_9_agrees(b: Structure,
+                           budget: int = DEFAULT_POSITION_BUDGET) -> bool:
+    """Proposition 7.9 on a concrete directed graph ``B``:
+    Duplicator wins ∃2-pebble on ``(C_3, B)`` iff ``B`` has a cycle."""
+    from ..structures.generators import directed_cycle
+
+    game = duplicator_wins(directed_cycle(3), b, 2, budget)
+    return game == has_directed_cycle(b)

@@ -1,0 +1,130 @@
+"""Exhaustive enumeration of small structures.
+
+Exact minimal-model computation (Section 3) needs to enumerate every
+σ-structure up to a given universe size.  The number of structures grows
+doubly exponentially, so enumeration is practical only for very small
+sizes; the functions here deduplicate up to isomorphism using a cheap
+canonical form (exact for the sizes supported).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations, product
+from typing import Iterator, List, Optional, Tuple
+
+from ..exceptions import BudgetExceededError
+from .structure import Structure, Tup
+from .vocabulary import Vocabulary
+
+#: Hard cap on the number of structures a single enumeration may yield.
+DEFAULT_ENUMERATION_BUDGET = 2_000_000
+
+
+def all_tuples(size: int, arity: int) -> List[Tup]:
+    """All ``arity``-tuples over ``0..size-1`` in lexicographic order."""
+    return [tuple(t) for t in product(range(size), repeat=arity)]
+
+
+def enumerate_structures(
+    vocabulary: Vocabulary,
+    size: int,
+    up_to_isomorphism: bool = True,
+    budget: int = DEFAULT_ENUMERATION_BUDGET,
+) -> Iterator[Structure]:
+    """All structures with universe exactly ``0..size-1``.
+
+    With ``up_to_isomorphism=True``, only canonical representatives are
+    yielded (exact dedup via minimum over universe permutations — fine for
+    ``size <= 4`` with a binary relation).
+    """
+    if not vocabulary.is_purely_relational():
+        raise BudgetExceededError(
+            "enumeration over vocabularies with constants is not supported"
+        )
+    names = vocabulary.relation_names
+    pools = [all_tuples(size, vocabulary.arity(name)) for name in names]
+    total_bits = sum(len(p) for p in pools)
+    if 2 ** total_bits > budget and not up_to_isomorphism:
+        raise BudgetExceededError(
+            f"enumeration would yield 2^{total_bits} structures"
+        )
+
+    seen_canon = set()
+    count = 0
+    for masks in product(*[range(2 ** len(pool)) for pool in pools]):
+        count += 1
+        if count > budget:
+            raise BudgetExceededError(
+                f"structure enumeration exceeded {budget} candidates"
+            )
+        relations = {}
+        for name, pool, mask in zip(names, pools, masks):
+            relations[name] = [
+                pool[i] for i in range(len(pool)) if mask >> i & 1
+            ]
+        s = Structure(vocabulary, range(size), relations)
+        if up_to_isomorphism:
+            canon = canonical_form(s)
+            if canon in seen_canon:
+                continue
+            seen_canon.add(canon)
+        yield s
+
+
+def enumerate_structures_up_to(
+    vocabulary: Vocabulary,
+    max_size: int,
+    up_to_isomorphism: bool = True,
+    budget: int = DEFAULT_ENUMERATION_BUDGET,
+) -> Iterator[Structure]:
+    """All structures with universe sizes ``1..max_size``."""
+    for size in range(1, max_size + 1):
+        yield from enumerate_structures(
+            vocabulary, size, up_to_isomorphism, budget
+        )
+
+
+def canonical_form(structure: Structure) -> Tuple:
+    """An isomorphism-invariant canonical form (exact, factorial cost).
+
+    Minimizes the sorted fact list over all permutations of the universe;
+    suitable for the tiny structures the exact enumerators handle, and for
+    deduplicating the modest minimal-model sets of the experiments.
+    """
+    elements = list(structure.universe)
+    names = structure.vocabulary.relation_names
+    best: Optional[Tuple] = None
+    for perm in permutations(range(len(elements))):
+        mapping = {e: perm[i] for i, e in enumerate(elements)}
+        key = tuple(
+            (name, tuple(sorted(tuple(mapping[x] for x in t)
+                                for t in structure.relation(name))))
+            for name in names
+        )
+        const_key = tuple(
+            (c, mapping[v]) for c, v in sorted(structure.constants.items())
+        )
+        candidate = (len(elements), key, const_key)
+        if best is None or candidate < best:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def are_isomorphic_small(a: Structure, b: Structure) -> bool:
+    """Exact isomorphism test by canonical form (tiny structures only)."""
+    if a.vocabulary != b.vocabulary or a.size() != b.size():
+        return False
+    return canonical_form(a) == canonical_form(b)
+
+
+def connected_structures(
+    vocabulary: Vocabulary, size: int, budget: int = DEFAULT_ENUMERATION_BUDGET
+) -> Iterator[Structure]:
+    """Enumerated structures whose Gaifman graph is connected."""
+    from ..graphtheory.graphs import is_connected
+    from .gaifman import gaifman_graph
+
+    for s in enumerate_structures(vocabulary, size, budget=budget):
+        if is_connected(gaifman_graph(s)):
+            yield s

@@ -1,0 +1,77 @@
+"""Gaifman graphs of structures (Section 2.1).
+
+The Gaifman graph ``G(A)`` has the universe of ``A`` as vertices and an
+edge between distinct elements that co-occur in some tuple.  The degree
+and treewidth *of a structure* are those of its Gaifman graph; these are
+the quantities restricted by the paper's class hypotheses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graphtheory.graphs import Graph
+from ..graphtheory.treewidth import (
+    DEFAULT_EXACT_LIMIT,
+    treewidth_exact,
+    treewidth_upper_bound,
+)
+from .structure import Element, Structure
+
+
+def gaifman_graph(structure: Structure) -> Graph:
+    """The Gaifman graph of ``structure``.
+
+    Note (Observation 6.1 relies on this): constants do not add edges —
+    only co-occurrence in relation tuples does.
+    """
+    edges: List[Tuple[Element, Element]] = []
+    for name in structure.vocabulary.relation_names:
+        for tup in structure.relation(name):
+            distinct = list(dict.fromkeys(tup))
+            for i in range(len(distinct)):
+                for j in range(i + 1, len(distinct)):
+                    edges.append((distinct[i], distinct[j]))
+    return Graph(structure.universe, edges)
+
+
+def structure_degree(structure: Structure) -> int:
+    """The degree of the structure: max degree of its Gaifman graph."""
+    return gaifman_graph(structure).max_degree()
+
+
+def structure_treewidth(structure: Structure,
+                        limit: int = DEFAULT_EXACT_LIMIT) -> int:
+    """The treewidth of the structure (exact, budgeted)."""
+    return treewidth_exact(gaifman_graph(structure), limit)
+
+
+def structure_treewidth_upper_bound(structure: Structure) -> int:
+    """A heuristic upper bound on the structure's treewidth."""
+    width, _ = treewidth_upper_bound(gaifman_graph(structure))
+    return width
+
+
+def graph_as_structure(graph: Graph, symmetric: bool = True) -> Structure:
+    """Encode a simple graph as an ``E/2`` structure.
+
+    With ``symmetric=True`` both orientations of each edge are stored —
+    the paper's convention for (undirected) graphs as structures.
+    """
+    from .vocabulary import GRAPH_VOCABULARY
+
+    tuples: List[Tuple[Element, Element]] = []
+    for u, v in graph.edge_list():
+        tuples.append((u, v))
+        if symmetric:
+            tuples.append((v, u))
+    return Structure(GRAPH_VOCABULARY, graph.vertices, {"E": tuples})
+
+
+def structure_as_graph(structure: Structure) -> Graph:
+    """Decode an ``E/2`` structure to its underlying simple graph.
+
+    Ignores orientation and loops (matches taking the Gaifman graph of a
+    graph structure).
+    """
+    return gaifman_graph(structure)

@@ -1,0 +1,182 @@
+"""Generators for σ-structures used in examples, tests and experiments.
+
+Directed-graph structures (paths, cycles, cliques, the wheel/bicycle
+families of Section 6.2 as symmetric structures), random structures over
+arbitrary vocabularies, and conversions from the pure-graph generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+from ..graphtheory import generators as graph_generators
+from .gaifman import graph_as_structure
+from .structure import Structure, Tup
+from .vocabulary import GRAPH_VOCABULARY, Vocabulary
+
+
+def directed_path(n: int) -> Structure:
+    """The directed path ``0 → 1 → ... → n-1`` (``n`` elements).
+
+    Directed paths are the minimal models of the ``CQ^2`` path sentences
+    of Section 7.1.
+    """
+    if n < 1:
+        raise ValidationError("need at least one element")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Structure(GRAPH_VOCABULARY, range(n), {"E": edges})
+
+
+def directed_cycle(n: int) -> Structure:
+    """The directed cycle ``C_n`` (Proposition 7.9 uses ``C_3``)."""
+    if n < 1:
+        raise ValidationError("need at least one element")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Structure(GRAPH_VOCABULARY, range(n), {"E": edges})
+
+
+def directed_clique(n: int) -> Structure:
+    """The complete directed graph without loops on ``n`` elements."""
+    edges = [(i, j) for i in range(n) for j in range(n) if i != j]
+    return Structure(GRAPH_VOCABULARY, range(n), {"E": edges})
+
+
+def single_edge() -> Structure:
+    """The two-element structure with one ``E`` edge — the core ``K_2``
+    of every non-trivial bipartite graph (Section 6.2)."""
+    return Structure(GRAPH_VOCABULARY, [0, 1], {"E": [(0, 1)]})
+
+
+def single_loop() -> Structure:
+    """One element with a self-loop: the terminal object for ``E``-structures."""
+    return Structure(GRAPH_VOCABULARY, [0], {"E": [(0, 0)]})
+
+
+def undirected_path(n: int) -> Structure:
+    """The symmetric path on ``n`` elements."""
+    return graph_as_structure(graph_generators.path_graph(n))
+
+
+def undirected_cycle(n: int) -> Structure:
+    """The symmetric cycle on ``n`` elements."""
+    return graph_as_structure(graph_generators.cycle_graph(n))
+
+
+def clique_structure(n: int) -> Structure:
+    """``K_n`` as a symmetric structure."""
+    return graph_as_structure(graph_generators.complete_graph(n))
+
+
+def star_structure(n: int) -> Structure:
+    """The star ``S_n`` as a symmetric structure (Section 4's example)."""
+    return graph_as_structure(graph_generators.star_graph(n))
+
+
+def grid_structure(rows: int, cols: int) -> Structure:
+    """The grid as a symmetric structure (bipartite, large treewidth)."""
+    return graph_as_structure(graph_generators.grid_graph(rows, cols))
+
+
+def wheel_structure(n: int) -> Structure:
+    """The wheel ``W_n`` as a symmetric structure (Section 6.2)."""
+    return graph_as_structure(graph_generators.wheel_graph(n))
+
+
+def bicycle_structure(n: int) -> Structure:
+    """The bicycle ``B_n = W_n + K_4`` as a symmetric structure (§6.2)."""
+    return graph_as_structure(graph_generators.bicycle_graph(n))
+
+
+def bicycle_with_hub_constant(n: int) -> Structure:
+    """The expansion ``(B_n, h)`` naming the wheel's hub (Section 6.2).
+
+    For odd ``n >= 5`` this structure is its own core and has a degree-``n``
+    element, witnessing that cores of expansions can have unbounded degree.
+    """
+    base = bicycle_structure(n)
+    return base.expand_with_constants({"c1": (0, "h")})
+
+
+def random_structure(
+    vocabulary: Vocabulary,
+    size: int,
+    density: float,
+    seed: Optional[int] = None,
+) -> Structure:
+    """A random structure: each potential tuple is a fact with prob ``density``.
+
+    Elements are ``0..size-1``; constants (if any) are assigned random
+    elements.  Deterministic under ``seed``.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValidationError("density must lie in [0, 1]")
+    if size < 1:
+        raise ValidationError("size must be positive")
+    rng = random.Random(seed)
+    universe = list(range(size))
+    relations = {}
+    for name in vocabulary.relation_names:
+        arity = vocabulary.arity(name)
+        tuples: List[Tup] = []
+        for tup in _all_tuples(universe, arity):
+            if rng.random() < density:
+                tuples.append(tup)
+        relations[name] = tuples
+    constants = {c: rng.choice(universe) for c in vocabulary.constants}
+    return Structure(vocabulary, universe, relations, constants)
+
+
+def _all_tuples(universe: Sequence, arity: int):
+    if arity == 0:
+        yield ()
+        return
+    for head in universe:
+        for rest in _all_tuples(universe, arity - 1):
+            yield (head,) + rest
+
+
+def random_directed_graph(
+    size: int, density: float, seed: Optional[int] = None
+) -> Structure:
+    """A random loop-free directed graph structure."""
+    rng = random.Random(seed)
+    edges = [
+        (i, j)
+        for i in range(size)
+        for j in range(size)
+        if i != j and rng.random() < density
+    ]
+    return Structure(GRAPH_VOCABULARY, range(size), {"E": edges})
+
+
+def path_with_random_chords(
+    n: int, chords: int, seed: Optional[int] = None
+) -> Structure:
+    """A directed path plus random forward chords (acyclic workloads)."""
+    rng = random.Random(seed)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    for _ in range(chords):
+        i = rng.randrange(0, n - 1)
+        j = rng.randrange(i + 1, n)
+        edges.append((i, j))
+    return Structure(GRAPH_VOCABULARY, range(n), {"E": edges})
+
+
+def two_coloring_structure(graph) -> Structure:
+    """A graph structure with two unary color relations split arbitrarily.
+
+    Vocabulary ``E/2, Red/1, Blue/1``; used by examples that need a richer
+    schema than plain graphs.
+    """
+    vocab = Vocabulary({"E": 2, "Red": 1, "Blue": 1})
+    edges: List[Tuple] = []
+    for u, v in graph.edge_list():
+        edges.append((u, v))
+        edges.append((v, u))
+    reds = [(v,) for i, v in enumerate(graph.vertices) if i % 2 == 0]
+    blues = [(v,) for i, v in enumerate(graph.vertices) if i % 2 == 1]
+    return Structure(
+        vocab, graph.vertices, {"E": edges, "Red": reds, "Blue": blues}
+    )

@@ -1,0 +1,99 @@
+"""JSON (de)serialization of vocabularies and structures.
+
+Elements are serialized as-is when JSON-representable; tuples (used by
+the tagged elements of disjoint unions) round-trip through a ``["__t__",
+...]`` marker.  The format is stable and human-readable so experiment
+artifacts can be checked into a repository.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..exceptions import ValidationError
+from .structure import Structure
+from .vocabulary import Vocabulary
+
+_TUPLE_MARK = "__t__"
+
+
+def _encode_element(e: Any) -> Any:
+    if isinstance(e, tuple):
+        return [_TUPLE_MARK] + [_encode_element(x) for x in e]
+    if isinstance(e, (str, int, float, bool)) or e is None:
+        return e
+    raise ValidationError(f"element {e!r} is not JSON-serializable")
+
+
+def _decode_element(e: Any) -> Any:
+    if isinstance(e, list):
+        if not e or e[0] != _TUPLE_MARK:
+            raise ValidationError(f"malformed encoded element: {e!r}")
+        return tuple(_decode_element(x) for x in e[1:])
+    return e
+
+
+def vocabulary_to_dict(vocabulary: Vocabulary) -> Dict[str, Any]:
+    """A JSON-ready dict describing a vocabulary."""
+    return {
+        "relations": dict(vocabulary.relations),
+        "constants": list(vocabulary.constants),
+    }
+
+
+def vocabulary_from_dict(data: Dict[str, Any]) -> Vocabulary:
+    """Inverse of :func:`vocabulary_to_dict`."""
+    return Vocabulary(data["relations"], data.get("constants", ()))
+
+
+def structure_to_dict(structure: Structure) -> Dict[str, Any]:
+    """A JSON-ready dict describing a structure."""
+    return {
+        "vocabulary": vocabulary_to_dict(structure.vocabulary),
+        "universe": [_encode_element(e) for e in structure.universe],
+        "relations": {
+            name: [[_encode_element(x) for x in t]
+                   for t in sorted(structure.relation(name), key=repr)]
+            for name in structure.vocabulary.relation_names
+        },
+        "constants": {
+            c: _encode_element(v) for c, v in structure.constants.items()
+        },
+    }
+
+
+def structure_from_dict(data: Dict[str, Any]) -> Structure:
+    """Inverse of :func:`structure_to_dict`."""
+    vocab = vocabulary_from_dict(data["vocabulary"])
+    universe = [_decode_element(e) for e in data["universe"]]
+    relations = {
+        name: [tuple(_decode_element(x) for x in t) for t in tuples]
+        for name, tuples in data.get("relations", {}).items()
+    }
+    constants = {
+        c: _decode_element(v) for c, v in data.get("constants", {}).items()
+    }
+    return Structure(vocab, universe, relations, constants)
+
+
+def structure_to_json(structure: Structure, indent: int = 2) -> str:
+    """Serialize a structure to a JSON string."""
+    return json.dumps(structure_to_dict(structure), indent=indent, sort_keys=True)
+
+
+def structure_from_json(text: str) -> Structure:
+    """Deserialize a structure from a JSON string."""
+    return structure_from_dict(json.loads(text))
+
+
+def save_structure(structure: Structure, path: str) -> None:
+    """Write a structure to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(structure_to_json(structure))
+
+
+def load_structure(path: str) -> Structure:
+    """Read a structure from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return structure_from_json(handle.read())

@@ -1,0 +1,112 @@
+"""Operations on structures: disjoint unions, images, products.
+
+These are the constructions the paper's proofs rely on: Theorem 3.2's
+hypotheses are closure under substructures and **disjoint unions**;
+minimal models of Theorem 7.4 arise as **homomorphic images**; the
+existential pebble game (Section 7.2) is tied to **products**.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from ..exceptions import ValidationError
+from .structure import Element, Structure, Tup
+from .vocabulary import Vocabulary
+
+
+def disjoint_union(*structures: Structure) -> Structure:
+    """The disjoint union ``A_1 + A_2 + ...``; elements tagged ``(i, a)``.
+
+    All structures must share a purely relational vocabulary (constants
+    would have no canonical interpretation in a union; Section 6.1 notes
+    exactly this failure of closure for expanded vocabularies).
+    """
+    if not structures:
+        raise ValidationError("disjoint union of zero structures is undefined")
+    vocab = structures[0].vocabulary
+    if not vocab.is_purely_relational():
+        raise ValidationError(
+            "disjoint union requires a purely relational vocabulary"
+        )
+    for s in structures[1:]:
+        if s.vocabulary != vocab:
+            raise ValidationError("vocabulary mismatch in disjoint union")
+    universe: List[Element] = []
+    relations: Dict[str, List[Tup]] = {name: [] for name in vocab.relation_names}
+    for i, s in enumerate(structures):
+        universe.extend((i, e) for e in s.universe)
+        for name in vocab.relation_names:
+            for tup in s.relation(name):
+                relations[name].append(tuple((i, x) for x in tup))
+    return Structure(vocab, universe, relations)
+
+
+def injection_into_union(
+    structures: Sequence[Structure], index: int
+) -> Dict[Element, Element]:
+    """The canonical embedding of component ``index`` into the union."""
+    if not 0 <= index < len(structures):
+        raise ValidationError("component index out of range")
+    return {e: (index, e) for e in structures[index].universe}
+
+
+def homomorphic_image(structure: Structure,
+                      mapping: Mapping[Element, Element]) -> Structure:
+    """The image structure ``h(A)``: universe ``h(A)``, relations ``h(R^A)``.
+
+    The mapping need not be injective; this is the quotient used in the
+    proofs of Theorem 3.1 and Lemma 7.3.
+    """
+    missing = structure.universe_set - set(mapping)
+    if missing:
+        raise ValidationError(f"mapping misses elements: {missing}")
+    universe = [mapping[e] for e in structure.universe]
+    relations = {
+        name: [tuple(mapping[x] for x in t) for t in structure.relation(name)]
+        for name in structure.vocabulary.relation_names
+    }
+    constants = {c: mapping[v] for c, v in structure.constants.items()}
+    return Structure(structure.vocabulary, universe, relations, constants)
+
+
+def direct_product(a: Structure, b: Structure) -> Structure:
+    """The direct (categorical) product ``A × B``.
+
+    Elements are pairs; a tuple of pairs is in ``R`` iff both projections
+    are.  Projections are homomorphisms, and ``C → A × B`` iff ``C → A``
+    and ``C → B``.
+    """
+    if a.vocabulary != b.vocabulary:
+        raise ValidationError("vocabulary mismatch in product")
+    if not a.vocabulary.is_purely_relational():
+        raise ValidationError("product requires a purely relational vocabulary")
+    vocab = a.vocabulary
+    universe = [(x, y) for x in a.universe for y in b.universe]
+    relations: Dict[str, List[Tup]] = {}
+    for name in vocab.relation_names:
+        tuples: List[Tup] = []
+        for ta in a.relation(name):
+            for tb in b.relation(name):
+                tuples.append(tuple(zip(ta, tb)))
+        relations[name] = tuples
+    return Structure(vocab, universe, relations)
+
+
+def merge_on_shared_universe(a: Structure, b: Structure) -> Structure:
+    """The union of facts of two structures over the same vocabulary.
+
+    The universes are united (not tagged); useful for building monotone
+    extensions when testing preservation under fact addition.
+    """
+    if a.vocabulary != b.vocabulary:
+        raise ValidationError("vocabulary mismatch in merge")
+    if not a.vocabulary.is_purely_relational():
+        raise ValidationError("merge requires a purely relational vocabulary")
+    universe = list(a.universe) + [e for e in b.universe if e not in a.universe_set]
+    relations = {
+        name: list(a.relation(name)) + list(b.relation(name))
+        for name in a.vocabulary.relation_names
+    }
+    return Structure(a.vocabulary, universe, relations)

@@ -1,0 +1,146 @@
+"""Relational vocabularies (database schemas).
+
+A vocabulary ``σ`` is a finite set of relation symbols with arities
+(Section 2.1), optionally extended with constant symbols (used by the
+non-Boolean-to-Boolean reduction of Section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..exceptions import ValidationError
+
+
+class Vocabulary:
+    """An immutable relational vocabulary.
+
+    Parameters
+    ----------
+    relations:
+        Mapping from relation symbol name to arity (positive integer).
+    constants:
+        Optional iterable of constant symbol names (Section 6.1 uses
+        vocabularies ``σ'`` extending ``σ`` with constants ``c_1..c_n``).
+
+    Examples
+    --------
+    >>> graphs = Vocabulary({"E": 2})
+    >>> graphs.arity("E")
+    2
+    """
+
+    __slots__ = ("_relations", "_constants", "_hash")
+
+    def __init__(
+        self,
+        relations: Mapping[str, int],
+        constants: Iterable[str] = (),
+    ) -> None:
+        rels: Dict[str, int] = {}
+        for name, arity in relations.items():
+            if not isinstance(name, str) or not name:
+                raise ValidationError(f"bad relation name {name!r}")
+            if not isinstance(arity, int) or arity < 0:
+                raise ValidationError(
+                    f"relation {name!r} needs a non-negative integer arity"
+                )
+            rels[name] = arity
+        consts = tuple(dict.fromkeys(constants))
+        for c in consts:
+            if not isinstance(c, str) or not c:
+                raise ValidationError(f"bad constant name {c!r}")
+            if c in rels:
+                raise ValidationError(f"{c!r} is both a relation and a constant")
+        self._relations: Dict[str, int] = rels
+        self._constants: Tuple[str, ...] = consts
+        self._hash = hash(
+            (frozenset(rels.items()), consts)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def relations(self) -> Dict[str, int]:
+        """Relation-name → arity mapping (a defensive copy)."""
+        return dict(self._relations)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation names in sorted order."""
+        return tuple(sorted(self._relations))
+
+    @property
+    def constants(self) -> Tuple[str, ...]:
+        """Constant symbol names in declaration order."""
+        return self._constants
+
+    def arity(self, name: str) -> int:
+        """The arity of relation symbol ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise ValidationError(f"unknown relation symbol {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        """Whether ``name`` is a relation symbol of this vocabulary."""
+        return name in self._relations
+
+    def has_constant(self, name: str) -> bool:
+        """Whether ``name`` is a constant symbol of this vocabulary."""
+        return name in self._constants
+
+    def is_purely_relational(self) -> bool:
+        """Whether the vocabulary has no constant symbols."""
+        return not self._constants
+
+    # ------------------------------------------------------------------
+    def with_constants(self, names: Iterable[str]) -> "Vocabulary":
+        """The expansion ``σ'`` of this vocabulary by new constants."""
+        return Vocabulary(self._relations, self._constants + tuple(names))
+
+    def without_constants(self) -> "Vocabulary":
+        """The purely relational reduct (drop all constants)."""
+        return Vocabulary(self._relations)
+
+    def with_relation(self, name: str, arity: int) -> "Vocabulary":
+        """A vocabulary extended by one relation symbol."""
+        if name in self._relations:
+            raise ValidationError(f"relation {name!r} already declared")
+        merged = dict(self._relations)
+        merged[name] = arity
+        return Vocabulary(merged, self._constants)
+
+    def merge(self, other: "Vocabulary") -> "Vocabulary":
+        """The union vocabulary; shared symbols must agree on arity."""
+        merged = dict(self._relations)
+        for name, arity in other._relations.items():
+            if merged.get(name, arity) != arity:
+                raise ValidationError(
+                    f"relation {name!r} has conflicting arities"
+                )
+            merged[name] = arity
+        return Vocabulary(
+            merged, tuple(dict.fromkeys(self._constants + other._constants))
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return (
+            self._relations == other._relations
+            and self._constants == other._constants
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        rels = ", ".join(f"{n}/{a}" for n, a in sorted(self._relations.items()))
+        if self._constants:
+            rels += "; constants " + ", ".join(self._constants)
+        return f"Vocabulary({rels})"
+
+
+#: The vocabulary of (directed) graphs: one binary relation ``E``.
+GRAPH_VOCABULARY = Vocabulary({"E": 2})

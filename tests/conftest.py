@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Vocabulary,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+)
+
+
+@pytest.fixture
+def graph_vocab():
+    """The E/2 vocabulary."""
+    return GRAPH_VOCABULARY
+
+
+@pytest.fixture
+def colored_vocab():
+    """A richer vocabulary with unary predicates and a ternary relation."""
+    return Vocabulary({"E": 2, "Red": 1, "T": 3})
+
+
+@pytest.fixture
+def c3():
+    """The directed 3-cycle."""
+    return directed_cycle(3)
+
+
+@pytest.fixture
+def p4():
+    """The directed path on 4 elements."""
+    return directed_path(4)
+
+
+@pytest.fixture
+def random_digraphs():
+    """A deterministic batch of small random digraphs."""
+    return [random_directed_graph(4, 0.3, seed) for seed in range(10)]

@@ -1,0 +1,122 @@
+"""Unit tests for Section 7: Lemma 7.3 and the VCQk machinery."""
+
+import pytest
+
+from repro.core import (
+    VCQkSentence,
+    directed_cycle_is_nonwitness,
+    finite_vcqk,
+    lemma_7_3_witness,
+)
+from repro.cq import path_sentence_two_variables
+from repro.exceptions import UnsupportedFragmentError, ValidationError
+from repro.homomorphism import is_homomorphism
+from repro.logic import parse_formula
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+def paths_sentence(lengths, k=2):
+    return finite_vcqk(
+        [path_sentence_two_variables(n) for n in lengths], k
+    )
+
+
+class TestVCQkSentence:
+    def test_holds_in(self):
+        sentence = paths_sentence([2, 4])
+        assert sentence.holds_in(directed_path(3))     # has path of length 2
+        assert not sentence.holds_in(directed_path(2))
+
+    def test_infinite_presentation(self):
+        # "path of length n for every even n" — an infinite ∨CQ^2
+        def disjunct(i):
+            return path_sentence_two_variables(2 * (i + 1))
+
+        sentence = VCQkSentence(2, disjunct, prefix_hint=16)
+        assert sentence.holds_in(directed_path(3))
+        assert not sentence.holds_in(directed_path(2))
+
+    def test_variable_budget_enforced(self):
+        bad = finite_vcqk(
+            [parse_formula("exists x y z. E(x,y) & E(y,z) & E(z,x)",
+                           GRAPH_VOCABULARY)],
+            2,
+        )
+        with pytest.raises(UnsupportedFragmentError):
+            bad.holds_in(directed_cycle(3))
+
+    def test_shape_enforced(self):
+        bad = finite_vcqk(
+            [parse_formula("exists x. ~E(x, x)", GRAPH_VOCABULARY)], 2
+        )
+        with pytest.raises(UnsupportedFragmentError):
+            bad.disjuncts_up_to(1)
+
+    def test_disjuncts_stop_at_none(self):
+        sentence = paths_sentence([1, 2])
+        assert len(sentence.disjuncts_up_to(10)) == 2
+
+
+class TestLemma73:
+    def test_witness_on_cycle(self):
+        sentence = paths_sentence([1, 2, 3])
+        witness = lemma_7_3_witness(sentence, directed_cycle(5))
+        assert witness.treewidth < 2
+        assert is_homomorphism(
+            witness.minimal_model, directed_cycle(5), witness.homomorphism
+        )
+        # the minimal model must itself model the sentence
+        assert sentence.holds_in(witness.minimal_model)
+
+    def test_witness_on_loop(self):
+        sentence = paths_sentence([1, 2, 3])
+        witness = lemma_7_3_witness(sentence, single_loop())
+        assert witness.treewidth < 2
+        # the hom collapses the path onto the loop, and the image covers it
+        assert witness.surjective
+
+    def test_non_model_rejected(self):
+        sentence = paths_sentence([3])
+        with pytest.raises(ValidationError):
+            lemma_7_3_witness(sentence, directed_path(2))
+
+    def test_minimal_model_minimality(self):
+        from repro.core import is_minimal_model
+
+        sentence = paths_sentence([2])
+        witness = lemma_7_3_witness(sentence, directed_path(5))
+        assert is_minimal_model(
+            lambda s: sentence.holds_in(s), witness.minimal_model,
+            assume_preserved=True,
+        )
+
+    def test_random_models(self):
+        sentence = paths_sentence([1, 2])
+        for seed in range(5):
+            s = random_directed_graph(4, 0.4, seed)
+            if sentence.holds_in(s):
+                witness = lemma_7_3_witness(sentence, s)
+                assert witness.treewidth < 2
+
+
+class TestPaperCorrection:
+    def test_c3_counterexample(self):
+        """Section 7.1: C_3 is a minimal model of the CQ^2 path-of-3
+        sentence yet has treewidth 2 — refuting the preliminary claim."""
+        c3, treewidth = directed_cycle_is_nonwitness()
+        assert treewidth == 2
+
+    def test_but_lemma_7_3_still_provides_low_treewidth_model(self):
+        """Lemma 7.3's repair: C_3 is the *image* of a treewidth-1
+        minimal model (the path P_4)."""
+        sentence = paths_sentence([3])
+        witness = lemma_7_3_witness(sentence, directed_cycle(3))
+        assert witness.treewidth == 1
+        assert witness.minimal_model.size() == 4
+        assert witness.surjective

@@ -1,0 +1,83 @@
+"""Unit tests for Lemma 3.4 / Theorem 3.5 (bounded degree)."""
+
+import pytest
+
+from repro.core import (
+    lemma_3_4_bound,
+    lemma_3_4_sweep,
+    lemma_3_4_witness,
+    theorem_3_5_applies,
+)
+from repro.exceptions import ValidationError
+from repro.graphtheory import (
+    cycle_graph,
+    grid_graph,
+    is_scattered,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.structures import clique_structure, undirected_cycle
+
+
+class TestLemma34Witness:
+    def test_cycle_witness(self):
+        g = cycle_graph(40)
+        witness = lemma_3_4_witness(g, k=2, d=2, m=5)
+        assert witness is not None
+        assert len(witness.scattered) == 5
+        assert is_scattered(g, list(witness.scattered), 2)
+
+    def test_bound_guarantee(self):
+        """Above N = m * k^d the witness always exists (the lemma)."""
+        k, d, m = 2, 2, 4
+        bound = lemma_3_4_bound(k, d, m)
+        for n in (bound + 1, bound + 5):
+            witness = lemma_3_4_witness(path_graph(n), k, d, m)
+            assert witness is not None
+            assert witness.above_bound()
+
+    def test_regular_graphs(self):
+        for seed in range(3):
+            g = random_regular_graph(60, 3, seed=seed)
+            witness = lemma_3_4_witness(g, k=3, d=1, m=4)
+            if witness is not None:
+                assert is_scattered(g, list(witness.scattered), 1)
+
+    def test_below_bound_may_fail(self):
+        # the clique K4 (degree 3) has no 1-scattered pair
+        from repro.graphtheory import complete_graph
+
+        assert lemma_3_4_witness(complete_graph(4), 3, 1, 2) is None
+
+    def test_degree_violation_rejected(self):
+        with pytest.raises(ValidationError):
+            lemma_3_4_witness(star_graph(5), k=2, d=1, m=2)
+
+    def test_grid_degree4(self):
+        g = grid_graph(6, 6)
+        witness = lemma_3_4_witness(g, k=4, d=1, m=4)
+        assert witness is not None
+
+
+class TestTheorem35:
+    def test_applies(self):
+        assert theorem_3_5_applies(undirected_cycle(6), 2)
+        assert not theorem_3_5_applies(clique_structure(5), 3)
+
+
+class TestSweep:
+    def test_rows(self):
+        graphs = [cycle_graph(n) for n in (10, 20, 40)]
+        rows = lemma_3_4_sweep(graphs, k=2, d=1, m=3)
+        assert len(rows) == 3
+        assert all(r["found"] for r in rows)
+        assert rows[0]["bound"] == 3 * 2
+
+    def test_theorem_shape(self):
+        """Every above-bound row must have found=True — the lemma's shape."""
+        graphs = [cycle_graph(n) for n in range(10, 60, 10)]
+        rows = lemma_3_4_sweep(graphs, k=2, d=2, m=4)
+        for row in rows:
+            if row["above_bound"]:
+                assert row["found"]

@@ -1,0 +1,78 @@
+"""Unit tests for the Lemma 4.2 construction (bounded treewidth)."""
+
+import pytest
+
+from repro.core import lemma_4_2_sweep, lemma_4_2_witness
+from repro.exceptions import ValidationError
+from repro.graphtheory import (
+    binary_tree,
+    caterpillar,
+    cycle_graph,
+    is_scattered,
+    k_tree,
+    path_graph,
+    random_tree,
+    spider_graph,
+    star_graph,
+    treewidth_decomposition,
+)
+
+
+class TestWitnessValidity:
+    @pytest.mark.parametrize("graph,k,d,m", [
+        (star_graph(25), 2, 2, 6),
+        (path_graph(50), 2, 2, 5),
+        (binary_tree(4), 2, 1, 4),
+        (random_tree(40, seed=1), 2, 1, 5),
+        (cycle_graph(30), 3, 1, 4),
+        (caterpillar(10, 3), 2, 1, 5),
+        (spider_graph(8, 2), 2, 1, 6),
+        (k_tree(2, 25, seed=2), 3, 1, 3),
+    ])
+    def test_witness_found_and_valid(self, graph, k, d, m):
+        witness = lemma_4_2_witness(graph, k, d, m)
+        assert witness is not None
+        assert len(witness.removed) <= k
+        reduced = graph.remove_vertices(witness.removed)
+        assert is_scattered(reduced, list(witness.scattered), d)
+        assert len(witness.scattered) >= m
+
+    def test_star_uses_case1(self):
+        witness = lemma_4_2_witness(star_graph(30), 2, 2, 8,
+                                    allow_search_fallback=False)
+        assert witness is not None
+        assert witness.method == "case1"
+
+    def test_width_checked(self):
+        # cycle has treewidth 2, so k must be at least 3
+        with pytest.raises(ValidationError):
+            lemma_4_2_witness(cycle_graph(10), 2, 1, 2)
+
+    def test_explicit_decomposition_accepted(self):
+        g = path_graph(30)
+        td = treewidth_decomposition(g)
+        witness = lemma_4_2_witness(g, 2, 1, 4, decomposition=td)
+        assert witness is not None
+
+    def test_proof_cases_without_fallback(self):
+        """The construction (not the search) handles classic instances."""
+        star = star_graph(40)
+        witness = lemma_4_2_witness(star, 2, 1, 10,
+                                    allow_search_fallback=False)
+        assert witness is not None and witness.method in ("case1", "case2")
+
+    def test_impossible_instance_returns_none(self):
+        # tiny path cannot produce 5 scattered vertices
+        assert lemma_4_2_witness(path_graph(3), 2, 2, 5) is None
+
+
+class TestSweep:
+    def test_tree_family(self):
+        graphs = [random_tree(n, seed=n) for n in (15, 25, 35)]
+        rows = lemma_4_2_sweep(graphs, 2, 1, 4)
+        assert all(row["found"] for row in rows)
+        assert all(row["removed"] <= 2 for row in rows)
+
+    def test_methods_recorded(self):
+        rows = lemma_4_2_sweep([star_graph(30)], 2, 2, 6)
+        assert rows[0]["method"] in ("case1", "case2", "search")

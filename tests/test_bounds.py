@@ -1,0 +1,111 @@
+"""Unit tests for the paper's explicit bound arithmetic."""
+
+import pytest
+
+from repro.core import (
+    bound_summary,
+    lemma_3_4_bound,
+    lemma_4_2_bound,
+    lemma_4_2_path_length,
+    lemma_4_2_petals,
+    lemma_5_2_bound,
+    theorem_5_3_bound,
+)
+from repro.core.bounds import lemma_5_2_b, theorem_5_3_c
+from repro.exceptions import BudgetExceededError, ValidationError
+
+
+class TestLemma34:
+    def test_formula(self):
+        assert lemma_3_4_bound(2, 3, 5) == 5 * 8
+        assert lemma_3_4_bound(3, 2, 4) == 4 * 9
+
+    def test_degenerate(self):
+        assert lemma_3_4_bound(2, 0, 7) == 7
+        assert lemma_3_4_bound(0, 3, 7) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            lemma_3_4_bound(-1, 2, 3)
+
+
+class TestLemma42:
+    def test_petals(self):
+        # p = (m-1)(2d+1) + 1
+        assert lemma_4_2_petals(2, 3) == 11
+        assert lemma_4_2_petals(0, 4) == 4
+
+    def test_path_length(self):
+        # M = k! (p-1)^k with k=2, d=0, m=2 -> p=2, M = 2
+        assert lemma_4_2_path_length(2, 0, 2) == 2
+
+    def test_bound_small(self):
+        # k=1, d=0, m=2: p=2, M=1, N = 1 * 1^1 = 1
+        assert lemma_4_2_bound(1, 0, 2) == 1
+
+    def test_bound_m1_is_k(self):
+        assert lemma_4_2_bound(3, 2, 1) == 3
+
+    def test_digit_cap(self):
+        with pytest.raises(BudgetExceededError):
+            lemma_4_2_bound(3, 3, 5, digit_cap=10)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            lemma_4_2_bound(0, 1, 1)
+
+    def test_monotone_in_m(self):
+        values = [lemma_4_2_bound(2, 1, m, digit_cap=None) for m in (2, 3)]
+        assert values[0] < values[1]
+
+
+class TestRamseyBasedBounds:
+    def test_lemma_5_2_trivial_k(self):
+        assert lemma_5_2_bound(2, 7) == 7
+
+    def test_lemma_5_2_b_requires_k3(self):
+        with pytest.raises(ValidationError):
+            lemma_5_2_b(2, 5)
+
+    def test_lemma_5_2_b_trivial_case(self):
+        # m = (k-2)n + k-2 = 2 < k = 3: the Ramsey bound degenerates
+        assert lemma_5_2_b(3, 1) == 2
+
+    def test_lemma_5_2_b_is_huge(self):
+        # r(4, 3, 7) would need ~10^900 digits: the guard refuses to
+        # materialize it rather than exhausting memory
+        with pytest.raises(BudgetExceededError):
+            lemma_5_2_b(3, 5)
+
+    def test_graph_ramsey_level_computes(self):
+        from repro.graphtheory import ramsey_bound
+
+        value = ramsey_bound(2, 2, 5)   # one Ramsey level: fine
+        assert value > 10 ** 3
+
+    def test_lemma_5_2_iteration_cap(self):
+        with pytest.raises(BudgetExceededError):
+            lemma_5_2_bound(10, 3, iteration_cap=2)
+
+    def test_theorem_5_3_d0(self):
+        assert theorem_5_3_bound(4, 0, 9) == 9
+
+    def test_theorem_5_3_cap(self):
+        with pytest.raises(BudgetExceededError):
+            theorem_5_3_bound(3, 5, 2, iteration_cap=1)
+
+    def test_c_of_small(self):
+        # c(n) = r(2, 2, n) for k <= 2
+        value = theorem_5_3_c(2, 1)
+        assert value >= 1
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        summary = bound_summary(2, 1, 3)
+        assert set(summary) >= {"lemma_3_4", "lemma_4_2_petals",
+                                "lemma_4_2_path"}
+
+    def test_huge_values_described(self):
+        summary = bound_summary(3, 2, 4)
+        assert "lemma_4_2" in summary

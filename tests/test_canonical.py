@@ -1,0 +1,99 @@
+"""Unit tests for canonical queries and the Chandra–Merlin theorem (E1)."""
+
+import pytest
+
+from repro.cq import (
+    canonical_query,
+    canonical_query_with_tuple,
+    chandra_merlin_check,
+    homomorphism_witness_from_query,
+)
+from repro.exceptions import ValidationError
+from repro.homomorphism import has_homomorphism, is_homomorphism
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    bicycle_with_hub_constant,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+class TestCanonicalQuery:
+    def test_structure_models_its_own_query(self):
+        for s in (directed_cycle(3), directed_path(4), single_loop()):
+            assert canonical_query(s).holds_in(s)
+
+    def test_query_shape(self):
+        q = canonical_query(directed_cycle(3))
+        assert q.is_boolean()
+        assert q.num_atoms() == 3
+        assert len(q.variables()) == 3
+
+    def test_satisfaction_equals_hom_existence(self):
+        pairs = [
+            (directed_cycle(3), directed_cycle(6)),
+            (directed_cycle(6), directed_cycle(3)),
+            (directed_path(3), directed_cycle(3)),
+            (single_loop(), directed_cycle(3)),
+        ]
+        for a, b in pairs:
+            assert canonical_query(a).holds_in(b) == has_homomorphism(a, b)
+
+    def test_constants_stay_constants(self):
+        s = bicycle_with_hub_constant(5)
+        q = canonical_query(s)
+        # the hub is named by c1, so one fewer variable than elements
+        assert len(q.variables()) == s.size() - 1
+
+    def test_with_tuple_head(self):
+        s = directed_path(3)
+        q = canonical_query_with_tuple(s, (0, 2))
+        assert q.arity() == 2
+        answers = q.evaluate(directed_path(4))
+        assert (0, 2) in answers and (1, 3) in answers
+
+    def test_with_tuple_requires_active(self):
+        s = Structure(GRAPH_VOCABULARY, [0, 1, 2], {"E": [(0, 1)]})
+        with pytest.raises(ValidationError):
+            canonical_query_with_tuple(s, (2,))
+
+    def test_with_tuple_requires_member(self):
+        with pytest.raises(ValidationError):
+            canonical_query_with_tuple(directed_path(2), (9,))
+
+
+class TestChandraMerlin:
+    def test_three_way_agreement_random(self):
+        for seed in range(12):
+            a = random_directed_graph(3, 0.4, seed)
+            b = random_directed_graph(4, 0.4, seed + 100)
+            result = chandra_merlin_check(a, b)
+            assert len(set(result.values())) == 1, (seed, result)
+
+    def test_positive_instance(self):
+        result = chandra_merlin_check(directed_path(3), directed_cycle(3))
+        assert all(result.values())
+
+    def test_negative_instance(self):
+        result = chandra_merlin_check(directed_cycle(3), directed_path(5))
+        assert not any(result.values())
+
+    def test_witness_extraction(self):
+        hom = homomorphism_witness_from_query(
+            directed_path(4), directed_cycle(2)
+        )
+        assert is_homomorphism(directed_path(4), directed_cycle(2), hom)
+
+    def test_witness_raises_when_absent(self):
+        with pytest.raises(ValidationError):
+            homomorphism_witness_from_query(
+                directed_cycle(3), directed_path(3)
+            )
+
+    def test_reflexive(self):
+        s = random_directed_graph(4, 0.5, 7)
+        result = chandra_merlin_check(s, s)
+        assert all(result.values())

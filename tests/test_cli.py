@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.structures import (
+    directed_cycle,
+    directed_path,
+    load_structure,
+    save_structure,
+    single_loop,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, s in (("p4", directed_path(4)), ("c3", directed_cycle(3)),
+                    ("loop", single_loop())):
+        path = str(tmp_path / f"{name}.json")
+        save_structure(s, path)
+        paths[name] = path
+    return paths
+
+
+class TestHom:
+    def test_found(self, files, capsys):
+        assert main(["hom", files["p4"], files["c3"]]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)
+
+    def test_not_found(self, files, capsys):
+        assert main(["hom", files["c3"], files["p4"]]) == 1
+        assert "no homomorphism" in capsys.readouterr().out
+
+
+class TestCore:
+    def test_report(self, files, capsys):
+        assert main(["core", files["c3"]]) == 0
+        out = capsys.readouterr().out
+        assert "core:      3 elements" in out
+
+    def test_output_file(self, files, tmp_path, capsys):
+        out_path = str(tmp_path / "core.json")
+        assert main(["core", files["p4"], "--output", out_path]) == 0
+        core = load_structure(out_path)
+        assert core.size() <= 4
+
+
+class TestTreewidth:
+    def test_cycle(self, files, capsys):
+        assert main(["treewidth", files["c3"]]) == 0
+        assert "treewidth: 2" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_pebble_game(self, files, capsys):
+        assert main(["check", files["c3"], files["p4"], "--pebbles", "2"]) == 1
+        assert "False" in capsys.readouterr().out
+        assert main(["check", files["p4"], files["c3"], "--pebbles", "2"]) == 0
+
+
+class TestChandraMerlin:
+    def test_agreement(self, files, capsys):
+        assert main(["chandra-merlin", files["p4"], files["c3"]]) == 0
+        out = capsys.readouterr().out
+        assert out.count("True") == 3
+
+
+class TestRewrite:
+    def test_mutual_edge(self, capsys):
+        code = main([
+            "rewrite", "exists x y. E(x,y) & E(y,x)",
+            "--relations", "E:2", "--max-size", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimal models" in out
+
+    def test_bad_relations_spec(self):
+        with pytest.raises(SystemExit):
+            main(["rewrite", "exists x. E(x,x)", "--relations", "E"])
+
+
+class TestDatalog:
+    def test_transitive_closure(self, files, tmp_path, capsys):
+        program = tmp_path / "tc.dl"
+        program.write_text(
+            "T(x, y) <- E(x, y).\nT(x, y) <- E(x, z), T(z, y).\n"
+        )
+        assert main(["datalog", str(program), files["p4"],
+                     "--query", "T"]) == 0
+        out = capsys.readouterr().out
+        assert "6 tuples" in out
+
+
+class TestErrorPaths:
+    def test_datalog_default_predicate(self, files, tmp_path, capsys):
+        program = tmp_path / "tc.dl"
+        program.write_text("T(x, y) <- E(x, y).\n")
+        assert main(["datalog", str(program), files["p4"]]) == 0
+        assert "T:" in capsys.readouterr().out
+
+    def test_rewrite_parse_error_propagates(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            main(["rewrite", "exists x. E(x", "--relations", "E:2"])
+
+    def test_treewidth_limit_flag(self, files, capsys):
+        assert main(["treewidth", files["loop"], "--limit", "10"]) == 0
+        assert "treewidth: 0" in capsys.readouterr().out

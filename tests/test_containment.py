@@ -1,0 +1,134 @@
+"""Unit tests for CQ and UCQ containment (Chandra–Merlin, Sagiv–Yannakakis)."""
+
+import pytest
+
+from repro.cq import (
+    ConjunctiveQuery,
+    are_equivalent,
+    containment_mapping,
+    is_contained_in,
+    remove_redundant_disjuncts,
+    ucq_are_equivalent,
+    ucq_is_contained_in,
+)
+from repro.exceptions import ValidationError
+from repro.logic import parse_formula
+from repro.structures import GRAPH_VOCABULARY, random_directed_graph
+
+
+def cq(text):
+    return ConjunctiveQuery.from_formula(
+        parse_formula(text, GRAPH_VOCABULARY), GRAPH_VOCABULARY
+    )
+
+
+PATH2 = cq("exists a b c. E(a,b) & E(b,c)")
+PATH3 = cq("exists a b c d. E(a,b) & E(b,c) & E(c,d)")
+TRIANGLE = cq("exists x y z. E(x,y) & E(y,z) & E(z,x)")
+LOOP = cq("exists x. E(x,x)")
+EDGE = cq("exists x y. E(x,y)")
+
+
+class TestBooleanContainment:
+    def test_longer_path_contained_in_shorter(self):
+        assert is_contained_in(PATH3, PATH2)
+        assert not is_contained_in(PATH2, PATH3)
+
+    def test_triangle_contained_in_path(self):
+        assert is_contained_in(TRIANGLE, PATH2)
+
+    def test_loop_contained_in_everything_pathlike(self):
+        assert is_contained_in(LOOP, EDGE)
+        assert is_contained_in(LOOP, PATH3)
+        assert is_contained_in(LOOP, TRIANGLE)
+        assert not is_contained_in(EDGE, LOOP)
+
+    def test_equivalence_of_renamings(self):
+        other = cq("exists u v w. E(u,v) & E(v,w)")
+        assert are_equivalent(PATH2, other)
+
+    def test_containment_mapping_witness(self):
+        mapping = containment_mapping(PATH3, PATH2)
+        assert mapping is not None
+
+    def test_soundness_on_random_data(self):
+        # containment implies answer inclusion on every structure
+        samples = [random_directed_graph(4, 0.4, s) for s in range(8)]
+        pairs = [(PATH3, PATH2), (TRIANGLE, PATH2), (LOOP, EDGE)]
+        for q1, q2 in pairs:
+            assert is_contained_in(q1, q2)
+            for s in samples:
+                assert q1.evaluate(s) <= q2.evaluate(s)
+
+
+class TestNonBooleanContainment:
+    def test_head_respected(self):
+        q1 = cq("exists z. E(x, z) & E(z, y)")  # distance-2 pairs
+        q2 = cq("exists z w. E(x, z) & E(w, y)")  # out-edge and in-edge
+        assert is_contained_in(q1, q2)
+        assert not is_contained_in(q2, q1)
+
+    def test_head_order_matters(self):
+        fwd = cq("E(x, y)")
+        # reversed head: same body, head (y, x) — build manually
+        rev = ConjunctiveQuery(GRAPH_VOCABULARY, ("y", "x"), fwd.body)
+        assert not is_contained_in(fwd, rev)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            is_contained_in(EDGE, cq("E(x, y)"))
+
+    def test_answers_inclusion_nonboolean(self):
+        q1 = cq("E(x, y) & exists z. E(y, z)")
+        q2 = cq("E(x, y)")
+        assert is_contained_in(q1, q2)
+        for seed in range(6):
+            s = random_directed_graph(4, 0.5, seed)
+            assert q1.evaluate(s) <= q2.evaluate(s)
+
+
+class TestUCQContainment:
+    def test_sagiv_yannakakis_positive(self):
+        assert ucq_is_contained_in([PATH3, TRIANGLE], [PATH2])
+
+    def test_sagiv_yannakakis_negative(self):
+        assert not ucq_is_contained_in([PATH2], [PATH3, TRIANGLE])
+
+    def test_empty_union_is_bottom(self):
+        assert ucq_is_contained_in([], [PATH2])
+        assert not ucq_is_contained_in([PATH2], [])
+
+    def test_union_equivalence(self):
+        assert ucq_are_equivalent([PATH2, PATH3], [PATH2])
+        assert not ucq_are_equivalent([PATH2], [TRIANGLE])
+
+    def test_disjunct_level_counterexample(self):
+        # q1 ∪ q2 ⊆ p1 ∪ p2 can hold only via cross matching
+        assert ucq_is_contained_in([TRIANGLE, PATH3], [PATH2, LOOP])
+
+
+class TestRedundancyRemoval:
+    def test_removes_subsumed(self):
+        kept = remove_redundant_disjuncts([PATH2, PATH3, TRIANGLE])
+        assert kept == [PATH2]
+
+    def test_keeps_incomparable(self):
+        two_cycle = cq("exists x y. E(x,y) & E(y,x)")
+        # directed triangle and directed 2-cycle admit no homomorphism
+        # either way, so neither disjunct subsumes the other
+        kept = remove_redundant_disjuncts([two_cycle, TRIANGLE])
+        assert len(kept) == 2
+
+    def test_later_disjunct_can_subsume_earlier(self):
+        kept = remove_redundant_disjuncts([PATH3, PATH2])
+        assert kept == [PATH2]
+
+    def test_equivalent_duplicates_collapse(self):
+        other = cq("exists u v w. E(u,v) & E(v,w)")
+        kept = remove_redundant_disjuncts([PATH2, other])
+        assert len(kept) == 1
+
+    def test_result_equivalent(self):
+        union = [PATH2, PATH3, TRIANGLE, LOOP]
+        kept = remove_redundant_disjuncts(union)
+        assert ucq_are_equivalent(union, kept)

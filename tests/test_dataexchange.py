@@ -1,0 +1,167 @@
+"""Unit tests for the data-exchange package (chase, universal/core solutions)."""
+
+import pytest
+
+from repro.dataexchange import (
+    SchemaMapping,
+    SourceToTargetTGD,
+    chase,
+    core_solution,
+    is_null,
+    is_solution,
+    is_universal_solution,
+    parse_mapping,
+    parse_tgd,
+    solution_homomorphism,
+)
+from repro.exceptions import ValidationError
+from repro.logic import atom
+from repro.structures import Structure, Vocabulary
+
+SRC = Vocabulary({"Emp": 2})
+TGT = Vocabulary({"Works": 2, "DeptMgr": 2})
+
+MAPPING = parse_mapping(
+    "Emp(e, d) -> exists m. Works(e, d) & DeptMgr(d, m).",
+    SRC, TGT,
+)
+
+SOURCE = Structure(
+    SRC,
+    ["alice", "bob", "carol", "eng", "ops"],
+    {"Emp": [("alice", "eng"), ("bob", "eng"), ("carol", "ops")]},
+)
+
+
+class TestParsing:
+    def test_parse_tgd(self):
+        tgd = parse_tgd("Emp(e, d) -> exists m. Works(e, d) & DeptMgr(d, m).")
+        assert len(tgd.body) == 1 and len(tgd.head) == 2
+        assert tgd.existential == ("m",)
+        assert tgd.universal_variables() == ("d", "e")
+
+    def test_parse_without_existentials(self):
+        tgd = parse_tgd("Emp(e, d) -> Works(e, d)")
+        assert tgd.existential == ()
+
+    def test_unknown_head_variable_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_tgd("Emp(e, d) -> Works(e, z)")
+
+    def test_existential_in_body_rejected(self):
+        with pytest.raises(ValidationError):
+            SourceToTargetTGD(
+                (atom("Emp", "e", "m"),),
+                (atom("Works", "e", "m"),),
+                ("m",),
+            )
+
+    def test_schemas_must_be_disjoint(self):
+        with pytest.raises(ValidationError):
+            SchemaMapping(SRC, Vocabulary({"Emp": 2}), (
+                parse_tgd("Emp(x, y) -> Emp(x, y)"),
+            ))
+
+    def test_body_over_source_checked(self):
+        with pytest.raises(ValidationError):
+            parse_mapping("Works(e, d) -> Works(e, d)", SRC, TGT)
+
+    def test_str(self):
+        tgd = parse_tgd("Emp(e, d) -> exists m. DeptMgr(d, m)")
+        assert "->" in str(tgd) and "exists m" in str(tgd)
+
+
+class TestChase:
+    def test_facts_and_nulls(self):
+        result = chase(MAPPING, SOURCE)
+        assert len(result.relation("Works")) == 3
+        assert len(result.relation("DeptMgr")) == 3
+        nulls = [e for e in result.universe if is_null(e)]
+        assert len(nulls) == 3  # one manager null per Emp fact
+
+    def test_chase_is_solution(self):
+        result = chase(MAPPING, SOURCE)
+        assert is_solution(MAPPING, SOURCE, result)
+
+    def test_empty_source(self):
+        empty = Structure(SRC, [], {})
+        result = chase(MAPPING, empty)
+        assert result.size() == 0
+
+    def test_source_vocabulary_checked(self):
+        wrong = Structure(Vocabulary({"Other": 1}), [0], {})
+        with pytest.raises(ValidationError):
+            chase(MAPPING, wrong)
+
+    def test_copy_mapping(self):
+        mapping = parse_mapping("Emp(e, d) -> Works(e, d)", SRC, TGT)
+        result = chase(mapping, SOURCE)
+        assert set(result.relation("Works")) == set(SOURCE.relation("Emp"))
+        assert not any(is_null(e) for e in result.universe)
+
+
+class TestSolutions:
+    def test_missing_fact_not_solution(self):
+        result = chase(MAPPING, SOURCE)
+        broken = result.without_fact(
+            "Works", next(iter(result.relation("Works")))
+        )
+        assert not is_solution(MAPPING, SOURCE, broken)
+
+    def test_bigger_solution_still_solution(self):
+        result = chase(MAPPING, SOURCE)
+        bigger = result.with_element("extra")
+        assert is_solution(MAPPING, SOURCE, bigger)
+
+    def test_solution_homomorphism_fixes_constants(self):
+        canonical = chase(MAPPING, SOURCE)
+        hom = solution_homomorphism(canonical, canonical)
+        assert hom is not None
+        for e in canonical.universe:
+            if not is_null(e):
+                assert hom[e] == e
+
+
+class TestCoreSolution:
+    def test_core_merges_shared_dept_nulls(self):
+        report = core_solution(MAPPING, SOURCE)
+        # eng has two employees -> two manager nulls merge into one
+        saved_elements, saved_facts = report.shrinkage()
+        assert saved_elements == 1
+        assert saved_facts == 1
+        assert len(report.core.relation("DeptMgr")) == 2
+
+    def test_core_is_universal(self):
+        report = core_solution(MAPPING, SOURCE)
+        assert is_universal_solution(
+            MAPPING, SOURCE, report.core, [report.canonical]
+        )
+        assert is_universal_solution(
+            MAPPING, SOURCE, report.canonical, [report.core]
+        )
+
+    def test_core_no_shrinkage_when_no_redundancy(self):
+        source = Structure(SRC, ["a", "d1"], {"Emp": [("a", "d1")]})
+        report = core_solution(MAPPING, source)
+        assert report.shrinkage() == (0, 0)
+
+    def test_core_keeps_all_source_constants(self):
+        report = core_solution(MAPPING, SOURCE)
+        constants = {e for e in report.canonical.universe if not is_null(e)}
+        assert constants <= report.core.universe_set
+
+    def test_multi_tgd_mapping(self):
+        src = Vocabulary({"E": 2})
+        tgt = Vocabulary({"F": 2, "Mark": 1})
+        mapping = parse_mapping(
+            """
+            E(x, y) -> exists z. F(x, z) & F(z, y)
+            E(x, y) -> Mark(x)
+            """,
+            src, tgt,
+        )
+        source = Structure(src, [0, 1], {"E": [(0, 1)]})
+        result = chase(mapping, source)
+        assert len(result.relation("F")) == 2
+        assert len(result.relation("Mark")) == 1
+        assert is_solution(mapping, source, result)

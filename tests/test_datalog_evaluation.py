@@ -1,0 +1,137 @@
+"""Unit tests for naive and semi-naive Datalog evaluation."""
+
+import pytest
+
+from repro.datalog import (
+    evaluate_naive,
+    evaluate_semi_naive,
+    nonlinear_transitive_closure_program,
+    parse_program,
+    query,
+    reach_from_source_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+from repro.exceptions import ValidationError
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+)
+
+
+def tc_pairs(n):
+    """Expected transitive closure of the directed path P_n."""
+    return {(i, j) for i in range(n) for j in range(n) if i < j}
+
+
+class TestNaive:
+    def test_tc_on_path(self):
+        result = evaluate_naive(transitive_closure_program(), directed_path(5))
+        assert set(result.relations["T"]) == tc_pairs(5)
+
+    def test_tc_on_cycle_is_complete(self):
+        result = evaluate_naive(transitive_closure_program(), directed_cycle(4))
+        assert len(result.relations["T"]) == 16
+
+    def test_stages_monotone(self):
+        result = evaluate_naive(transitive_closure_program(), directed_path(6))
+        for earlier, later in zip(result.stages, result.stages[1:]):
+            assert earlier["T"] <= later["T"]
+
+    def test_stage_semantics(self):
+        # stage m of TC on a path = pairs at distance <= m
+        result = evaluate_naive(transitive_closure_program(), directed_path(6))
+        for m in range(1, result.rounds + 1):
+            expected = {(i, j) for i in range(6) for j in range(6)
+                        if 0 < j - i <= m}
+            assert set(result.stage("T", m)) == expected
+
+    def test_stage_clamps_at_fixpoint(self):
+        result = evaluate_naive(transitive_closure_program(), directed_path(3))
+        assert result.stage("T", 99) == result.relations["T"]
+
+    def test_rounds_on_path(self):
+        result = evaluate_naive(transitive_closure_program(), directed_path(5))
+        assert result.rounds == 4
+
+    def test_missing_edb_rejected(self):
+        other = Structure(Vocabulary({"R": 2}), [0], {})
+        with pytest.raises(ValidationError):
+            evaluate_naive(transitive_closure_program(), other)
+
+
+class TestSemiNaive:
+    def test_agrees_with_naive(self):
+        programs = [
+            transitive_closure_program(),
+            nonlinear_transitive_closure_program(),
+        ]
+        for seed in range(6):
+            s = random_directed_graph(5, 0.3, seed)
+            for program in programs:
+                naive = evaluate_naive(program, s)
+                semi = evaluate_semi_naive(program, s)
+                assert naive.relations == semi.relations
+
+    def test_nonlinear_fewer_rounds(self):
+        p_linear = transitive_closure_program()
+        p_square = nonlinear_transitive_closure_program()
+        long_path = directed_path(16)
+        linear_rounds = evaluate_naive(p_linear, long_path).rounds
+        square_rounds = evaluate_naive(p_square, long_path).rounds
+        assert square_rounds < linear_rounds
+
+    def test_same_generation(self):
+        # binary tree parent relation: leaves of equal depth are same-gen
+        vocab = Vocabulary({"Par": 2})
+        s = Structure(
+            vocab,
+            ["root", "l", "r", "ll", "rr"],
+            {"Par": [("l", "root"), ("r", "root"),
+                     ("ll", "l"), ("rr", "r")]},
+        )
+        result = evaluate_semi_naive(same_generation_program(), s)
+        sg = set(result.relations["SG"])
+        assert ("l", "r") in sg and ("ll", "rr") in sg
+        assert ("l", "rr") not in sg
+
+    def test_multiple_idbs(self):
+        reach = reach_from_source_program()
+        vocab = reach.edb_vocabulary
+        s = Structure(
+            vocab,
+            [0, 1, 2, 3],
+            {"E": [(0, 1), (1, 2)], "S": [(0,)]},
+        )
+        result = evaluate_semi_naive(reach, s)
+        assert set(result.relations["Reach"]) == {(0,), (1,), (2,)}
+
+
+class TestQueryHelper:
+    def test_engines(self):
+        s = directed_path(4)
+        for engine in ("naive", "semi-naive"):
+            assert set(query(transitive_closure_program(), s, "T",
+                             engine)) == tc_pairs(4)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValidationError):
+            query(transitive_closure_program(), directed_path(2), "T", "magic")
+
+    def test_unknown_predicate(self):
+        with pytest.raises(ValidationError):
+            query(transitive_closure_program(), directed_path(2), "Z")
+
+
+class TestConstantsInPrograms:
+    def test_rule_with_constant(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        program = parse_program("Hit(x) <- E(x, c).", vocab)
+        s = Structure(vocab, [0, 1, 2],
+                      {"E": [(0, 1), (2, 1), (1, 0)]}, {"c": 1})
+        result = evaluate_naive(program, s)
+        assert set(result.relations["Hit"]) == {(0,), (2,)}

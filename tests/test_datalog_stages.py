@@ -1,0 +1,111 @@
+"""Unit tests for stage unfolding (Theorem 7.1)."""
+
+import pytest
+
+from repro.datalog import (
+    evaluate_naive,
+    parse_program,
+    stage_ucq,
+    stage_ucqs,
+    transitive_closure_program,
+    nonlinear_transitive_closure_program,
+    verify_stage_against_evaluation,
+)
+from repro.exceptions import BudgetExceededError
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+)
+
+
+class TestStageShapes:
+    def test_stage_zero_empty(self):
+        stages = stage_ucqs(transitive_closure_program(), 0)
+        assert len(stages[0]["T"]) == 0
+
+    def test_stage_one_is_base_rule(self):
+        stages = stage_ucqs(transitive_closure_program(), 1)
+        assert len(stages[1]["T"]) == 1  # just E(x, y)
+
+    def test_stage_m_is_paths_up_to_m(self):
+        stages = stage_ucqs(transitive_closure_program(), 3)
+        # after minimization: paths of length 1..m (longer subsumed by
+        # nothing; shorter not contained in longer)
+        assert len(stages[2]["T"]) == 2
+        assert len(stages[3]["T"]) == 3
+
+    def test_nonlinear_doubles(self):
+        stages = stage_ucqs(nonlinear_transitive_closure_program(), 3)
+        # stage 2: paths of length 1, 2; stage 3: lengths 1..4
+        assert len(stages[2]["T"]) == 2
+        assert len(stages[3]["T"]) == 4
+
+    def test_budget(self):
+        with pytest.raises(BudgetExceededError):
+            stage_ucqs(nonlinear_transitive_closure_program(), 6, budget=5)
+
+
+class TestStageSemantics:
+    @pytest.mark.parametrize("m", [0, 1, 2, 3])
+    def test_tc_stages_match_evaluation(self, m):
+        assert verify_stage_against_evaluation(
+            transitive_closure_program(), directed_path(5), "T", m
+        )
+
+    def test_stages_on_cycle(self):
+        assert verify_stage_against_evaluation(
+            transitive_closure_program(), directed_cycle(4), "T", 2
+        )
+
+    def test_stages_on_random(self):
+        for seed in range(4):
+            s = random_directed_graph(4, 0.3, seed)
+            assert verify_stage_against_evaluation(
+                transitive_closure_program(), s, "T", 2
+            )
+
+    def test_nonlinear_stages_match(self):
+        for m in (1, 2, 3):
+            assert verify_stage_against_evaluation(
+                nonlinear_transitive_closure_program(),
+                directed_path(6), "T", m,
+            )
+
+    def test_multi_idb_stages(self):
+        program = parse_program(
+            """
+            A(x, y) <- E(x, y).
+            B(x, y) <- A(x, z), E(z, y).
+            """,
+            GRAPH_VOCABULARY,
+        )
+        stages = stage_ucqs(program, 2)
+        p4 = directed_path(4)
+        fixpoint = evaluate_naive(program, p4)
+        assert stages[2]["B"].evaluate(p4) == set(fixpoint.stage("B", 2))
+
+    def test_repeated_variable_unification(self):
+        # rule head uses an IDB whose disjunct head repeats a variable
+        program = parse_program(
+            """
+            D(x, x) <- E(x, x).
+            Out(x, y) <- D(x, z), E(z, y).
+            """,
+            GRAPH_VOCABULARY,
+        )
+        stages = stage_ucqs(program, 2)
+        from repro.structures import Structure
+
+        s = Structure(GRAPH_VOCABULARY, [0, 1],
+                      {"E": [(0, 0), (0, 1)]})
+        fixpoint = evaluate_naive(program, s)
+        assert stages[2]["Out"].evaluate(s) == set(
+            fixpoint.stage("Out", 2)
+        )
+
+    def test_stage_ucq_wrapper(self):
+        u = stage_ucq(transitive_closure_program(), "T", 2)
+        assert u.arity == 2
+        assert len(u) == 2

@@ -1,0 +1,68 @@
+"""Unit tests for the density condition (Theorem 3.2 / Corollary 3.3)."""
+
+from repro.core import (
+    corollary_3_3_witnesses,
+    density_condition_holds,
+    enumerate_minimal_models,
+    has_scattered_witness,
+    minimal_models_density_report,
+)
+from repro.logic import parse_formula
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    clique_structure,
+    star_structure,
+    undirected_path,
+)
+
+
+def fo(text):
+    return parse_formula(text, GRAPH_VOCABULARY)
+
+
+class TestWitnessSearch:
+    def test_star_yields_witness(self):
+        # the star becomes scattered after removing its hub (Section 4)
+        witness = has_scattered_witness(star_structure(15), s=1, d=1, m=5)
+        assert witness is not None
+        assert len(witness.removed) <= 1
+        assert len(witness.scattered) >= 5
+
+    def test_long_path_yields_witness_without_removal(self):
+        witness = has_scattered_witness(undirected_path(20), s=0, d=1, m=4)
+        assert witness is not None
+        assert witness.removed == ()
+
+    def test_clique_is_dense(self):
+        # cliques never produce scattered sets after 1 removal
+        assert density_condition_holds(clique_structure(6), s=1, d=1, m=2)
+
+    def test_small_structure_dense(self):
+        assert density_condition_holds(undirected_path(3), s=0, d=1, m=3)
+
+
+class TestCorollary33:
+    def test_family_of_paths(self):
+        family = [undirected_path(n) for n in (3, 10, 20)]
+        witnesses = corollary_3_3_witnesses(family, s=0, d=1, m=3)
+        # large members yield witnesses; tiny ones may not
+        assert witnesses[1] is not None
+        assert witnesses[2] is not None
+
+
+class TestTheorem32OnRealMinimalModels:
+    def test_minimal_models_of_preserved_query_are_dense(self):
+        """Theorem 3.2 instantiated: the minimal models of a preserved FO
+        query are small and dense (no scattered witness at these params)."""
+        walk3 = fo("exists x y z. E(x, y) & E(y, z) & E(z, x)")
+        models = enumerate_minimal_models(
+            walk3, GRAPH_VOCABULARY, 3, assume_preserved=True
+        )
+        report = minimal_models_density_report(models, s=0, d=1, m=2)
+        assert report["models"] == 2
+        assert report["dense"] == 2
+        assert report["max_size"] == 3
+
+    def test_report_structure(self):
+        report = minimal_models_density_report([], 0, 1, 2)
+        assert report["models"] == 0 and report["max_size"] == 0

@@ -1,0 +1,96 @@
+"""Unit tests for exhaustive structure enumeration and canonical forms."""
+
+import pytest
+
+from repro.exceptions import BudgetExceededError
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    are_isomorphic_small,
+    canonical_form,
+    connected_structures,
+    enumerate_structures,
+    enumerate_structures_up_to,
+)
+from repro.homomorphism import are_isomorphic
+
+
+class TestEnumeration:
+    def test_size_one_digraphs(self):
+        # one element: E ⊆ {(0,0)} -> 2 structures, both canonical
+        out = list(enumerate_structures(GRAPH_VOCABULARY, 1))
+        assert len(out) == 2
+
+    def test_size_two_digraphs_up_to_iso(self):
+        # 2 elements, 4 possible edges -> 16 labeled, 10 up to iso
+        out = list(enumerate_structures(GRAPH_VOCABULARY, 2))
+        assert len(out) == 10
+
+    def test_labeled_count(self):
+        out = list(
+            enumerate_structures(GRAPH_VOCABULARY, 2, up_to_isomorphism=False)
+        )
+        assert len(out) == 16
+
+    def test_representatives_pairwise_nonisomorphic(self):
+        out = list(enumerate_structures(GRAPH_VOCABULARY, 2))
+        for i, a in enumerate(out):
+            for b in out[i + 1:]:
+                assert not are_isomorphic(a, b)
+
+    def test_up_to_accumulates_sizes(self):
+        out = list(enumerate_structures_up_to(GRAPH_VOCABULARY, 2))
+        assert len(out) == 12  # 2 of size 1 + 10 of size 2
+
+    def test_budget(self):
+        vocab = Vocabulary({"T": 3})
+        with pytest.raises(BudgetExceededError):
+            list(enumerate_structures(vocab, 3, up_to_isomorphism=False,
+                                      budget=10))
+
+    def test_constants_unsupported(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        with pytest.raises(BudgetExceededError):
+            list(enumerate_structures(vocab, 1))
+
+    def test_unary_vocabulary(self):
+        vocab = Vocabulary({"P": 1})
+        out = list(enumerate_structures(vocab, 2))
+        # P ⊆ {0,1} up to iso: {}, {0}, {0,1} -> 3
+        assert len(out) == 3
+
+
+class TestCanonicalForm:
+    def test_isomorphic_structures_same_form(self):
+        a = Structure(GRAPH_VOCABULARY, [0, 1, 2], {"E": [(0, 1), (1, 2)]})
+        b = Structure(GRAPH_VOCABULARY, ["x", "y", "z"],
+                      {"E": [("z", "x"), ("x", "y")]})
+        assert canonical_form(a) == canonical_form(b)
+        assert are_isomorphic_small(a, b)
+
+    def test_nonisomorphic_differ(self):
+        a = Structure(GRAPH_VOCABULARY, [0, 1], {"E": [(0, 1)]})
+        b = Structure(GRAPH_VOCABULARY, [0, 1], {"E": [(0, 1), (1, 0)]})
+        assert canonical_form(a) != canonical_form(b)
+        assert not are_isomorphic_small(a, b)
+
+    def test_size_mismatch(self):
+        a = Structure(GRAPH_VOCABULARY, [0], {})
+        b = Structure(GRAPH_VOCABULARY, [0, 1], {})
+        assert not are_isomorphic_small(a, b)
+
+    def test_constants_in_form(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        a = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        b = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 1})
+        assert canonical_form(a) != canonical_form(b)
+
+
+class TestConnectedEnumeration:
+    def test_connected_filter(self):
+        out = list(connected_structures(GRAPH_VOCABULARY, 2))
+        # connected Gaifman graph on 2 elements needs at least one edge
+        assert all(s.num_facts() > 0 for s in out)
+        # of the 10 classes, exactly 3 lack a cross edge (E within loops)
+        assert len(out) == 7

@@ -1,0 +1,94 @@
+"""Unit tests for fragment classification."""
+
+from repro.logic import (
+    constants_used,
+    distinct_variable_count,
+    is_cq_formula,
+    is_cqk,
+    is_existential,
+    is_existential_positive,
+    is_existential_positive_k,
+    is_positive,
+    parse_formula,
+    quantifier_rank,
+)
+from repro.structures import GRAPH_VOCABULARY
+
+
+def fo(text, vocab=GRAPH_VOCABULARY):
+    return parse_formula(text, vocab)
+
+
+class TestExistentialPositive:
+    def test_cq_is_ep(self):
+        assert is_existential_positive(fo("exists x y. E(x, y) & E(y, x)"))
+
+    def test_disjunction_allowed(self):
+        assert is_existential_positive(fo("exists x. (E(x, x) | exists y. E(x, y))"))
+
+    def test_equality_allowed(self):
+        assert is_existential_positive(fo("exists x y. E(x, y) & x = y"))
+
+    def test_negation_excluded(self):
+        assert not is_existential_positive(fo("exists x. ~E(x, x)"))
+
+    def test_forall_excluded(self):
+        assert not is_existential_positive(fo("forall x. E(x, x)"))
+
+    def test_constants_allowed(self):
+        assert is_existential_positive(fo("true"))
+
+
+class TestOtherFragments:
+    def test_positive_allows_forall(self):
+        assert is_positive(fo("forall x. exists y. E(x, y)"))
+        assert not is_positive(fo("forall x. ~E(x, x)"))
+
+    def test_existential_allows_negated_atoms(self):
+        assert is_existential(fo("exists x y. E(x, y) & ~E(y, x)"))
+        assert not is_existential(fo("exists x. ~(exists y. E(x, y))"))
+        assert not is_existential(fo("forall x. E(x, x)"))
+
+    def test_cq_formula(self):
+        assert is_cq_formula(fo("exists x. (E(x, y) & exists z. E(y, z))"))
+        assert not is_cq_formula(fo("E(x, y) | E(y, x)"))
+        assert not is_cq_formula(fo("~E(x, y)"))
+
+    def test_cq_equality_flag(self):
+        eq = fo("exists x y. E(x, y) & x = y")
+        assert is_cq_formula(eq, allow_equality=True)
+        assert not is_cq_formula(eq, allow_equality=False)
+
+
+class TestVariableCounting:
+    def test_distinct_count_with_reuse(self):
+        f = fo(
+            "exists x1 x2. (E(x1, x2) & (exists x1. (E(x2, x1) "
+            "& exists x2. E(x1, x2))))"
+        )
+        assert distinct_variable_count(f) == 2
+        assert is_cqk(f, 2)
+        assert not is_cqk(f, 1)
+
+    def test_epk(self):
+        f = fo("exists x. (E(x, x) | exists y. E(x, y))")
+        assert is_existential_positive_k(f, 2)
+        assert not is_existential_positive_k(f, 1)
+
+    def test_quantifier_rank(self):
+        assert quantifier_rank(fo("E(x, y)")) == 0
+        assert quantifier_rank(fo("exists x. E(x, x)")) == 1
+        assert quantifier_rank(fo("forall x. exists y. E(x, y)")) == 2
+        assert quantifier_rank(
+            fo("(exists x. E(x, x)) & (exists y. exists z. E(y, z))")
+        ) == 2
+
+
+class TestConstantsUsed:
+    def test_collects_constants(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c1", "c2"])
+        f = parse_formula("E(c1, x) & x = c2", vocab)
+        assert constants_used(f) == {"c1", "c2"}
+
+    def test_none(self):
+        assert constants_used(fo("E(x, y)")) == set()

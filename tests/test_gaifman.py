@@ -1,0 +1,75 @@
+"""Unit tests for Gaifman graphs and structure/graph conversions."""
+
+from repro.graphtheory import cycle_graph, grid_graph, is_connected, path_graph
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    gaifman_graph,
+    graph_as_structure,
+    structure_as_graph,
+    structure_degree,
+    structure_treewidth,
+    structure_treewidth_upper_bound,
+    directed_cycle,
+)
+
+
+class TestGaifmanGraph:
+    def test_directed_edges_become_undirected(self):
+        g = gaifman_graph(directed_cycle(3))
+        assert g.num_edges() == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_ternary_relation_makes_triangle(self):
+        vocab = Vocabulary({"T": 3})
+        s = Structure(vocab, [0, 1, 2], {"T": [(0, 1, 2)]})
+        g = gaifman_graph(s)
+        assert g.num_edges() == 3
+
+    def test_repeated_elements_no_loop(self):
+        s = Structure(GRAPH_VOCABULARY, [0], {"E": [(0, 0)]})
+        g = gaifman_graph(s)
+        assert g.num_edges() == 0
+
+    def test_isolated_elements_kept(self):
+        s = Structure(GRAPH_VOCABULARY, [0, 1], {})
+        assert gaifman_graph(s).num_vertices() == 2
+
+    def test_constants_add_no_edges(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        s = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        assert gaifman_graph(s).num_edges() == 1
+
+
+class TestMeasures:
+    def test_degree(self):
+        s = graph_as_structure(grid_graph(3, 3))
+        assert structure_degree(s) == 4
+
+    def test_treewidth(self):
+        assert structure_treewidth(graph_as_structure(path_graph(6))) == 1
+        assert structure_treewidth(graph_as_structure(cycle_graph(5))) == 2
+
+    def test_treewidth_upper_bound(self):
+        s = graph_as_structure(grid_graph(3, 3))
+        assert structure_treewidth_upper_bound(s) >= 3
+
+
+class TestConversions:
+    def test_round_trip(self):
+        g = grid_graph(2, 3)
+        s = graph_as_structure(g)
+        assert structure_as_graph(s) == g
+
+    def test_symmetric_encoding(self):
+        s = graph_as_structure(path_graph(2))
+        assert s.has_fact("E", (0, 1)) and s.has_fact("E", (1, 0))
+
+    def test_asymmetric_encoding(self):
+        s = graph_as_structure(path_graph(2), symmetric=False)
+        assert s.num_facts() == 1
+
+    def test_connectivity_preserved(self):
+        s = graph_as_structure(cycle_graph(5))
+        assert is_connected(gaifman_graph(s))

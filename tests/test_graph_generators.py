@@ -1,0 +1,172 @@
+"""Unit tests for repro.graphtheory.generators."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphtheory import (
+    bicycle_graph,
+    binary_tree,
+    caterpillar,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    degree3_clique_expansion,
+    degree3_clique_expansion_model,
+    empty_graph,
+    grid_graph,
+    is_bipartite,
+    is_connected,
+    is_tree,
+    k_tree,
+    path_graph,
+    random_graph,
+    random_planar_like,
+    random_regular_graph,
+    random_tree,
+    spider_graph,
+    star_graph,
+    wheel_graph,
+    treewidth_exact,
+    verify_minor_model,
+)
+
+
+class TestBasicFamilies:
+    def test_empty_graph(self):
+        g = empty_graph(4)
+        assert g.num_vertices() == 4 and g.num_edges() == 0
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges() == 4 and is_tree(g)
+
+    def test_single_vertex_path(self):
+        assert path_graph(1).num_edges() == 0
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges() == 5
+        assert all(g.degree(v) == 2 for v in g)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValidationError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges() == 10
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges() == 12
+        assert is_bipartite(g)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert is_tree(g)
+
+    def test_spider(self):
+        g = spider_graph(3, 4)
+        assert g.num_vertices() == 13
+        assert is_tree(g)
+        assert g.degree("root") == 3
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices() == 12
+        assert g.num_edges() == 3 * 3 + 2 * 4
+        assert is_bipartite(g)
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValidationError):
+            grid_graph(0, 3)
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.num_vertices() == 15
+        assert is_tree(g)
+
+    def test_caterpillar(self):
+        g = caterpillar(4, 2)
+        assert g.num_vertices() == 4 + 8
+        assert is_tree(g)
+
+
+class TestPaperFamilies:
+    def test_wheel(self):
+        g = wheel_graph(5)
+        assert g.num_vertices() == 6
+        assert g.degree("h") == 5
+        assert all(g.degree(i) == 3 for i in range(5))
+
+    def test_wheel_too_small(self):
+        with pytest.raises(ValidationError):
+            wheel_graph(2)
+
+    def test_bicycle_is_disjoint_union(self):
+        g = bicycle_graph(5)
+        assert g.num_vertices() == 6 + 4
+        assert not is_connected(g)
+
+    def test_degree3_expansion_degree(self):
+        for k in (4, 5, 6):
+            assert degree3_clique_expansion(k).max_degree() <= 3
+
+    def test_degree3_expansion_has_clique_minor(self):
+        k = 5
+        host = degree3_clique_expansion(k)
+        model = degree3_clique_expansion_model(k)
+        assert verify_minor_model(host, complete_graph(k), model)
+
+    def test_k_tree_treewidth(self):
+        g = k_tree(2, 12, seed=7)
+        assert treewidth_exact(g) == 2
+
+    def test_k_tree_too_small(self):
+        with pytest.raises(ValidationError):
+            k_tree(3, 3)
+
+
+class TestRandomFamilies:
+    def test_random_graph_deterministic(self):
+        assert random_graph(10, 0.5, seed=1) == random_graph(10, 0.5, seed=1)
+
+    def test_random_graph_probability_bounds(self):
+        assert random_graph(5, 0.0, seed=1).num_edges() == 0
+        assert random_graph(5, 1.0, seed=1).num_edges() == 10
+        with pytest.raises(ValidationError):
+            random_graph(5, 1.5)
+
+    def test_random_regular_degrees(self):
+        g = random_regular_graph(10, 3, seed=2)
+        assert all(g.degree(v) <= 3 for v in g)
+        # pairing model usually succeeds exactly
+        assert sum(g.degree(v) for v in g) >= 10 * 3 - 6
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ValidationError):
+            random_regular_graph(5, 3)
+
+    def test_random_regular_degree_too_big(self):
+        with pytest.raises(ValidationError):
+            random_regular_graph(4, 4)
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            assert is_tree(random_tree(20, seed=seed))
+
+    def test_random_tree_single(self):
+        assert random_tree(1).num_vertices() == 1
+
+    def test_random_tree_invalid(self):
+        with pytest.raises(ValidationError):
+            random_tree(0)
+
+    def test_random_planar_like_treewidth_two(self):
+        g = random_planar_like(12, seed=4)
+        assert treewidth_exact(g) <= 2
+        assert is_connected(g)
+
+    def test_random_planar_like_tiny(self):
+        assert random_planar_like(2).num_vertices() == 2

@@ -1,0 +1,221 @@
+"""Unit tests for repro.graphtheory.graphs."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphtheory import (
+    Graph,
+    bfs_distances,
+    bipartition,
+    connected_components,
+    cycle_graph,
+    grid_graph,
+    is_bipartite,
+    is_connected,
+    is_forest,
+    is_tree,
+    neighborhood,
+    path_graph,
+    power_graph,
+    star_graph,
+)
+
+
+class TestGraphConstruction:
+    def test_vertices_preserve_order(self):
+        g = Graph([3, 1, 2], [])
+        assert g.vertices == (3, 1, 2)
+
+    def test_duplicate_vertices_merged(self):
+        g = Graph([1, 1, 2], [])
+        assert g.num_vertices() == 2
+
+    def test_duplicate_edges_merged(self):
+        g = Graph([1, 2], [(1, 2), (2, 1)])
+        assert g.num_edges() == 1
+
+    def test_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph([1], [(1, 1)])
+
+    def test_edge_with_unknown_vertex_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph([1, 2], [(1, 3)])
+
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices() == 0
+        assert g.num_edges() == 0
+        assert g.max_degree() == 0
+
+
+class TestAccessors:
+    def test_neighbors(self):
+        g = path_graph(3)
+        assert g.neighbors(1) == frozenset({0, 2})
+
+    def test_neighbors_unknown_vertex(self):
+        with pytest.raises(ValidationError):
+            path_graph(3).neighbors(99)
+
+    def test_degree(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.degree(1) == 1
+
+    def test_max_degree(self):
+        assert star_graph(7).max_degree() == 7
+
+    def test_has_edge_symmetric(self):
+        g = path_graph(3)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_contains_and_iter(self):
+        g = path_graph(3)
+        assert 1 in g and 99 not in g
+        assert list(g) == [0, 1, 2]
+        assert len(g) == 3
+
+    def test_edge_list_deterministic(self):
+        g = cycle_graph(4)
+        assert g.edge_list() == sorted(g.edge_list())
+
+    def test_equality_and_hash(self):
+        a = path_graph(3)
+        b = Graph([0, 1, 2], [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != cycle_graph(3)
+
+
+class TestDerivedGraphs:
+    def test_subgraph_induced(self):
+        g = cycle_graph(4)
+        sub = g.subgraph([0, 1, 2])
+        assert sub.num_vertices() == 3
+        assert sub.num_edges() == 2  # the chord 0-3 and 2-3 vanish
+
+    def test_subgraph_ignores_foreign_vertices(self):
+        g = path_graph(3)
+        sub = g.subgraph([0, 1, 99])
+        assert sub.num_vertices() == 2
+
+    def test_remove_vertices(self):
+        g = star_graph(4)
+        reduced = g.remove_vertices([0])
+        assert reduced.num_edges() == 0
+        assert reduced.num_vertices() == 4
+
+    def test_with_and_without_edge(self):
+        g = path_graph(3)
+        g2 = g.with_edge(0, 2)
+        assert g2.has_edge(0, 2)
+        g3 = g2.without_edge(0, 2)
+        assert g3 == g
+
+    def test_relabel(self):
+        g = path_graph(3)
+        h = g.relabel({0: "a", 1: "b", 2: "c"})
+        assert h.has_edge("a", "b")
+
+    def test_relabel_requires_injective(self):
+        with pytest.raises(ValidationError):
+            path_graph(3).relabel({0: "a", 1: "a", 2: "c"})
+
+    def test_relabel_requires_total(self):
+        with pytest.raises(ValidationError):
+            path_graph(3).relabel({0: "a"})
+
+    def test_complement(self):
+        g = path_graph(3)
+        comp = g.complement()
+        assert comp.has_edge(0, 2)
+        assert not comp.has_edge(0, 1)
+        assert comp.num_edges() == 1
+
+    def test_disjoint_union(self):
+        g = path_graph(2).disjoint_union(path_graph(3))
+        assert g.num_vertices() == 5
+        assert g.num_edges() == 3
+        assert not is_connected(g)
+
+    def test_contract_edge(self):
+        g = path_graph(3)
+        c = g.contract_edge(0, 1)
+        assert c.num_vertices() == 2
+        assert c.has_edge(0, 2)
+
+    def test_contract_nonedge_rejected(self):
+        with pytest.raises(ValidationError):
+            path_graph(3).contract_edge(0, 2)
+
+    def test_contract_triangle_gives_single_edge(self):
+        c = cycle_graph(3).contract_edge(0, 1)
+        assert c.num_vertices() == 2
+        assert c.num_edges() == 1  # the loop is dropped, parallel merged
+
+
+class TestTraversals:
+    def test_bfs_distances_path(self):
+        d = bfs_distances(path_graph(5), 0)
+        assert d == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_unreachable_absent(self):
+        g = Graph([0, 1], [])
+        assert bfs_distances(g, 0) == {0: 0}
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(ValidationError):
+            bfs_distances(path_graph(2), 42)
+
+    def test_neighborhood_radii(self):
+        g = path_graph(7)
+        assert neighborhood(g, 3, 0) == frozenset({3})
+        assert neighborhood(g, 3, 1) == frozenset({2, 3, 4})
+        assert neighborhood(g, 3, 2) == frozenset({1, 2, 3, 4, 5})
+
+    def test_neighborhood_negative_radius(self):
+        with pytest.raises(ValidationError):
+            neighborhood(path_graph(3), 0, -1)
+
+    def test_connected_components(self):
+        g = path_graph(2).disjoint_union(path_graph(2))
+        comps = connected_components(g)
+        assert len(comps) == 2
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(5))
+        assert not is_connected(Graph([0, 1], []))
+        assert is_connected(Graph())
+
+    def test_is_tree(self):
+        assert is_tree(path_graph(4))
+        assert is_tree(star_graph(5))
+        assert not is_tree(cycle_graph(4))
+        assert not is_tree(Graph([0, 1], []))
+
+    def test_is_forest(self):
+        assert is_forest(Graph([0, 1, 2], [(0, 1)]))
+        assert not is_forest(cycle_graph(3))
+
+    def test_bipartite(self):
+        assert is_bipartite(grid_graph(3, 3))
+        assert is_bipartite(cycle_graph(4))
+        assert not is_bipartite(cycle_graph(5))
+
+    def test_bipartition_is_valid(self):
+        left, right = bipartition(grid_graph(2, 3))
+        g = grid_graph(2, 3)
+        for u, v in g.edge_list():
+            assert (u in left) != (v in left)
+        assert left | right == g.vertex_set
+
+    def test_power_graph(self):
+        g = path_graph(5)
+        p2 = power_graph(g, 2)
+        assert p2.has_edge(0, 2)
+        assert not p2.has_edge(0, 3)
+
+    def test_power_graph_zero_radius(self):
+        assert power_graph(path_graph(3), 0).num_edges() == 0

@@ -1,0 +1,96 @@
+"""Unit tests for Hanf locality."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.logic import ef_equivalent
+from repro.logic.ef_games import acyclicity_separating_pair
+from repro.logic.hanf import (
+    hanf_equivalent,
+    hanf_radius,
+    hanf_type_multiset,
+    neighborhood_substructure,
+    neighborhood_type,
+)
+from repro.structures import (
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+class TestNeighborhoodTypes:
+    def test_ball_contents(self):
+        sub = neighborhood_substructure(directed_path(5), 2, 1)
+        assert sub.size() == 3
+        assert sub.has_fact("__center__", (2,))
+
+    def test_radius_zero(self):
+        sub = neighborhood_substructure(directed_path(3), 1, 0)
+        assert sub.size() == 1
+
+    def test_unknown_center(self):
+        with pytest.raises(ValidationError):
+            neighborhood_substructure(directed_path(2), 99, 1)
+
+    def test_interior_types_agree_across_structures(self):
+        t1 = neighborhood_type(directed_path(5), 2, 1)
+        t2 = neighborhood_type(directed_path(9), 4, 1)
+        assert t1 == t2
+
+    def test_endpoint_type_differs(self):
+        assert neighborhood_type(directed_path(5), 0, 1) != \
+            neighborhood_type(directed_path(5), 2, 1)
+
+    def test_cycle_interiors_look_like_path_interiors(self):
+        # a long cycle's radius-1 ball is a 3-path, same as path interiors
+        t_cycle = neighborhood_type(directed_cycle(7), 3, 1)
+        t_path = neighborhood_type(directed_path(7), 3, 1)
+        assert t_cycle == t_path
+
+
+class TestMultisets:
+    def test_acyclicity_pair_has_equal_multisets(self):
+        cyclic, acyclic = acyclicity_separating_pair(6)
+        assert hanf_type_multiset(cyclic, 1) == hanf_type_multiset(acyclic, 1)
+
+    def test_loop_type_unique(self):
+        counts = hanf_type_multiset(single_loop(), 1)
+        assert sum(counts.values()) == 1
+
+    def test_radius_values(self):
+        assert hanf_radius(0) == 0
+        assert hanf_radius(1) == 1
+        assert hanf_radius(2) == 4
+        with pytest.raises(ValidationError):
+            hanf_radius(-1)
+
+
+class TestHanfCriterion:
+    def test_soundness_against_ef(self):
+        """hanf_equivalent(A, B, m) == True must imply ef_equivalent."""
+        structures = [
+            directed_path(3), directed_path(4), directed_cycle(3),
+            directed_cycle(4), single_loop(),
+            random_directed_graph(3, 0.4, 1),
+        ]
+        cyclic, acyclic = acyclicity_separating_pair(5)
+        structures += [cyclic, acyclic]
+        for a in structures:
+            for b in structures:
+                if hanf_equivalent(a, b, 1):
+                    assert ef_equivalent(a, b, 1), (a, b)
+
+    def test_detects_acyclicity_pair(self):
+        cyclic, acyclic = acyclicity_separating_pair(8)
+        assert hanf_equivalent(cyclic, acyclic, 1)
+
+    def test_isomorphic_always_equivalent(self):
+        a = directed_cycle(5)
+        assert hanf_equivalent(a, a, 2)
+
+    def test_threshold_override(self):
+        # with threshold 1 the criterion only compares type supports
+        a, b = directed_path(4), directed_path(6)
+        assert hanf_equivalent(a, b, 1, threshold=1)

@@ -1,0 +1,183 @@
+"""Unit tests for homomorphism search."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    directed_clique,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+    undirected_cycle,
+    undirected_path,
+)
+from repro.homomorphism import (
+    HomomorphismSearch,
+    count_homomorphisms,
+    find_homomorphism,
+    find_homomorphism_avoiding,
+    find_injective_homomorphism,
+    has_homomorphism,
+    is_homomorphism,
+    iter_homomorphisms,
+)
+
+
+class TestBasicSearch:
+    def test_path_to_cycle(self):
+        hom = find_homomorphism(directed_path(4), directed_cycle(3))
+        assert hom is not None
+        assert is_homomorphism(directed_path(4), directed_cycle(3), hom)
+
+    def test_cycle_to_path_fails(self):
+        assert not has_homomorphism(directed_cycle(3), directed_path(5))
+
+    def test_cycle_lengths(self):
+        # C_m -> C_n iff n divides m (directed cycles)
+        assert has_homomorphism(directed_cycle(6), directed_cycle(3))
+        assert has_homomorphism(directed_cycle(6), directed_cycle(2))
+        assert not has_homomorphism(directed_cycle(6), directed_cycle(4))
+        assert not has_homomorphism(directed_cycle(3), directed_cycle(6))
+
+    def test_everything_maps_to_loop(self):
+        loop = single_loop()
+        for s in (directed_cycle(4), directed_path(3), directed_clique(3)):
+            assert has_homomorphism(s, loop)
+
+    def test_loop_needs_loop(self):
+        assert not has_homomorphism(single_loop(), directed_cycle(3))
+
+    def test_undirected_coloring(self):
+        # odd cycle not 2-colorable: no hom C5 -> K2
+        k2 = undirected_path(2)
+        assert not has_homomorphism(undirected_cycle(5), k2)
+        assert has_homomorphism(undirected_cycle(4), k2)
+
+    def test_vocab_mismatch(self):
+        other = Structure(Vocabulary({"R": 1}), [0], {})
+        with pytest.raises(ValidationError):
+            find_homomorphism(directed_path(2), other)
+
+    def test_empty_source(self):
+        empty = Structure(GRAPH_VOCABULARY, [], {})
+        assert find_homomorphism(empty, directed_path(2)) == {}
+
+    def test_empty_target_nonempty_source(self):
+        empty = Structure(GRAPH_VOCABULARY, [], {})
+        assert find_homomorphism(directed_path(2), empty) is None
+
+
+class TestVerifier:
+    def test_accepts_valid(self):
+        hom = {0: 0, 1: 1, 2: 2, 3: 0}
+        assert is_homomorphism(directed_path(4), directed_cycle(3), hom)
+
+    def test_rejects_partial(self):
+        assert not is_homomorphism(directed_path(3), directed_cycle(3), {0: 0})
+
+    def test_rejects_fact_violation(self):
+        assert not is_homomorphism(
+            directed_path(2), directed_cycle(3), {0: 0, 1: 2}
+        )
+
+    def test_rejects_out_of_range(self):
+        assert not is_homomorphism(
+            directed_path(2), directed_cycle(3), {0: 0, 1: 99}
+        )
+
+    def test_constants_must_be_preserved(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        a = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        b = Structure(vocab, [0, 1], {"E": [(0, 1), (1, 0)]}, {"c": 1})
+        assert not is_homomorphism(a, b, {0: 0, 1: 1})
+        assert is_homomorphism(a, b, {0: 1, 1: 0})
+
+
+class TestCounting:
+    def test_count_edges(self):
+        # homs P2 -> G = number of edges of G
+        g = random_directed_graph(5, 0.4, seed=1)
+        assert count_homomorphisms(directed_path(2), g) == len(g.relation("E"))
+
+    def test_count_into_clique(self):
+        # P3 -> K3 (directed, loopless): 3 * 2 * 2 walks of length 2
+        assert count_homomorphisms(directed_path(3), directed_clique(3)) == 12
+
+    def test_iter_all_distinct(self):
+        homs = list(iter_homomorphisms(directed_path(3), directed_cycle(3)))
+        assert len(homs) == len({tuple(sorted(h.items())) for h in homs})
+
+    def test_count_single_vertex(self):
+        one = Structure(GRAPH_VOCABULARY, [0], {})
+        assert count_homomorphisms(one, directed_cycle(4)) == 4
+
+
+class TestConstraints:
+    def test_injective(self):
+        hom = find_injective_homomorphism(directed_path(3), directed_cycle(5))
+        assert hom is not None
+        assert len(set(hom.values())) == 3
+
+    def test_injective_impossible(self):
+        assert find_injective_homomorphism(
+            directed_path(4), directed_cycle(3)
+        ) is None
+
+    def test_pinned(self):
+        search = HomomorphismSearch(
+            directed_path(2), directed_cycle(3), pinned={0: 1}
+        )
+        hom = search.first()
+        assert hom == {0: 1, 1: 2}
+
+    def test_pinned_unsatisfiable(self):
+        # pin both endpoints to the same vertex: no loop in C3
+        search = HomomorphismSearch(
+            directed_path(2), directed_cycle(3), pinned={0: 1, 1: 1}
+        )
+        assert search.first() is None
+
+    def test_pin_unknown_element(self):
+        with pytest.raises(ValidationError):
+            HomomorphismSearch(
+                directed_path(2), directed_cycle(3), pinned={99: 0}
+            )
+
+    def test_avoiding(self):
+        hom = find_homomorphism_avoiding(
+            directed_path(2), directed_cycle(3), [0]
+        )
+        assert hom is not None
+        assert 0 not in hom.values()
+
+    def test_avoiding_everything(self):
+        assert find_homomorphism_avoiding(
+            directed_path(2), directed_cycle(3), [0, 1, 2]
+        ) is None
+
+    def test_constants_pin_automatically(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        a = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        b = Structure(vocab, [0, 1, 2],
+                      {"E": [(0, 1), (1, 2), (2, 0)]}, {"c": 1})
+        hom = find_homomorphism(a, b)
+        assert hom is not None and hom[0] == 1
+
+
+class TestHigherArity:
+    def test_ternary_relation(self):
+        vocab = Vocabulary({"T": 3})
+        a = Structure(vocab, [0, 1], {"T": [(0, 1, 0)]})
+        b = Structure(vocab, ["x", "y"], {"T": [("x", "y", "x")]})
+        hom = find_homomorphism(a, b)
+        assert hom == {0: "x", 1: "y"}
+
+    def test_repeated_positions_constrain(self):
+        vocab = Vocabulary({"T": 3})
+        a = Structure(vocab, [0, 1], {"T": [(0, 0, 1)]})
+        b = Structure(vocab, ["x", "y"], {"T": [("x", "y", "y")]})
+        assert find_homomorphism(a, b) is None

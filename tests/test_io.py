@@ -1,0 +1,83 @@
+"""Unit tests for JSON serialization."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    bicycle_with_hub_constant,
+    directed_cycle,
+    disjoint_union,
+    directed_path,
+    load_structure,
+    save_structure,
+    structure_from_dict,
+    structure_from_json,
+    structure_to_dict,
+    structure_to_json,
+    vocabulary_from_dict,
+    vocabulary_to_dict,
+)
+
+
+class TestVocabularyRoundTrip:
+    def test_basic(self):
+        v = Vocabulary({"E": 2, "P": 1}, ["c"])
+        assert vocabulary_from_dict(vocabulary_to_dict(v)) == v
+
+    def test_no_constants(self):
+        assert vocabulary_from_dict(
+            vocabulary_to_dict(GRAPH_VOCABULARY)
+        ) == GRAPH_VOCABULARY
+
+
+class TestStructureRoundTrip:
+    def test_simple(self):
+        s = directed_cycle(4)
+        assert structure_from_dict(structure_to_dict(s)) == s
+
+    def test_json_string(self):
+        s = directed_path(3)
+        assert structure_from_json(structure_to_json(s)) == s
+
+    def test_with_constants(self):
+        s = bicycle_with_hub_constant(5)
+        assert structure_from_json(structure_to_json(s)) == s
+
+    def test_tagged_tuple_elements(self):
+        s = disjoint_union(directed_path(2), directed_cycle(3))
+        restored = structure_from_json(structure_to_json(s))
+        assert restored == s
+        assert (0, 0) in restored.universe_set
+
+    def test_string_elements(self):
+        s = Structure(GRAPH_VOCABULARY, ["a", "b"], {"E": [("a", "b")]})
+        assert structure_from_json(structure_to_json(s)) == s
+
+    def test_unserializable_element_rejected(self):
+        s = Structure(GRAPH_VOCABULARY, [frozenset({1})], {})
+        with pytest.raises(ValidationError):
+            structure_to_json(s)
+
+    def test_file_round_trip(self, tmp_path):
+        s = directed_cycle(5)
+        path = str(tmp_path / "cycle.json")
+        save_structure(s, path)
+        assert load_structure(path) == s
+
+    def test_json_is_stable(self):
+        s = directed_cycle(3)
+        assert structure_to_json(s) == structure_to_json(s)
+
+    def test_malformed_encoded_element(self):
+        with pytest.raises(ValidationError):
+            structure_from_dict(
+                {
+                    "vocabulary": {"relations": {"E": 2}, "constants": []},
+                    "universe": [["bogus", 1]],
+                    "relations": {},
+                    "constants": {},
+                }
+            )

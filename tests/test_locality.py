@@ -1,0 +1,144 @@
+"""Unit tests for Gaifman locality formulas."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphtheory import bfs_distances, find_scattered_set
+from repro.logic import evaluate, satisfies
+from repro.logic.locality import (
+    adjacency_formula,
+    distance_at_most,
+    far_apart,
+    scattered_after_removal_sentence,
+    scattered_sentence,
+)
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    directed_cycle,
+    directed_path,
+    gaifman_graph,
+    random_directed_graph,
+    star_structure,
+)
+
+
+class TestAdjacency:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_gaifman_edges(self, seed):
+        s = random_directed_graph(4, 0.4, seed)
+        g = gaifman_graph(s)
+        formula = adjacency_formula(GRAPH_VOCABULARY, "x", "y")
+        for u in s.universe:
+            for v in s.universe:
+                assert evaluate(formula, s, {"x": u, "y": v}) == g.has_edge(
+                    u, v
+                )
+
+    def test_loops_are_not_edges(self):
+        s = Structure(GRAPH_VOCABULARY, [0], {"E": [(0, 0)]})
+        formula = adjacency_formula(GRAPH_VOCABULARY, "x", "y")
+        assert not evaluate(formula, s, {"x": 0, "y": 0})
+
+    def test_higher_arity(self):
+        vocab = Vocabulary({"T": 3})
+        s = Structure(vocab, [0, 1, 2, 3], {"T": [(0, 1, 2)]})
+        g = gaifman_graph(s)
+        formula = adjacency_formula(vocab, "x", "y")
+        for u in s.universe:
+            for v in s.universe:
+                assert evaluate(formula, s, {"x": u, "y": v}) == g.has_edge(
+                    u, v
+                )
+
+    def test_empty_vocabulary_relation(self):
+        vocab = Vocabulary({"P": 1})
+        s = Structure(vocab, [0, 1], {"P": [(0,)]})
+        formula = adjacency_formula(vocab, "x", "y")
+        assert not evaluate(formula, s, {"x": 0, "y": 1})
+
+
+class TestDistance:
+    @pytest.mark.parametrize("d", [0, 1, 2, 3])
+    def test_matches_bfs_on_path(self, d):
+        s = directed_path(5)
+        g = gaifman_graph(s)
+        formula = distance_at_most(GRAPH_VOCABULARY, d, "x", "y")
+        for u in s.universe:
+            dist = bfs_distances(g, u)
+            for v in s.universe:
+                expected = dist.get(v, 10 ** 9) <= d
+                assert evaluate(formula, s, {"x": u, "y": v}) == expected
+
+    def test_matches_bfs_on_cycle(self):
+        s = directed_cycle(6)
+        g = gaifman_graph(s)
+        formula = distance_at_most(GRAPH_VOCABULARY, 2, "x", "y")
+        dist = bfs_distances(g, 0)
+        for v in s.universe:
+            assert evaluate(formula, s, {"x": 0, "y": v}) == (dist[v] <= 2)
+
+    def test_unreachable(self):
+        s = Structure(GRAPH_VOCABULARY, [0, 1], {})
+        formula = distance_at_most(GRAPH_VOCABULARY, 3, "x", "y")
+        assert not evaluate(formula, s, {"x": 0, "y": 1})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            distance_at_most(GRAPH_VOCABULARY, -1, "x", "y")
+
+    def test_far_apart_negation(self):
+        s = directed_path(4)
+        near = distance_at_most(GRAPH_VOCABULARY, 2, "x", "y")
+        far = far_apart(GRAPH_VOCABULARY, 2, "x", "y")
+        for u in s.universe:
+            for v in s.universe:
+                assert evaluate(near, s, {"x": u, "y": v}) != evaluate(
+                    far, s, {"x": u, "y": v}
+                )
+
+
+class TestScatteredSentence:
+    @pytest.mark.parametrize("d,m", [(1, 2), (1, 3), (2, 2)])
+    def test_matches_search(self, d, m):
+        sentence = scattered_sentence(GRAPH_VOCABULARY, d, m)
+        for s in (directed_path(7), directed_cycle(6), star_structure(5),
+                  random_directed_graph(5, 0.3, 3)):
+            g = gaifman_graph(s)
+            expected = find_scattered_set(g, d, m) is not None
+            assert satisfies(s, sentence) == expected
+
+    def test_m_zero_trivial(self):
+        sentence = scattered_sentence(GRAPH_VOCABULARY, 1, 0)
+        assert satisfies(directed_path(1), sentence)
+
+    def test_m_one_needs_an_element(self):
+        sentence = scattered_sentence(GRAPH_VOCABULARY, 5, 1)
+        assert satisfies(directed_path(1), sentence)
+
+    def test_sentence_is_fo_preserved_shape(self):
+        """The sentence is satisfied by extensions once satisfied."""
+        sentence = scattered_sentence(GRAPH_VOCABULARY, 1, 2)
+        small = directed_path(5)
+        assert satisfies(small, sentence)
+        assert satisfies(small.with_element(99), sentence)
+
+
+class TestRemovalSentence:
+    def test_s_zero_is_plain_scattered(self):
+        a = scattered_after_removal_sentence(GRAPH_VOCABULARY, 0, 1, 2)
+        b = scattered_sentence(GRAPH_VOCABULARY, 1, 2)
+        for s in (directed_path(6), directed_cycle(5)):
+            assert satisfies(s, a) == satisfies(s, b)
+
+    def test_star_satisfies_with_removal_slot(self):
+        # the star has no 1-scattered pair, but the s=1 sentence is an
+        # over-approximation that only requires distinctness from b
+        star = star_structure(6)
+        plain = scattered_sentence(GRAPH_VOCABULARY, 1, 2)
+        assert not satisfies(star, plain)
+
+    def test_negative_s_rejected(self):
+        with pytest.raises(ValidationError):
+            scattered_after_removal_sentence(GRAPH_VOCABULARY, -1, 1, 1)

@@ -1,0 +1,144 @@
+"""Unit tests for FO syntax (AST)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.logic import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Equal,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Top,
+    Var,
+    atom,
+    exists_many,
+    forall_many,
+    implies,
+)
+
+
+class TestTerms:
+    def test_var_str(self):
+        assert str(Var("x")) == "x"
+
+    def test_const_str(self):
+        assert str(Const("c")) == "#c"
+
+    def test_atom_helper(self):
+        a = atom("E", "x", "y")
+        assert a.relation == "E"
+        assert a.terms == (Var("x"), Var("y"))
+
+    def test_atom_helper_with_const(self):
+        a = atom("E", "x", Const("c"))
+        assert isinstance(a.terms[1], Const)
+
+
+class TestVariables:
+    def test_atom_free_vars(self):
+        assert atom("E", "x", "y").free_variables() == frozenset({"x", "y"})
+
+    def test_const_not_a_variable(self):
+        a = atom("E", "x", Const("c"))
+        assert a.free_variables() == frozenset({"x"})
+
+    def test_exists_binds(self):
+        f = Exists("x", atom("E", "x", "y"))
+        assert f.free_variables() == frozenset({"y"})
+        assert f.variables() == frozenset({"x", "y"})
+
+    def test_forall_binds(self):
+        f = Forall("x", atom("E", "x", "x"))
+        assert f.free_variables() == frozenset()
+
+    def test_variable_reuse_counted_once(self):
+        # CQ^2 style: x requantified
+        f = Exists("x", And.of(atom("E", "x", "y"),
+                               Exists("x", atom("E", "y", "x"))))
+        assert f.variables() == frozenset({"x", "y"})
+
+    def test_equal_vars(self):
+        assert Equal(Var("x"), Var("y")).variables() == frozenset({"x", "y"})
+
+    def test_top_bottom(self):
+        assert Top().variables() == frozenset()
+        assert Bottom().free_variables() == frozenset()
+
+
+class TestSmartConstructors:
+    def test_and_flattens(self):
+        f = And.of(atom("E", "x", "y"), And.of(atom("E", "y", "z"),
+                                               atom("E", "z", "w")))
+        assert isinstance(f, And)
+        assert len(f.operands) == 3
+
+    def test_and_drops_top(self):
+        f = And.of(Top(), atom("E", "x", "y"))
+        assert isinstance(f, Atom)
+
+    def test_and_empty_is_top(self):
+        assert isinstance(And.of(), Top)
+
+    def test_or_flattens(self):
+        f = Or.of(atom("E", "x", "y"), Or.of(atom("E", "y", "x")))
+        assert isinstance(f, Atom) or isinstance(f, Or)
+
+    def test_or_drops_bottom(self):
+        f = Or.of(Bottom(), atom("E", "x", "y"))
+        assert isinstance(f, Atom)
+
+    def test_or_empty_is_bottom(self):
+        assert isinstance(Or.of(), Bottom)
+
+    def test_empty_constructor_rejected(self):
+        with pytest.raises(ValidationError):
+            And(())
+
+    def test_operators(self):
+        a, b = atom("E", "x", "y"), atom("E", "y", "x")
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+    def test_exists_many(self):
+        f = exists_many(["x", "y"], atom("E", "x", "y"))
+        assert isinstance(f, Exists) and f.var == "x"
+        assert isinstance(f.body, Exists)
+
+    def test_forall_many(self):
+        f = forall_many(["x"], atom("E", "x", "x"))
+        assert isinstance(f, Forall)
+
+    def test_implies(self):
+        f = implies(atom("E", "x", "y"), atom("E", "y", "x"))
+        assert isinstance(f, Or)
+
+
+class TestSubformulas:
+    def test_preorder(self):
+        f = Exists("x", And.of(atom("E", "x", "y"), Not(atom("E", "y", "x"))))
+        subs = list(f.subformulas())
+        assert subs[0] is f
+        assert len(subs) == 5
+
+    def test_atom_is_leaf(self):
+        assert list(atom("E", "x", "y").subformulas()) == [atom("E", "x", "y")]
+
+
+class TestHashability:
+    def test_formulas_hashable_and_equal(self):
+        a = Exists("x", atom("E", "x", "x"))
+        b = Exists("x", atom("E", "x", "x"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_forms(self):
+        f = Forall("x", Or.of(atom("E", "x", "x"), Not(Top())))
+        text = str(f)
+        assert "forall x" in text and "E(x, x)" in text

@@ -1,0 +1,142 @@
+"""Unit tests for minimal-model machinery (Section 3)."""
+
+import pytest
+
+from repro.core import (
+    bounded_degree_class,
+    enumerate_minimal_models,
+    is_minimal_model,
+    max_minimal_model_size,
+    minimal_models_are_cores,
+    minimal_models_from_seeds,
+    shrink_to_minimal_model,
+)
+from repro.logic import parse_formula
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+def fo(text):
+    return parse_formula(text, GRAPH_VOCABULARY)
+
+
+# "There is an edge" — minimal model: single E-edge (2 elements) and loop.
+HAS_EDGE = fo("exists x y. E(x, y)")
+# "Closed walk of length 3" — minimal models: loop and directed triangle.
+WALK3 = fo("exists x y z. E(x, y) & E(y, z) & E(z, x)")
+
+
+class TestIsMinimalModel:
+    def test_loop_is_minimal_for_has_edge(self):
+        assert is_minimal_model(HAS_EDGE, single_loop())
+
+    def test_edge_is_minimal_for_has_edge(self):
+        edge = Structure(GRAPH_VOCABULARY, [0, 1], {"E": [(0, 1)]})
+        assert is_minimal_model(HAS_EDGE, edge)
+
+    def test_two_edges_not_minimal(self):
+        assert not is_minimal_model(HAS_EDGE, directed_path(3))
+
+    def test_non_model_not_minimal(self):
+        empty = Structure(GRAPH_VOCABULARY, [0], {})
+        assert not is_minimal_model(HAS_EDGE, empty)
+
+    def test_isolated_element_blocks_minimality(self):
+        s = Structure(GRAPH_VOCABULARY, [0, 1, 2], {"E": [(0, 1)]})
+        assert not is_minimal_model(HAS_EDGE, s)
+
+    def test_triangle_minimal_for_walk3(self):
+        assert is_minimal_model(WALK3, directed_cycle(3))
+        assert is_minimal_model(WALK3, single_loop())
+        assert not is_minimal_model(WALK3, directed_cycle(6))
+
+    def test_assume_preserved_agrees_for_preserved_queries(self):
+        candidates = [
+            single_loop(),
+            directed_cycle(3),
+            directed_cycle(6),
+            directed_path(3),
+            random_directed_graph(3, 0.5, 1),
+        ]
+        for s in candidates:
+            assert is_minimal_model(WALK3, s) == is_minimal_model(
+                WALK3, s, assume_preserved=True
+            )
+
+    def test_respects_class(self):
+        # within the degree<=1 class, the loop is outside for degree 0?
+        cls = bounded_degree_class(1)
+        edge = Structure(GRAPH_VOCABULARY, [0, 1], {"E": [(0, 1)]})
+        assert is_minimal_model(HAS_EDGE, edge, cls)
+
+
+class TestShrink:
+    def test_shrinks_to_minimal(self):
+        big = random_directed_graph(4, 0.6, seed=3)
+        from repro.core import as_boolean_query
+
+        q = as_boolean_query(HAS_EDGE)
+        if q(big):
+            minimal = shrink_to_minimal_model(HAS_EDGE, big)
+            assert is_minimal_model(HAS_EDGE, minimal)
+            assert minimal.is_substructure_of(big)
+
+    def test_seed_must_model(self):
+        empty = Structure(GRAPH_VOCABULARY, [0], {})
+        with pytest.raises(ValueError):
+            shrink_to_minimal_model(HAS_EDGE, empty)
+
+    def test_deterministic(self):
+        seed = directed_cycle(6)
+        a = shrink_to_minimal_model(HAS_EDGE, seed)
+        b = shrink_to_minimal_model(HAS_EDGE, seed)
+        assert a == b
+
+
+class TestEnumerate:
+    def test_has_edge_minimal_models(self):
+        models = enumerate_minimal_models(HAS_EDGE, GRAPH_VOCABULARY, 2,
+                                          assume_preserved=True)
+        sizes = sorted(m.size() for m in models)
+        assert sizes == [1, 2]  # the loop and the single edge
+
+    def test_walk3_minimal_models(self):
+        models = enumerate_minimal_models(WALK3, GRAPH_VOCABULARY, 3,
+                                          assume_preserved=True)
+        sizes = sorted(m.size() for m in models)
+        assert sizes == [1, 3]  # loop and directed triangle
+
+    def test_models_are_cores(self):
+        models = enumerate_minimal_models(WALK3, GRAPH_VOCABULARY, 3,
+                                          assume_preserved=True)
+        assert minimal_models_are_cores(models)
+
+    def test_max_size(self):
+        models = enumerate_minimal_models(WALK3, GRAPH_VOCABULARY, 3,
+                                          assume_preserved=True)
+        assert max_minimal_model_size(models) == 3
+        assert max_minimal_model_size([]) == 0
+
+
+class TestFromSeeds:
+    def test_finds_both_models(self):
+        seeds = [directed_cycle(3), directed_cycle(6), single_loop(),
+                 directed_path(4)]
+        models = minimal_models_from_seeds(WALK3, seeds)
+        sizes = sorted(m.size() for m in models)
+        assert sizes == [1, 3]
+
+    def test_non_models_skipped(self):
+        models = minimal_models_from_seeds(WALK3, [directed_path(3)])
+        assert models == []
+
+    def test_dedup(self):
+        seeds = [directed_cycle(3), directed_cycle(3)]
+        models = minimal_models_from_seeds(WALK3, seeds)
+        assert len(models) == 1

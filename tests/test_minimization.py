@@ -1,0 +1,72 @@
+"""Unit tests for CQ minimization via cores."""
+
+from repro.cq import (
+    ConjunctiveQuery,
+    are_equivalent,
+    is_minimal,
+    minimization_report,
+    minimize,
+)
+from repro.logic import parse_formula
+from repro.structures import GRAPH_VOCABULARY, random_directed_graph
+
+
+def cq(text):
+    return ConjunctiveQuery.from_formula(
+        parse_formula(text, GRAPH_VOCABULARY), GRAPH_VOCABULARY
+    )
+
+
+class TestMinimize:
+    def test_redundant_edge_dropped(self):
+        # the extra disconnected edge atom folds into the triangle
+        q = cq("exists x y z u v. E(x,y) & E(y,z) & E(z,x) & E(u,v)")
+        m = minimize(q)
+        assert m.num_atoms() == 3
+        assert are_equivalent(q, m)
+
+    def test_redundant_path_folds(self):
+        # a path of length 2 beside a loop folds into the loop
+        q = cq("exists x u v w. E(x,x) & E(u,v) & E(v,w)")
+        m = minimize(q)
+        assert m.num_atoms() == 1
+        assert are_equivalent(q, m)
+
+    def test_already_minimal_untouched(self):
+        q = cq("exists x y z. E(x,y) & E(y,z) & E(z,x)")
+        m = minimize(q)
+        assert m.num_atoms() == q.num_atoms()
+        assert is_minimal(q)
+
+    def test_head_variables_protected(self):
+        # x is an answer variable: the E(x, y) atom cannot fold away
+        q = cq("E(x, y) & exists u v. E(u, v)")
+        m = minimize(q)
+        assert m.arity() == 2
+        assert are_equivalent(q, m)
+        assert m.num_atoms() == 1
+
+    def test_semantics_preserved_on_samples(self):
+        q = cq("exists a b c d. E(a,b) & E(b,c) & E(c,d) & E(a,d)")
+        m = minimize(q)
+        for seed in range(6):
+            s = random_directed_graph(4, 0.5, seed)
+            assert q.evaluate(s) == m.evaluate(s)
+
+    def test_minimize_idempotent(self):
+        q = cq("exists x y z u v. E(x,y) & E(y,z) & E(z,x) & E(u,v)")
+        once = minimize(q)
+        twice = minimize(once)
+        assert once.num_atoms() == twice.num_atoms()
+
+    def test_report(self):
+        q = cq("exists x y u v. E(x,y) & E(u,v)")
+        report = minimization_report(q)
+        assert report["atoms_before"] == 2
+        assert report["atoms_after"] == 1
+        assert report["vars_after"] <= report["vars_before"]
+
+    def test_nonboolean_head_kept_in_order(self):
+        q = cq("exists z. E(x, z) & E(z, y)")
+        m = minimize(q)
+        assert m.head == q.head

@@ -1,0 +1,151 @@
+"""Unit tests for normal forms (NNF, standardize-apart, EP -> UCQ)."""
+
+import pytest
+
+from repro.exceptions import UnsupportedFragmentError
+from repro.logic import (
+    And,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    agree_on,
+    existential_positive_to_disjuncts,
+    parse_formula,
+    prenex_cq,
+    standardize_apart,
+    to_nnf,
+)
+from repro.structures import GRAPH_VOCABULARY, random_directed_graph
+
+
+def fo(text):
+    return parse_formula(text, GRAPH_VOCABULARY)
+
+
+SAMPLES = [random_directed_graph(4, 0.35, seed) for seed in range(8)]
+
+
+class TestNNF:
+    def test_pushes_negation_through_and(self):
+        f = to_nnf(fo("~(E(x, y) & E(y, x))"))
+        assert isinstance(f, Or)
+
+    def test_pushes_negation_through_quantifiers(self):
+        f = to_nnf(fo("~(exists x. E(x, x))"))
+        assert isinstance(f, Forall)
+        assert isinstance(f.body, Not)
+
+    def test_double_negation_cancels(self):
+        f = to_nnf(fo("~~E(x, y)"))
+        assert not isinstance(f, Not)
+
+    def test_semantics_preserved(self):
+        for text in [
+            "~(exists x. (E(x, x) | forall y. E(x, y)))",
+            "~(forall x. ~(exists y. E(x, y)))",
+            "~(E(x, y) -> E(y, x))",
+        ]:
+            f = fo(text)
+            assert agree_on(f, to_nnf(f), SAMPLES)
+
+    def test_nnf_shape(self):
+        f = to_nnf(fo("~(exists x. (E(x, y) & ~E(y, x)))"))
+        for sub in f.subformulas():
+            if isinstance(sub, Not):
+                assert not isinstance(sub.operand, (And, Or, Exists, Forall, Not))
+
+
+class TestStandardizeApart:
+    def test_unique_binders(self):
+        f = fo("(exists x. E(x, x)) & (exists x. E(x, x))")
+        clean = standardize_apart(f)
+        binders = [s.var for s in clean.subformulas() if isinstance(s, Exists)]
+        assert len(binders) == len(set(binders))
+
+    def test_free_variables_kept(self):
+        f = fo("E(x, y) & exists x. E(x, y)")
+        clean = standardize_apart(f)
+        assert clean.free_variables() == {"x", "y"}
+
+    def test_semantics_preserved(self):
+        f = fo("exists x. (E(x, y) & exists x. E(y, x))")
+        assert agree_on(f, standardize_apart(f), SAMPLES)
+
+    def test_fresh_names_avoid_collisions(self):
+        f = fo("exists v0. E(v0, v1)")
+        clean = standardize_apart(f)
+        assert "v1" in clean.free_variables()
+        binder = next(s.var for s in clean.subformulas()
+                      if isinstance(s, Exists))
+        assert binder != "v1"
+
+
+class TestEPToDisjuncts:
+    def test_single_cq(self):
+        ds = existential_positive_to_disjuncts(fo("exists x y. E(x, y)"))
+        assert len(ds) == 1
+        assert len(ds[0].atoms) == 1
+
+    def test_disjunction_splits(self):
+        ds = existential_positive_to_disjuncts(
+            fo("exists x. (E(x, x) | exists y. E(x, y))")
+        )
+        assert len(ds) == 2
+
+    def test_conjunction_of_disjunctions_distributes(self):
+        f = fo("(E(x, x) | E(y, y)) & (E(x, y) | E(y, x))")
+        ds = existential_positive_to_disjuncts(f)
+        assert len(ds) == 4
+
+    def test_bottom_gives_empty_union(self):
+        assert existential_positive_to_disjuncts(fo("false")) == []
+
+    def test_top_gives_trivial_disjunct(self):
+        ds = existential_positive_to_disjuncts(fo("true"))
+        assert len(ds) == 1 and not ds[0].atoms
+
+    def test_equalities_collected(self):
+        ds = existential_positive_to_disjuncts(fo("exists x y. E(x,y) & x = y"))
+        assert len(ds[0].equalities) == 1
+
+    def test_non_ep_rejected(self):
+        with pytest.raises(UnsupportedFragmentError):
+            existential_positive_to_disjuncts(fo("forall x. E(x, x)"))
+
+    def test_round_trip_semantics(self):
+        for text in [
+            "exists x. (E(x, x) | exists y. (E(x, y) & E(y, x)))",
+            "(exists x. E(x, x)) | (exists x y. E(x, y) & E(y, x))",
+            "exists x. exists y. (E(x, y) & (E(y, x) | E(x, x)))",
+        ]:
+            f = fo(text)
+            ds = existential_positive_to_disjuncts(f)
+            from repro.logic import Or as OrNode
+
+            rebuilt = OrNode.of(*[d.to_formula() for d in ds])
+            assert agree_on(f, rebuilt, SAMPLES)
+
+
+class TestPrenexCQ:
+    def test_paper_example(self):
+        f = fo(
+            "exists x1. exists x2. (E(x1, x2) & (exists x1. (E(x2, x1) "
+            "& (exists x2. E(x1, x2)))))"
+        )
+        variables, atoms, equalities = prenex_cq(f)
+        assert len(variables) == 4
+        assert len(atoms) == 3
+        assert not equalities
+
+    def test_rejects_disjunction(self):
+        with pytest.raises(UnsupportedFragmentError):
+            prenex_cq(fo("E(x, y) | E(y, x)"))
+
+    def test_prenex_semantics(self):
+        from repro.logic import exists_many, And as AndNode
+
+        f = fo("exists x. (E(x, y) & exists z. (E(y, z) & exists x. E(z, x)))")
+        variables, atoms, _ = prenex_cq(f)
+        rebuilt = exists_many(variables, AndNode.of(*atoms))
+        assert agree_on(f, rebuilt, SAMPLES)

@@ -1,0 +1,137 @@
+"""Unit tests for structure operations (unions, images, products)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.homomorphism import has_homomorphism, is_homomorphism
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    direct_product,
+    directed_cycle,
+    directed_path,
+    disjoint_union,
+    homomorphic_image,
+    injection_into_union,
+    merge_on_shared_universe,
+)
+
+
+class TestDisjointUnion:
+    def test_sizes_add(self):
+        u = disjoint_union(directed_path(2), directed_cycle(3))
+        assert u.size() == 5
+        assert u.num_facts() == 1 + 3
+
+    def test_elements_tagged(self):
+        u = disjoint_union(directed_path(2), directed_path(2))
+        assert (0, 0) in u.universe_set and (1, 0) in u.universe_set
+
+    def test_injections_are_homomorphisms(self):
+        parts = [directed_path(3), directed_cycle(3)]
+        u = disjoint_union(*parts)
+        for i, part in enumerate(parts):
+            emb = injection_into_union(parts, i)
+            assert is_homomorphism(part, u, emb)
+
+    def test_injection_bad_index(self):
+        with pytest.raises(ValidationError):
+            injection_into_union([directed_path(2)], 3)
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValidationError):
+            disjoint_union()
+
+    def test_vocab_mismatch_rejected(self):
+        other = Structure(Vocabulary({"R": 1}), [0], {"R": [(0,)]})
+        with pytest.raises(ValidationError):
+            disjoint_union(directed_path(2), other)
+
+    def test_constants_rejected(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        s = Structure(vocab, [0], {}, {"c": 0})
+        with pytest.raises(ValidationError):
+            disjoint_union(s, s)
+
+    def test_hom_from_components(self):
+        # q preserved under homs: union of models maps onto either side
+        u = disjoint_union(directed_cycle(3), directed_cycle(3))
+        assert has_homomorphism(u, directed_cycle(3))
+
+
+class TestHomomorphicImage:
+    def test_quotient_collapses(self):
+        p = directed_path(3)
+        image = homomorphic_image(p, {0: "a", 1: "b", 2: "a"})
+        assert image.size() == 2
+        assert image.has_fact("E", ("a", "b"))
+        assert image.has_fact("E", ("b", "a"))
+
+    def test_image_of_hom_is_substructure(self):
+        from repro.homomorphism import find_homomorphism
+
+        source = directed_path(4)
+        target = directed_cycle(3)
+        hom = find_homomorphism(source, target)
+        image = homomorphic_image(source, hom)
+        assert image.is_substructure_of(target)
+
+    def test_missing_element_rejected(self):
+        with pytest.raises(ValidationError):
+            homomorphic_image(directed_path(2), {0: "a"})
+
+    def test_constants_follow(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        s = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 1})
+        image = homomorphic_image(s, {0: "x", 1: "y"})
+        assert image.constant("c") == "y"
+
+
+class TestDirectProduct:
+    def test_projections_are_homs(self):
+        a, b = directed_cycle(3), directed_path(3)
+        prod = direct_product(a, b)
+        proj_a = {(x, y): x for x in a.universe for y in b.universe}
+        proj_b = {(x, y): y for x in a.universe for y in b.universe}
+        assert is_homomorphism(prod, a, proj_a)
+        assert is_homomorphism(prod, b, proj_b)
+
+    def test_universal_property_sample(self):
+        # C -> A x B iff C -> A and C -> B
+        a, b = directed_cycle(3), directed_cycle(6)
+        prod = direct_product(a, b)
+        c = directed_path(3)
+        assert has_homomorphism(c, prod) == (
+            has_homomorphism(c, a) and has_homomorphism(c, b)
+        )
+
+    def test_size(self):
+        prod = direct_product(directed_path(2), directed_path(3))
+        assert prod.size() == 6
+        assert prod.num_facts() == 1 * 2
+
+    def test_vocab_mismatch(self):
+        other = Structure(Vocabulary({"R": 1}), [0], {})
+        with pytest.raises(ValidationError):
+            direct_product(directed_path(2), other)
+
+
+class TestMerge:
+    def test_merge_unions_facts(self):
+        a = Structure(GRAPH_VOCABULARY, [0, 1], {"E": [(0, 1)]})
+        b = Structure(GRAPH_VOCABULARY, [1, 2], {"E": [(1, 2)]})
+        merged = merge_on_shared_universe(a, b)
+        assert merged.size() == 3
+        assert merged.num_facts() == 2
+
+    def test_merge_is_extension(self):
+        a = directed_path(3)
+        b = Structure(GRAPH_VOCABULARY, [0, 2], {"E": [(2, 0)]})
+        merged = merge_on_shared_universe(a, b)
+        assert a.is_substructure_of(merged)
+
+    def test_merge_vocab_mismatch(self):
+        other = Structure(Vocabulary({"R": 1}), [0], {})
+        with pytest.raises(ValidationError):
+            merge_on_shared_universe(directed_path(2), other)

@@ -1,0 +1,156 @@
+"""Unit tests for extension/monotone preservation (Łoś–Tarski, Lyndon)."""
+
+import pytest
+
+from repro.core import (
+    canonical_existential_sentence,
+    check_monotone,
+    check_preserved_under_extensions,
+    extension_closure_sample,
+    is_minimal_induced_model,
+    rewrite_to_existential,
+    section_1_implications,
+)
+from repro.logic import parse_formula, satisfies
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+def fo(text):
+    return parse_formula(text, GRAPH_VOCABULARY)
+
+
+SAMPLES = extension_closure_sample(
+    [random_directed_graph(3, 0.4, s) for s in range(8)]
+    + [directed_cycle(3), directed_path(3), single_loop()]
+)
+
+
+class TestExtensionCheck:
+    def test_existential_queries_pass(self):
+        for text in ("exists x y. E(x, y)",
+                     "exists x y. E(x, y) & ~E(y, x)",
+                     "exists x. ~E(x, x)"):
+            assert check_preserved_under_extensions(fo(text), SAMPLES) is None
+
+    def test_universal_query_fails(self):
+        total = fo("forall x. exists y. E(x, y)")
+        violation = check_preserved_under_extensions(total, SAMPLES)
+        assert violation is not None
+        assert violation.small.is_induced_substructure_of(violation.large)
+
+    def test_closure_sample_adds_extensions(self):
+        base = [directed_cycle(3)]
+        extended = extension_closure_sample(base)
+        assert len(extended) > 1
+        assert any(s.size() == 4 for s in extended)
+
+
+class TestMonotoneCheck:
+    def test_positive_queries_pass(self):
+        for text in ("exists x y. E(x, y)",
+                     "forall x. exists y. E(x, y)"):
+            assert check_monotone(fo(text), SAMPLES) is None
+
+    def test_negation_fails_monotonicity(self):
+        no_loop = fo("~(exists x. E(x, x))")
+        violation = check_monotone(no_loop, SAMPLES)
+        assert violation is not None
+        assert violation.smaller.is_substructure_of(violation.larger)
+
+    def test_asymmetric_edge_fails_monotonicity(self):
+        q = fo("exists x y. E(x, y) & ~E(y, x)")
+        assert check_monotone(q, [directed_path(2)]) is not None
+
+
+class TestCanonicalExistentialSentence:
+    def test_induced_embedding_semantics(self):
+        c3 = directed_cycle(3)
+        sentence = canonical_existential_sentence(c3)
+        assert satisfies(c3, sentence)
+        assert satisfies(c3.with_element(9), sentence)
+        # C6 contains no *induced* C3
+        assert not satisfies(directed_cycle(6), sentence)
+
+    def test_negative_atoms_matter(self):
+        # an edge (0,1): adding the back edge breaks the induced copy ...
+        edge = Structure(GRAPH_VOCABULARY, [0, 1], {"E": [(0, 1)]})
+        sentence = canonical_existential_sentence(edge)
+        two_cycle = Structure(GRAPH_VOCABULARY, [0, 1],
+                              {"E": [(0, 1), (1, 0)]})
+        assert not satisfies(two_cycle, sentence)
+        # ... unless extra elements still hold an induced copy
+        assert satisfies(directed_path(3), sentence)
+
+
+class TestMinimalInducedModels:
+    def test_loop_minimal(self):
+        has_loop = fo("exists x. E(x, x)")
+        assert is_minimal_induced_model(has_loop, single_loop())
+        assert not is_minimal_induced_model(
+            has_loop, single_loop().with_element(7)
+        )
+
+    def test_non_model_rejected(self):
+        has_loop = fo("exists x. E(x, x)")
+        assert not is_minimal_induced_model(has_loop, directed_path(2))
+
+
+class TestLosTarskiRewriting:
+    def test_loop_query(self):
+        has_loop = fo("exists x. E(x, x)")
+        result = rewrite_to_existential(
+            has_loop, GRAPH_VOCABULARY, max_size=1,
+            verification_sample=SAMPLES,
+        )
+        assert len(result.minimal_models) == 1
+        assert result.verified_on == len(SAMPLES)
+
+    def test_asymmetric_edge_query(self):
+        q = fo("exists x y. E(x, y) & ~E(y, x)")
+        result = rewrite_to_existential(
+            q, GRAPH_VOCABULARY, max_size=2, verification_sample=SAMPLES
+        )
+        assert result.verified_on == len(SAMPLES)
+        # minimal induced models: various 2-element types containing an
+        # asymmetric edge (loops on endpoints allowed)
+        assert len(result.minimal_models) >= 1
+
+    def test_cap_too_small_detected(self):
+        two_loops = fo("exists x y. E(x, x) & E(y, y) & ~(x = y)")
+        with pytest.raises(AssertionError):
+            rewrite_to_existential(
+                two_loops, GRAPH_VOCABULARY, max_size=1,
+                verification_sample=[
+                    Structure(GRAPH_VOCABULARY, [0, 1],
+                              {"E": [(0, 0), (1, 1)]})
+                ],
+            )
+
+
+class TestSection1Chain:
+    def test_ep_has_all_properties(self):
+        report = section_1_implications(fo("exists x y. E(x, y)"), SAMPLES)
+        assert report == {"homomorphism": True, "extensions": True,
+                          "monotone": True}
+
+    def test_hom_implies_others_on_samples(self):
+        """Section 1: hom-preservation implies extension-preservation and
+        monotonicity — no sampled query may violate the implication."""
+        queries = [
+            "exists x y. E(x, y)",
+            "exists x. E(x, x)",
+            "exists x y. E(x, y) & ~E(y, x)",
+            "forall x. exists y. E(x, y)",
+            "~(exists x. E(x, x))",
+        ]
+        for text in queries:
+            report = section_1_implications(fo(text), SAMPLES)
+            if report["homomorphism"]:
+                assert report["extensions"] and report["monotone"], text

@@ -1,0 +1,158 @@
+"""Unit tests for the FO parser."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.logic import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Equal,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Top,
+    Var,
+    parse_formula,
+)
+from repro.structures import GRAPH_VOCABULARY, Vocabulary
+
+
+class TestAtoms:
+    def test_simple_atom(self):
+        f = parse_formula("E(x, y)", GRAPH_VOCABULARY)
+        assert f == Atom("E", (Var("x"), Var("y")))
+
+    def test_arity_checked(self):
+        with pytest.raises(ValidationError):
+            parse_formula("E(x)", GRAPH_VOCABULARY)
+
+    def test_unknown_relation_checked(self):
+        with pytest.raises(ValidationError):
+            parse_formula("Z(x, y)", GRAPH_VOCABULARY)
+
+    def test_no_vocabulary_no_checks(self):
+        f = parse_formula("Z(x, y, z)")
+        assert isinstance(f, Atom) and len(f.terms) == 3
+
+    def test_constants_recognized(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        f = parse_formula("E(x, c)", vocab)
+        assert f.terms[1] == Const("c")
+
+    def test_equality(self):
+        f = parse_formula("x = y")
+        assert f == Equal(Var("x"), Var("y"))
+
+    def test_true_false(self):
+        assert isinstance(parse_formula("true"), Top)
+        assert isinstance(parse_formula("false"), Bottom)
+
+    def test_nullary_atom(self):
+        vocab = Vocabulary({"Flag": 0})
+        f = parse_formula("Flag()", vocab)
+        assert f == Atom("Flag", ())
+
+
+class TestConnectives:
+    def test_conjunction(self):
+        f = parse_formula("E(x, y) & E(y, z)", GRAPH_VOCABULARY)
+        assert isinstance(f, And) and len(f.operands) == 2
+
+    def test_disjunction(self):
+        f = parse_formula("E(x, y) | E(y, x)", GRAPH_VOCABULARY)
+        assert isinstance(f, Or)
+
+    def test_negation(self):
+        f = parse_formula("~E(x, y)", GRAPH_VOCABULARY)
+        assert isinstance(f, Not)
+
+    def test_double_negation(self):
+        f = parse_formula("~~E(x, y)", GRAPH_VOCABULARY)
+        assert isinstance(f, Not) and isinstance(f.operand, Not)
+
+    def test_precedence_and_over_or(self):
+        f = parse_formula("E(x,y) & E(y,z) | E(z,x)", GRAPH_VOCABULARY)
+        assert isinstance(f, Or)
+
+    def test_parentheses(self):
+        f = parse_formula("E(x,y) & (E(y,z) | E(z,x))", GRAPH_VOCABULARY)
+        assert isinstance(f, And)
+
+    def test_implication(self):
+        f = parse_formula("E(x,y) -> E(y,x)", GRAPH_VOCABULARY)
+        assert isinstance(f, Or)  # desugared
+
+    def test_iff(self):
+        f = parse_formula("E(x,y) <-> E(y,x)", GRAPH_VOCABULARY)
+        assert isinstance(f, And)
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        f = parse_formula("exists x. E(x, x)", GRAPH_VOCABULARY)
+        assert isinstance(f, Exists)
+
+    def test_forall(self):
+        f = parse_formula("forall x. E(x, x)", GRAPH_VOCABULARY)
+        assert isinstance(f, Forall)
+
+    def test_multiple_names(self):
+        f = parse_formula("exists x y. E(x, y)", GRAPH_VOCABULARY)
+        assert isinstance(f, Exists) and isinstance(f.body, Exists)
+
+    def test_comma_separated_names(self):
+        f = parse_formula("exists x, y. E(x, y)", GRAPH_VOCABULARY)
+        assert isinstance(f, Exists) and isinstance(f.body, Exists)
+
+    def test_nested_quantifiers(self):
+        f = parse_formula("forall x. exists y. E(x, y)", GRAPH_VOCABULARY)
+        assert isinstance(f, Forall) and isinstance(f.body, Exists)
+
+    def test_quantifier_scopes_tightly_after_connective(self):
+        f = parse_formula(
+            "E(x, y) & exists z. E(y, z)", GRAPH_VOCABULARY
+        )
+        assert isinstance(f, And)
+
+    def test_missing_dot(self):
+        with pytest.raises(ValidationError):
+            parse_formula("exists x E(x, x)", GRAPH_VOCABULARY)
+
+
+class TestErrors:
+    def test_trailing_tokens(self):
+        with pytest.raises(ValidationError):
+            parse_formula("E(x, y) E(y, x)", GRAPH_VOCABULARY)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ValidationError):
+            parse_formula("(E(x, y)", GRAPH_VOCABULARY)
+
+    def test_garbage(self):
+        with pytest.raises(ValidationError):
+            parse_formula("E(x, y) @ E(y, x)", GRAPH_VOCABULARY)
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            parse_formula("", GRAPH_VOCABULARY)
+
+    def test_lone_name(self):
+        with pytest.raises(ValidationError):
+            parse_formula("x", GRAPH_VOCABULARY)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "exists x. E(x, x)",
+        "forall x. exists y. (E(x, y) & ~E(y, x))",
+        "exists x y z. (E(x, y) & E(y, z) & E(z, x))",
+        "E(x, y) | x = y",
+        "~(E(x, y) & E(y, x))",
+    ])
+    def test_parse_str_parse(self, text):
+        f = parse_formula(text, GRAPH_VOCABULARY)
+        again = parse_formula(str(f), GRAPH_VOCABULARY)
+        assert f == again

@@ -1,0 +1,176 @@
+"""Unit tests for existential k-pebble games (Section 7.2)."""
+
+import pytest
+
+from repro.exceptions import BudgetExceededError, ValidationError
+from repro.homomorphism import has_homomorphism
+from repro.pebble import (
+    ExistentialPebbleGame,
+    dalmau_kolaitis_vardi_agrees,
+    duplicator_wins,
+    has_directed_cycle,
+    pebble_query,
+    preserves_all_cqk_sentences,
+    proposition_7_9_agrees,
+)
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    directed_clique,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+class TestGameBasics:
+    def test_hom_implies_duplicator_win(self):
+        # a full homomorphism is a winning strategy for any k
+        pairs = [
+            (directed_path(3), directed_cycle(3)),
+            (directed_cycle(6), directed_cycle(3)),
+            (directed_cycle(4), single_loop()),
+        ]
+        for a, b in pairs:
+            assert has_homomorphism(a, b)
+            for k in (1, 2, 3):
+                assert duplicator_wins(a, b, k)
+
+    def test_more_pebbles_harder_for_duplicator(self):
+        # winning with k+1 pebbles implies winning with k
+        a, b = directed_cycle(3), directed_cycle(4)
+        wins = [duplicator_wins(a, b, k) for k in (1, 2, 3)]
+        for earlier, later in zip(wins, wins[1:]):
+            assert earlier or not later
+
+    def test_c3_vs_path_spoiler_wins_with_two(self):
+        assert not duplicator_wins(directed_cycle(3), directed_path(6), 2)
+
+    def test_c3_vs_c4_two_pebbles(self):
+        # C4 has a cycle: Duplicator wins the 2-pebble game (Prop 7.9)
+        assert duplicator_wins(directed_cycle(3), directed_cycle(4), 2)
+
+    def test_c3_vs_c4_three_pebbles(self):
+        # with 3 pebbles Spoiler can pin the triangle: no hom C3 -> C4
+        assert not duplicator_wins(directed_cycle(3), directed_cycle(4), 3)
+
+    def test_one_pebble_game(self):
+        # 1 pebble: only unary/loop information matters
+        assert duplicator_wins(directed_cycle(3), directed_path(2), 1)
+        assert not duplicator_wins(single_loop(), directed_path(2), 1)
+
+    def test_requires_relational(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        s = Structure(vocab, [0], {}, {"c": 0})
+        with pytest.raises(ValidationError):
+            duplicator_wins(s, s, 2)
+
+    def test_needs_positive_k(self):
+        with pytest.raises(ValidationError):
+            duplicator_wins(directed_path(2), directed_path(2), 0)
+
+    def test_budget(self):
+        a = random_directed_graph(8, 0.3, 1)
+        b = random_directed_graph(8, 0.3, 2)
+        with pytest.raises(BudgetExceededError):
+            duplicator_wins(a, b, 4, budget=100)
+
+
+class TestWinningFamily:
+    def test_family_contains_empty_position(self):
+        game = ExistentialPebbleGame(
+            directed_path(3), directed_cycle(3), 2
+        )
+        assert frozenset() in game.winning_family()
+
+    def test_strategy_playable(self):
+        game = ExistentialPebbleGame(
+            directed_path(3), directed_cycle(3), 2
+        )
+        position = frozenset()
+        # play: Spoiler pebbles each element in turn with 2 pebbles
+        answer0 = game.extend(position, 0)
+        assert answer0 is not None
+        position = position | {(0, answer0)}
+        answer1 = game.extend(position, 1)
+        assert answer1 is not None
+        # the two pebbled pairs must preserve the edge 0 -> 1
+        assert directed_cycle(3).has_fact("E", (answer0, answer1))
+
+    def test_losing_game_empty_family(self):
+        game = ExistentialPebbleGame(single_loop(), directed_path(2), 1)
+        assert frozenset() not in game.winning_family()
+
+    def test_extend_from_losing_position(self):
+        game = ExistentialPebbleGame(single_loop(), directed_path(2), 1)
+        assert game.extend(frozenset(), 0) is None
+
+
+class TestTheorem76:
+    def test_game_soundness_for_cqk(self):
+        """If Duplicator wins with k pebbles, every CQ^k sentence transfers."""
+        from repro.cq import path_sentence_two_variables
+        from repro.logic import satisfies
+
+        a, b = directed_cycle(3), directed_cycle(5)
+        if duplicator_wins(a, b, 2):
+            for length in (1, 2, 3, 4):
+                sentence = path_sentence_two_variables(length)
+                if satisfies(a, sentence):
+                    assert satisfies(b, sentence)
+
+    def test_alias(self):
+        assert preserves_all_cqk_sentences(
+            directed_path(2), directed_cycle(3), 2
+        )
+
+
+class TestProposition79:
+    def test_cycle_detector(self):
+        assert has_directed_cycle(directed_cycle(4))
+        assert has_directed_cycle(single_loop())
+        assert not has_directed_cycle(directed_path(5))
+
+    def test_cycle_detector_on_dag_with_diamond(self):
+        s = Structure(GRAPH_VOCABULARY, [0, 1, 2, 3],
+                      {"E": [(0, 1), (0, 2), (1, 3), (2, 3)]})
+        assert not has_directed_cycle(s)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_on_random_graphs(self, seed):
+        b = random_directed_graph(5, 0.25, seed)
+        assert proposition_7_9_agrees(b)
+
+    def test_agreement_on_structured(self):
+        for b in (directed_path(6), directed_cycle(5), directed_clique(3),
+                  single_loop()):
+            assert proposition_7_9_agrees(b)
+
+
+class TestDalmauKolaitisVardi:
+    def test_applies_when_core_small_treewidth(self):
+        # core of C3 is C3, treewidth 2 < 3
+        result = dalmau_kolaitis_vardi_agrees(
+            directed_cycle(3), directed_cycle(4), 3
+        )
+        assert result is True
+
+    def test_returns_none_when_hypothesis_fails(self):
+        # K4 (directed clique) has treewidth 3 >= 3
+        result = dalmau_kolaitis_vardi_agrees(
+            directed_clique(4), directed_clique(4), 3
+        )
+        assert result is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_pairs(self, seed):
+        a = random_directed_graph(4, 0.3, seed)
+        b = random_directed_graph(4, 0.3, seed + 50)
+        result = dalmau_kolaitis_vardi_agrees(a, b, 3)
+        assert result in (True, None)
+
+    def test_pebble_query_interface(self):
+        q = pebble_query(directed_cycle(3), 2)
+        assert q(directed_cycle(5)) is True
+        assert q(directed_path(4)) is False

@@ -1,0 +1,87 @@
+"""Unit tests for the rotation-system planarity tester."""
+
+import pytest
+
+from repro.graphtheory import (
+    Graph,
+    binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    is_planar,
+    is_planar_exact,
+    path_graph,
+    random_planar_like,
+    rotation_system_count,
+    star_graph,
+    wheel_graph,
+)
+
+
+class TestRotationCount:
+    def test_cycle_has_one_embedding(self):
+        assert rotation_system_count(cycle_graph(6)) == 1
+
+    def test_k4(self):
+        assert rotation_system_count(complete_graph(4)) == 2 ** 4
+
+    def test_empty(self):
+        assert rotation_system_count(Graph()) == 1
+
+
+class TestPlanarPositive:
+    @pytest.mark.parametrize("graph", [
+        path_graph(6),
+        cycle_graph(7),
+        star_graph(8),
+        binary_tree(3),
+        grid_graph(3, 4),
+        grid_graph(4, 4),
+        wheel_graph(7),
+        complete_graph(4),
+        complete_bipartite_graph(2, 5),
+        random_planar_like(14, seed=1),
+    ])
+    def test_planar(self, graph):
+        assert is_planar_exact(graph)
+        assert is_planar(graph)
+
+
+class TestPlanarNegative:
+    @pytest.mark.parametrize("graph", [
+        complete_graph(5),
+        complete_graph(6),
+        complete_bipartite_graph(3, 3),
+        complete_bipartite_graph(3, 4),
+    ])
+    def test_nonplanar(self, graph):
+        assert not is_planar_exact(graph)
+        assert not is_planar(graph)
+
+    def test_k5_plus_pendant(self):
+        k5 = complete_graph(5)
+        g = Graph(list(k5.vertices) + [9],
+                  list(k5.edge_list()) + [(0, 9)])
+        assert not is_planar_exact(g)
+
+    def test_subdivided_k5_nonplanar(self):
+        # subdivide one edge of K5: still nonplanar (topological minor)
+        k5 = complete_graph(5)
+        edges = [e for e in k5.edge_list() if e != (0, 1)]
+        edges += [(0, "mid"), ("mid", 1)]
+        g = Graph(list(k5.vertices) + ["mid"], edges)
+        assert not is_planar_exact(g)
+
+    def test_disjoint_nonplanar_component(self):
+        g = complete_graph(5).disjoint_union(path_graph(3))
+        assert not is_planar_exact(g)
+
+
+class TestEulerShortcut:
+    def test_dense_rejected_immediately(self):
+        assert not is_planar_exact(complete_graph(9))
+
+    def test_sparse_components_accepted(self):
+        g = path_graph(4).disjoint_union(cycle_graph(5))
+        assert is_planar_exact(g)

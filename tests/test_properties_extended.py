@@ -1,0 +1,146 @@
+"""Property-based tests for the extension subsystems.
+
+Invariants checked on randomized inputs: data-exchange chase results are
+always solutions with universal cores; treewidth DP agrees with brute
+force; semipositive evaluation degenerates to pure Datalog when no
+negation is used; EF equivalence is an equivalence relation (sampled);
+Lovász vectors are isomorphism invariants.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dataexchange import (
+    chase,
+    core_solution,
+    is_solution,
+    parse_mapping,
+    solution_homomorphism,
+)
+from repro.datalog import (
+    evaluate_semi_naive,
+    evaluate_semipositive,
+    parse_program,
+    parse_semipositive_program,
+)
+from repro.graphtheory import (
+    Graph,
+    max_independent_set_treewidth,
+    nice_decomposition,
+)
+from repro.graphtheory.scattered import _max_independent_set
+from repro.homomorphism.counting import lovasz_vector
+from repro.logic import ef_equivalent
+from repro.structures import GRAPH_VOCABULARY, Structure, Vocabulary
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def digraphs(draw, max_size=4):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    possible = [(i, j) for i in range(n) for j in range(n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=7, unique=True))
+    return Structure(GRAPH_VOCABULARY, range(n), {"E": edges})
+
+
+@st.composite
+def simple_graphs(draw, max_size=7):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = (
+        draw(st.lists(st.sampled_from(possible), max_size=10, unique=True))
+        if possible else []
+    )
+    return Graph(range(n), edges)
+
+
+SRC = Vocabulary({"S": 2})
+TGT = Vocabulary({"T": 2, "U": 2})
+MAPPING = parse_mapping(
+    "S(x, y) -> exists z. T(x, z) & U(z, y)", SRC, TGT
+)
+
+
+@st.composite
+def source_instances(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    possible = [(i, j) for i in range(n) for j in range(n)]
+    facts = draw(st.lists(st.sampled_from(possible), max_size=6, unique=True))
+    return Structure(SRC, range(n), {"S": facts})
+
+
+class TestDataExchangeProperties:
+    @given(source=source_instances())
+    @SETTINGS
+    def test_chase_is_solution(self, source):
+        result = chase(MAPPING, source)
+        assert is_solution(MAPPING, source, result)
+
+    @given(source=source_instances())
+    @SETTINGS
+    def test_core_is_smaller_universal_solution(self, source):
+        report = core_solution(MAPPING, source)
+        assert report.core.size() <= report.canonical.size()
+        assert is_solution(MAPPING, source, report.core)
+        assert solution_homomorphism(
+            report.canonical, report.core
+        ) is not None
+
+
+class TestTreewidthDPProperties:
+    @given(g=simple_graphs())
+    @SETTINGS
+    def test_mis_dp_matches_branch_and_bound(self, g):
+        nd = nice_decomposition(g)
+        nd.validate(g)
+        assert max_independent_set_treewidth(g, nd) == len(
+            _max_independent_set(g, 10 ** 6)
+        )
+
+
+class TestSemipositiveDegeneration:
+    @given(s=digraphs())
+    @SETTINGS
+    def test_no_negation_matches_pure_engine(self, s):
+        pure = parse_program(
+            "T(x, y) <- E(x, y).\nT(x, y) <- E(x, z), T(z, y).",
+            GRAPH_VOCABULARY,
+        )
+        semi = parse_semipositive_program(
+            "T(x, y) <- E(x, y).\nT(x, y) <- E(x, z), T(z, y).",
+            GRAPH_VOCABULARY,
+        )
+        assert evaluate_semipositive(semi, s)["T"] == \
+            evaluate_semi_naive(pure, s).relations["T"]
+
+
+class TestEFProperties:
+    @given(a=digraphs(max_size=3), b=digraphs(max_size=3),
+           m=st.integers(min_value=0, max_value=2))
+    @SETTINGS
+    def test_symmetry(self, a, b, m):
+        assert ef_equivalent(a, b, m) == ef_equivalent(b, a, m)
+
+    @given(a=digraphs(max_size=3), m=st.integers(min_value=0, max_value=2))
+    @SETTINGS
+    def test_reflexivity(self, a, m):
+        assert ef_equivalent(a, a, m)
+
+    @given(a=digraphs(max_size=3), b=digraphs(max_size=3),
+           m=st.integers(min_value=1, max_value=2))
+    @SETTINGS
+    def test_monotone_in_rounds(self, a, b, m):
+        if ef_equivalent(a, b, m):
+            assert ef_equivalent(a, b, m - 1)
+
+
+class TestLovaszProperties:
+    @given(a=digraphs(max_size=3))
+    @SETTINGS
+    def test_vector_invariant_under_renaming(self, a):
+        renamed = a.rename({e: ("r", e) for e in a.universe})
+        assert lovasz_vector(a, 2) == lovasz_vector(renamed, 2)

@@ -1,0 +1,98 @@
+"""Tests of the public API surface: imports, __all__, exceptions."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    BudgetExceededError,
+    ReproError,
+    UnsupportedFragmentError,
+    ValidationError,
+)
+
+SUBPACKAGES = [
+    "repro.structures",
+    "repro.homomorphism",
+    "repro.logic",
+    "repro.cq",
+    "repro.datalog",
+    "repro.graphtheory",
+    "repro.pebble",
+    "repro.core",
+]
+
+
+class TestImports:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_has_no_duplicates(self, name):
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", [])
+        assert len(exported) == len(set(exported))
+
+    def test_top_level_all(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    def test_cli_importable(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.prog == "repro"
+
+
+class TestExceptionHierarchy:
+    def test_subclasses(self):
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(UnsupportedFragmentError, ReproError)
+        assert issubclass(BudgetExceededError, ReproError)
+
+    def test_catchable_as_base(self):
+        from repro.structures import GRAPH_VOCABULARY, Structure
+
+        with pytest.raises(ReproError):
+            Structure(GRAPH_VOCABULARY, [0], {"E": [(0,)]})
+
+    def test_library_never_raises_bare_exceptions(self):
+        """Spot-check: common misuse raises typed errors, not KeyError."""
+        from repro.structures import GRAPH_VOCABULARY, directed_path
+
+        s = directed_path(2)
+        with pytest.raises(ReproError):
+            s.relation("Nope")
+        with pytest.raises(ReproError):
+            s.constant("c")
+        with pytest.raises(ReproError):
+            GRAPH_VOCABULARY.arity("Nope")
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_public_callables_documented(self, name):
+        module = importlib.import_module(name)
+        undocumented = []
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            # type aliases (Dict[...], FrozenSet[...]) are "callable" but
+            # carry no docstring of their own: restrict to repro-defined
+            # functions and classes
+            if not getattr(obj, "__module__", "").startswith("repro"):
+                continue
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(symbol)
+        assert not undocumented, f"{name}: {undocumented}"

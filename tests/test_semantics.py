@@ -1,0 +1,137 @@
+"""Unit tests for FO model checking."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.logic import (
+    agree_on,
+    evaluate,
+    parse_formula,
+    query_answers,
+    satisfies,
+)
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    directed_clique,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+def fo(text, vocab=GRAPH_VOCABULARY):
+    return parse_formula(text, vocab)
+
+
+class TestSentences:
+    def test_has_edge(self):
+        f = fo("exists x y. E(x, y)")
+        assert satisfies(directed_path(2), f)
+        assert not satisfies(Structure(GRAPH_VOCABULARY, [0], {}), f)
+
+    def test_totality(self):
+        f = fo("forall x. exists y. E(x, y)")
+        assert satisfies(directed_cycle(4), f)
+        assert not satisfies(directed_path(4), f)
+
+    def test_loop_detection(self):
+        f = fo("exists x. E(x, x)")
+        assert satisfies(single_loop(), f)
+        assert not satisfies(directed_cycle(3), f)
+
+    def test_negation(self):
+        f = fo("~(exists x. E(x, x))")
+        assert satisfies(directed_cycle(3), f)
+
+    def test_equality_semantics(self):
+        f = fo("exists x y. (E(x, y) & ~(x = y))")
+        assert satisfies(directed_path(2), f)
+        assert not satisfies(single_loop(), f)
+
+    def test_implication(self):
+        f = fo("forall x y. (E(x, y) -> E(y, x))")
+        assert not satisfies(directed_path(3), f)
+
+    def test_free_variable_rejected_in_satisfies(self):
+        with pytest.raises(ValidationError):
+            satisfies(directed_path(2), fo("E(x, y)"))
+
+    def test_true_false(self):
+        assert satisfies(directed_path(1), fo("true"))
+        assert not satisfies(directed_path(1), fo("false"))
+
+    def test_constants(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        s = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        assert satisfies(s, parse_formula("exists y. E(c, y)", vocab))
+        assert not satisfies(s, parse_formula("exists y. E(y, c)", vocab))
+
+
+class TestEvaluate:
+    def test_with_assignment(self):
+        f = fo("E(x, y)")
+        p = directed_path(3)
+        assert evaluate(f, p, {"x": 0, "y": 1})
+        assert not evaluate(f, p, {"x": 1, "y": 0})
+
+    def test_missing_assignment(self):
+        with pytest.raises(ValidationError):
+            evaluate(fo("E(x, y)"), directed_path(2), {"x": 0})
+
+    def test_assignment_not_mutated(self):
+        env = {"x": 0}
+        evaluate(fo("exists y. E(x, y)"), directed_path(3), env)
+        assert env == {"x": 0}
+
+    def test_shadowing(self):
+        # inner exists x shadows outer assignment
+        f = fo("exists x. E(x, x)")
+        assert not evaluate(f, directed_cycle(3), {"x": 0})
+
+
+class TestQueryAnswers:
+    def test_out_neighbors(self):
+        f = fo("exists y. E(x, y)")
+        answers = query_answers(f, directed_path(3))
+        assert answers == {(0,), (1,)}
+
+    def test_binary_query(self):
+        f = fo("E(x, y) | E(y, x)")
+        answers = query_answers(f, directed_path(2), free_order=["x", "y"])
+        assert answers == {(0, 1), (1, 0)}
+
+    def test_sentence_convention(self):
+        assert query_answers(fo("exists x y. E(x, y)"),
+                             directed_path(2)) == {()}
+        assert query_answers(fo("exists x. E(x, x)"),
+                             directed_path(2)) == set()
+
+    def test_free_order_must_match(self):
+        with pytest.raises(ValidationError):
+            query_answers(fo("E(x, y)"), directed_path(2), free_order=["x"])
+
+    def test_column_order(self):
+        f = fo("E(x, y)")
+        fwd = query_answers(f, directed_path(2), free_order=["x", "y"])
+        rev = query_answers(f, directed_path(2), free_order=["y", "x"])
+        assert fwd == {(0, 1)} and rev == {(1, 0)}
+
+
+class TestAgreement:
+    def test_equivalent_formulas_agree(self):
+        f = fo("exists x y. (E(x, y) & E(y, x))")
+        g = fo("exists y x. (E(y, x) & E(x, y))")
+        samples = [random_directed_graph(4, 0.4, s) for s in range(6)]
+        assert agree_on(f, g, samples)
+
+    def test_different_formulas_disagree(self):
+        f = fo("exists x. E(x, x)")
+        g = fo("exists x y. E(x, y)")
+        assert not agree_on(f, g, [directed_path(2)])
+
+    def test_padding_for_mismatched_free_vars(self):
+        f = fo("E(x, y)")
+        g = fo("E(x, y) & x = x")
+        assert agree_on(f, g, [directed_clique(3)])

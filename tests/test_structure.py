@@ -1,0 +1,190 @@
+"""Unit tests for the Structure value type."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.structures import GRAPH_VOCABULARY, Structure, Vocabulary
+
+
+@pytest.fixture
+def triangle():
+    return Structure(GRAPH_VOCABULARY, [0, 1, 2],
+                     {"E": [(0, 1), (1, 2), (2, 0)]})
+
+
+class TestConstruction:
+    def test_basic(self, triangle):
+        assert triangle.size() == 3
+        assert triangle.num_facts() == 3
+        assert triangle.has_fact("E", (0, 1))
+        assert not triangle.has_fact("E", (1, 0))
+
+    def test_universe_order_preserved(self):
+        s = Structure(GRAPH_VOCABULARY, [3, 1, 2], {})
+        assert s.universe == (3, 1, 2)
+
+    def test_omitted_relation_is_empty(self):
+        s = Structure(GRAPH_VOCABULARY, [0], {})
+        assert s.relation("E") == frozenset()
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValidationError):
+            Structure(GRAPH_VOCABULARY, [0], {"Z": [(0,)]})
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValidationError):
+            Structure(GRAPH_VOCABULARY, [0], {"E": [(0,)]})
+
+    def test_tuple_outside_universe_rejected(self):
+        with pytest.raises(ValidationError):
+            Structure(GRAPH_VOCABULARY, [0], {"E": [(0, 5)]})
+
+    def test_constants_required(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        with pytest.raises(ValidationError):
+            Structure(vocab, [0], {})
+        s = Structure(vocab, [0], {}, {"c": 0})
+        assert s.constant("c") == 0
+
+    def test_constant_outside_universe_rejected(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        with pytest.raises(ValidationError):
+            Structure(vocab, [0], {}, {"c": 9})
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            Structure(GRAPH_VOCABULARY, [0], {}, {"c": 0})
+
+    def test_facts_sorted_and_complete(self, triangle):
+        facts = list(triangle.facts())
+        assert len(facts) == 3
+        assert all(name == "E" for name, _ in facts)
+
+
+class TestSubstructureRelations:
+    def test_substructure_not_necessarily_induced(self, triangle):
+        sub = Structure(GRAPH_VOCABULARY, [0, 1, 2], {"E": [(0, 1)]})
+        assert sub.is_substructure_of(triangle)
+        assert not sub.is_induced_substructure_of(triangle)
+
+    def test_induced_substructure(self, triangle):
+        sub = triangle.restrict([0, 1])
+        assert sub.is_induced_substructure_of(triangle)
+        assert sub.relation("E") == frozenset({(0, 1)})
+
+    def test_proper(self, triangle):
+        assert not triangle.is_proper_substructure_of(triangle)
+        assert triangle.without_fact("E", (0, 1)).is_proper_substructure_of(
+            triangle
+        )
+
+    def test_different_vocabulary_not_substructure(self, triangle):
+        other = Structure(Vocabulary({"E": 2, "P": 1}), [0, 1, 2],
+                          {"E": [(0, 1)]})
+        assert not other.is_substructure_of(triangle)
+
+
+class TestDerivedStructures:
+    def test_without_element(self, triangle):
+        s = triangle.without_element(2)
+        assert s.size() == 2
+        assert s.relation("E") == frozenset({(0, 1)})
+
+    def test_without_unknown_element(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.without_element(9)
+
+    def test_without_fact(self, triangle):
+        s = triangle.without_fact("E", (0, 1))
+        assert s.num_facts() == 2
+        assert s.size() == 3  # universe unchanged
+
+    def test_without_missing_fact(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.without_fact("E", (1, 0))
+
+    def test_with_fact_and_element(self, triangle):
+        s = triangle.with_element(3).with_fact("E", (2, 3))
+        assert s.size() == 4 and s.has_fact("E", (2, 3))
+
+    def test_with_existing_element_rejected(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.with_element(0)
+
+    def test_rename_isomorphic(self, triangle):
+        renamed = triangle.rename({0: "a", 1: "b", 2: "c"})
+        assert renamed.has_fact("E", ("a", "b"))
+        assert renamed.size() == 3
+
+    def test_rename_non_injective_rejected(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.rename({0: "a", 1: "a", 2: "c"})
+
+    def test_canonical_relabel(self):
+        s = Structure(GRAPH_VOCABULARY, ["x", "y"], {"E": [("x", "y")]})
+        c = s.canonical_relabel()
+        assert c.universe == (0, 1)
+        assert c.has_fact("E", (0, 1))
+
+    def test_restrict_keeps_constants(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        s = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        r = s.restrict([0])
+        assert r.constant("c") == 0
+        with pytest.raises(ValidationError):
+            s.restrict([1])
+
+    def test_reduct(self):
+        vocab = Vocabulary({"E": 2, "P": 1})
+        s = Structure(vocab, [0], {"P": [(0,)]})
+        r = s.reduct(GRAPH_VOCABULARY)
+        assert r.vocabulary == GRAPH_VOCABULARY
+        assert r.relation("E") == frozenset()
+
+    def test_reduct_unknown_relation(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.reduct(Vocabulary({"Z": 1}))
+
+    def test_expand_with_constants(self, triangle):
+        expanded = triangle.expand_with_constants({"c1": 0})
+        assert expanded.constant("c1") == 0
+        assert expanded.vocabulary.has_constant("c1")
+
+
+class TestSubstructureIteration:
+    def test_immediate_substructures(self, triangle):
+        subs = list(triangle.substructures())
+        # 3 fact removals; no isolated elements
+        assert len(subs) == 3
+        assert all(sub.is_proper_substructure_of(triangle) for sub in subs)
+
+    def test_isolated_element_removal(self):
+        s = Structure(GRAPH_VOCABULARY, [0, 1, 2], {"E": [(0, 1)]})
+        subs = list(s.substructures())
+        sizes = sorted(sub.size() for sub in subs)
+        assert sizes == [2, 3]  # drop element 2, or drop the fact
+
+    def test_constant_element_never_dropped(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        s = Structure(vocab, [0, 1], {}, {"c": 0})
+        subs = list(s.substructures())
+        assert all(0 in sub.universe_set for sub in subs)
+
+    def test_active_elements(self, triangle):
+        assert triangle.active_elements() == frozenset({0, 1, 2})
+        s = Structure(GRAPH_VOCABULARY, [0, 1], {})
+        assert s.active_elements() == frozenset()
+
+
+class TestEquality:
+    def test_eq_hash(self, triangle):
+        again = Structure(GRAPH_VOCABULARY, [2, 1, 0],
+                          {"E": [(2, 0), (0, 1), (1, 2)]})
+        assert triangle == again
+        assert hash(triangle) == hash(again)
+
+    def test_neq(self, triangle):
+        assert triangle != triangle.without_fact("E", (0, 1))
+
+    def test_repr(self, triangle):
+        assert "E:3" in repr(triangle)

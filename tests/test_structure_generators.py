@@ -1,0 +1,136 @@
+"""Unit tests for structure generators."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Vocabulary,
+    bicycle_structure,
+    bicycle_with_hub_constant,
+    clique_structure,
+    directed_clique,
+    directed_cycle,
+    directed_path,
+    grid_structure,
+    path_with_random_chords,
+    random_directed_graph,
+    random_structure,
+    single_edge,
+    single_loop,
+    star_structure,
+    structure_degree,
+    two_coloring_structure,
+    undirected_cycle,
+    undirected_path,
+    wheel_structure,
+)
+from repro.graphtheory import path_graph
+
+
+class TestDirectedFamilies:
+    def test_path(self):
+        p = directed_path(4)
+        assert p.size() == 4 and p.num_facts() == 3
+        assert p.has_fact("E", (0, 1))
+
+    def test_cycle(self):
+        c = directed_cycle(4)
+        assert c.num_facts() == 4
+        assert c.has_fact("E", (3, 0))
+
+    def test_clique(self):
+        k = directed_clique(3)
+        assert k.num_facts() == 6
+
+    def test_single_edge_and_loop(self):
+        assert single_edge().num_facts() == 1
+        assert single_loop().has_fact("E", (0, 0))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            directed_path(0)
+        with pytest.raises(ValidationError):
+            directed_cycle(0)
+
+
+class TestUndirectedFamilies:
+    def test_undirected_path_symmetric(self):
+        p = undirected_path(3)
+        assert p.has_fact("E", (0, 1)) and p.has_fact("E", (1, 0))
+
+    def test_undirected_cycle(self):
+        assert undirected_cycle(5).num_facts() == 10
+
+    def test_clique_structure_degree(self):
+        assert structure_degree(clique_structure(5)) == 4
+
+    def test_star_structure(self):
+        assert structure_degree(star_structure(7)) == 7
+
+    def test_grid_structure(self):
+        g = grid_structure(2, 3)
+        assert g.size() == 6
+
+
+class TestPaperStructures:
+    def test_wheel(self):
+        w = wheel_structure(5)
+        assert w.size() == 6
+        assert structure_degree(w) == 5
+
+    def test_bicycle(self):
+        b = bicycle_structure(5)
+        assert b.size() == 10
+
+    def test_bicycle_with_hub(self):
+        b = bicycle_with_hub_constant(5)
+        assert b.vocabulary.has_constant("c1")
+        assert b.constant("c1") == (0, "h")
+
+
+class TestRandomStructures:
+    def test_deterministic(self):
+        a = random_structure(GRAPH_VOCABULARY, 5, 0.3, seed=7)
+        b = random_structure(GRAPH_VOCABULARY, 5, 0.3, seed=7)
+        assert a == b
+
+    def test_density_extremes(self):
+        empty = random_structure(GRAPH_VOCABULARY, 4, 0.0, seed=1)
+        assert empty.num_facts() == 0
+        full = random_structure(GRAPH_VOCABULARY, 3, 1.0, seed=1)
+        assert full.num_facts() == 9
+
+    def test_constants_assigned(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        s = random_structure(vocab, 4, 0.5, seed=2)
+        assert s.constant("c") in s.universe_set
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            random_structure(GRAPH_VOCABULARY, 0, 0.5)
+        with pytest.raises(ValidationError):
+            random_structure(GRAPH_VOCABULARY, 3, 2.0)
+
+    def test_random_directed_loopless(self):
+        s = random_directed_graph(6, 0.5, seed=3)
+        assert all(x != y for (x, y) in s.relation("E"))
+
+    def test_chords_are_forward(self):
+        s = path_with_random_chords(8, 5, seed=4)
+        assert all(x < y for (x, y) in s.relation("E"))
+
+    def test_ternary_vocabulary(self):
+        vocab = Vocabulary({"T": 3})
+        s = random_structure(vocab, 3, 0.2, seed=5)
+        for tup in s.relation("T"):
+            assert len(tup) == 3
+
+
+class TestColoredStructure:
+    def test_partition(self):
+        s = two_coloring_structure(path_graph(4))
+        reds = {v for (v,) in s.relation("Red")}
+        blues = {v for (v,) in s.relation("Blue")}
+        assert reds | blues == s.universe_set
+        assert not reds & blues

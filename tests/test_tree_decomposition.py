@@ -1,0 +1,130 @@
+"""Unit tests for tree decompositions."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphtheory import (
+    Graph,
+    TreeDecomposition,
+    cycle_graph,
+    decomposition_from_elimination_order,
+    elimination_order_width,
+    grid_graph,
+    path_graph,
+    path_of_bags,
+    star_graph,
+)
+
+
+def path_decomposition_of_path(n):
+    """The natural width-1 decomposition of P_n."""
+    return path_of_bags([{i, i + 1} for i in range(n - 1)])
+
+
+class TestValidation:
+    def test_valid_path_decomposition(self):
+        g = path_graph(5)
+        td = path_decomposition_of_path(5)
+        td.validate(g)
+        assert td.is_valid(g)
+        assert td.width() == 1
+
+    def test_missing_vertex_detected(self):
+        g = path_graph(3)
+        td = path_of_bags([{0, 1}])
+        assert not td.is_valid(g)
+
+    def test_missing_edge_detected(self):
+        g = path_graph(3)
+        td = path_of_bags([{0, 1}, {2}])
+        assert not td.is_valid(g)
+
+    def test_disconnected_occurrences_detected(self):
+        g = path_graph(3)
+        # vertex 0 appears in bags 0 and 2 but not bag 1
+        td = path_of_bags([{0, 1}, {1, 2}, {0, 2}])
+        assert not td.is_valid(g)
+
+    def test_empty_bag_rejected(self):
+        g = path_graph(2)
+        td = path_of_bags([{0, 1}, set()])
+        with pytest.raises(ValidationError):
+            td.validate(g)
+
+    def test_non_tree_rejected(self):
+        g = path_graph(2)
+        tree = Graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+        td = TreeDecomposition(tree, {0: frozenset({0, 1}),
+                                      1: frozenset({0, 1}),
+                                      2: frozenset({0, 1})})
+        with pytest.raises(ValidationError):
+            td.validate(g)
+
+    def test_bag_with_foreign_vertex_rejected(self):
+        g = path_graph(2)
+        td = path_of_bags([{0, 1, 99}])
+        with pytest.raises(ValidationError):
+            td.validate(g)
+
+    def test_width_of_empty(self):
+        td = TreeDecomposition(Graph(), {})
+        assert td.width() == -1
+
+
+class TestEliminationOrders:
+    def test_path_order_width_one(self):
+        g = path_graph(6)
+        width = elimination_order_width(g, list(range(6)))
+        assert width == 1
+
+    def test_cycle_order_width_two(self):
+        g = cycle_graph(6)
+        assert elimination_order_width(g, list(range(6))) == 2
+
+    def test_bad_order_star_from_center(self):
+        g = star_graph(5)
+        # eliminating the hub first creates a clique of the leaves
+        width = elimination_order_width(g, [0, 1, 2, 3, 4, 5])
+        assert width == 5
+
+    def test_decomposition_from_order_validates(self):
+        g = grid_graph(3, 3)
+        order = list(g.vertices)
+        td = decomposition_from_elimination_order(g, order)
+        td.validate(g)
+        assert td.width() == elimination_order_width(g, order)
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValidationError):
+            decomposition_from_elimination_order(path_graph(3), [0, 1])
+
+    def test_disconnected_graph_decomposition(self):
+        g = Graph([0, 1, 2, 3], [(0, 1), (2, 3)])
+        td = decomposition_from_elimination_order(g, [0, 1, 2, 3])
+        td.validate(g)
+        assert td.width() == 1
+
+
+class TestPruneSubsumed:
+    def test_prunes_contained_bag(self):
+        td = path_of_bags([{0, 1}, {0, 1, 2}, {2, 3}])
+        pruned = td.prune_subsumed()
+        assert len(pruned.bags) == 2
+        g = Graph([0, 1, 2, 3], [(0, 1), (1, 2), (0, 2), (2, 3)])
+        pruned.validate(g)
+
+    def test_incomparable_neighbors_after_prune(self):
+        td = path_of_bags([{0, 1}, {1}, {1, 2}, {1, 2}, {2, 3}])
+        pruned = td.prune_subsumed()
+        for node in pruned.tree.vertices:
+            for nb in pruned.tree.neighbors(node):
+                assert not pruned.bags[node] <= pruned.bags[nb]
+                assert not pruned.bags[nb] <= pruned.bags[node]
+
+    def test_prune_preserves_width(self):
+        td = path_of_bags([{0, 1}, {0, 1, 2}, {2, 3}])
+        assert td.prune_subsumed().width() <= td.width()
+
+    def test_prune_single_bag(self):
+        td = path_of_bags([{0}])
+        assert len(td.prune_subsumed().bags) == 1

@@ -1,0 +1,111 @@
+"""Unit tests for exact and heuristic treewidth."""
+
+import pytest
+
+from repro.exceptions import BudgetExceededError
+from repro.graphtheory import (
+    Graph,
+    binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    has_treewidth_less_than,
+    k_tree,
+    min_degree_order,
+    min_fill_order,
+    path_graph,
+    random_graph,
+    star_graph,
+    treewidth_decomposition,
+    treewidth_exact,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+)
+
+KNOWN_TREEWIDTHS = [
+    (path_graph(8), 1),
+    (star_graph(6), 1),
+    (binary_tree(3), 1),
+    (cycle_graph(5), 2),
+    (cycle_graph(8), 2),
+    (complete_graph(4), 3),
+    (complete_graph(6), 5),
+    (complete_bipartite_graph(3, 3), 3),
+    (grid_graph(2, 5), 2),
+    (grid_graph(3, 3), 3),
+    (grid_graph(3, 4), 3),
+]
+
+
+class TestExact:
+    @pytest.mark.parametrize("graph,expected", KNOWN_TREEWIDTHS)
+    def test_known_values(self, graph, expected):
+        assert treewidth_exact(graph) == expected
+
+    def test_empty_and_trivial(self):
+        assert treewidth_exact(Graph()) == 0
+        assert treewidth_exact(empty_graph(5)) == 0
+        assert treewidth_exact(path_graph(1)) == 0
+
+    def test_disconnected_max_over_components(self):
+        g = complete_graph(4).disjoint_union(path_graph(5))
+        assert treewidth_exact(g) == 3
+
+    def test_k_trees(self):
+        for k in (1, 2, 3):
+            assert treewidth_exact(k_tree(k, 9, seed=k)) == k
+
+    def test_budget_guard(self):
+        # A big random graph whose bounds don't close should hit the limit.
+        g = random_graph(30, 0.4, seed=1)
+        lower = treewidth_lower_bound(g)
+        upper, _ = treewidth_upper_bound(g)
+        if lower != upper:
+            with pytest.raises(BudgetExceededError):
+                treewidth_exact(g, limit=5)
+
+    def test_membership_helper(self):
+        assert has_treewidth_less_than(path_graph(6), 2)
+        assert not has_treewidth_less_than(grid_graph(3, 3), 3)
+        assert not has_treewidth_less_than(path_graph(3), 0)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("graph,expected", KNOWN_TREEWIDTHS)
+    def test_upper_bound_is_upper(self, graph, expected):
+        upper, decomp = treewidth_upper_bound(graph)
+        assert upper >= expected
+        decomp.validate(graph)
+        assert decomp.width() == upper
+
+    @pytest.mark.parametrize("graph,expected", KNOWN_TREEWIDTHS)
+    def test_lower_bound_is_lower(self, graph, expected):
+        assert treewidth_lower_bound(graph) <= expected
+
+    def test_heuristics_exact_on_trees(self):
+        g = binary_tree(4)
+        upper, _ = treewidth_upper_bound(g)
+        assert upper == 1
+
+    def test_orders_are_permutations(self):
+        g = grid_graph(3, 3)
+        for order_fn in (min_fill_order, min_degree_order):
+            order = order_fn(g)
+            assert sorted(order, key=repr) == sorted(g.vertices, key=repr)
+
+
+class TestOptimalDecomposition:
+    @pytest.mark.parametrize("graph,expected", KNOWN_TREEWIDTHS[:7])
+    def test_decomposition_achieves_treewidth(self, graph, expected):
+        td = treewidth_decomposition(graph)
+        td.validate(graph)
+        assert td.width() == expected
+
+    def test_random_cross_check(self):
+        for seed in range(5):
+            g = random_graph(9, 0.35, seed=seed)
+            td = treewidth_decomposition(g)
+            td.validate(g)
+            assert td.width() == treewidth_exact(g)

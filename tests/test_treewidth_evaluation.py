@@ -1,0 +1,98 @@
+"""Unit tests for CQ evaluation via query tree decompositions."""
+
+import pytest
+
+from repro.cq import (
+    ConjunctiveQuery,
+    evaluate_by_tree_decomposition,
+    query_treewidth,
+    query_variable_graph,
+    treewidth_evaluation_agrees,
+)
+from repro.logic import parse_formula
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+)
+
+
+def cq(text, vocab=GRAPH_VOCABULARY):
+    return ConjunctiveQuery.from_formula(parse_formula(text, vocab), vocab)
+
+
+class TestQueryGraph:
+    def test_path_query_graph(self):
+        q = cq("exists z. E(x, z) & E(z, y)")
+        g = query_variable_graph(q)
+        assert g.num_vertices() == 3
+        assert g.num_edges() == 2
+
+    def test_triangle_query_graph(self):
+        q = cq("exists x y z. E(x,y) & E(y,z) & E(z,x)")
+        assert query_variable_graph(q).num_edges() == 3
+
+    def test_treewidths(self):
+        assert query_treewidth(cq("E(x, y)")) == 1
+        assert query_treewidth(cq("exists x y z. E(x,y) & E(y,z) & E(z,x)")) == 2
+        assert query_treewidth(
+            cq("exists a b c d. E(a,b) & E(b,c) & E(c,d)")
+        ) == 1
+
+
+class TestEvaluation:
+    QUERIES = [
+        "E(x, y)",
+        "exists z. E(x, z) & E(z, y)",
+        "exists x y z. E(x,y) & E(y,z) & E(z,x)",
+        "exists a b c d. E(a,b) & E(b,c) & E(c,d) & E(d,a)",
+        "E(x, a) & E(x, b)",
+        "exists y. E(x, y) & E(y, x)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_agrees_with_hom_engine(self, text):
+        q = cq(text)
+        for seed in range(5):
+            s = random_directed_graph(5, 0.35, seed)
+            assert treewidth_evaluation_agrees(q, s), (text, seed)
+
+    def test_boolean_queries(self):
+        q = cq("exists x y z. E(x,y) & E(y,z) & E(z,x)")
+        assert evaluate_by_tree_decomposition(q, directed_cycle(3)) == {()}
+        assert evaluate_by_tree_decomposition(q, directed_cycle(4)) == set()
+
+    def test_empty_body(self):
+        q = ConjunctiveQuery(GRAPH_VOCABULARY, (), ())
+        assert evaluate_by_tree_decomposition(q, directed_path(2)) == {()}
+
+    def test_long_cqk_path_query(self):
+        """Lemma 7.2 + Grohe et al.: CQ^2 path sentences evaluate via a
+        width-1 decomposition regardless of their length."""
+        from repro.cq import canonical_structure_of_cqk, canonical_query
+        from repro.cq import path_sentence_two_variables
+
+        sentence = path_sentence_two_variables(6)
+        structure = canonical_structure_of_cqk(sentence)
+        q = canonical_query(structure)
+        assert query_treewidth(q) == 1
+        assert evaluate_by_tree_decomposition(q, directed_path(8)) == {()}
+        assert evaluate_by_tree_decomposition(q, directed_path(6)) == set()
+
+    def test_ternary_vocabulary(self):
+        vocab = Vocabulary({"T": 3})
+        s = Structure(vocab, [0, 1, 2],
+                      {"T": [(0, 1, 2), (1, 2, 0)]})
+        q = ConjunctiveQuery(
+            vocab, ("x",),
+            (parse_formula("T(x, y, z)", vocab),),
+        )
+        assert evaluate_by_tree_decomposition(q, s) == {(0,), (1,)}
+
+    def test_empty_relation(self):
+        s = Structure(GRAPH_VOCABULARY, [0, 1], {})
+        q = cq("E(x, y)")
+        assert evaluate_by_tree_decomposition(q, s) == set()

@@ -1,0 +1,124 @@
+"""Unit tests for unions of conjunctive queries."""
+
+import pytest
+
+from repro.cq import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    ucq_from_formula,
+    ucq_of,
+)
+from repro.exceptions import UnsupportedFragmentError, ValidationError
+from repro.logic import Bottom, parse_formula, satisfies
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    single_loop,
+)
+
+
+def cq(text):
+    return ConjunctiveQuery.from_formula(
+        parse_formula(text, GRAPH_VOCABULARY), GRAPH_VOCABULARY
+    )
+
+
+def fo(text):
+    return parse_formula(text, GRAPH_VOCABULARY)
+
+
+class TestConstruction:
+    def test_ucq_of(self):
+        u = ucq_of([cq("exists x. E(x,x)"), cq("exists x y. E(x,y) & E(y,x)")])
+        assert len(u) == 2 and u.arity == 0
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(ValidationError):
+            ucq_of([])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            UnionOfConjunctiveQueries(
+                GRAPH_VOCABULARY, 0, (cq("exists y. E(x, y)"),)
+            )
+
+    def test_empty_union_is_false(self):
+        u = UnionOfConjunctiveQueries(GRAPH_VOCABULARY, 0, ())
+        assert not u.holds_in(directed_cycle(3))
+        assert isinstance(u.to_formula(), Bottom)
+
+
+class TestFromFormula:
+    def test_distribution(self):
+        u = ucq_from_formula(
+            fo("exists x. (E(x,x) | exists y. (E(x,y) & E(y,x)))"),
+            GRAPH_VOCABULARY,
+        )
+        assert len(u) == 2
+
+    def test_non_ep_rejected(self):
+        with pytest.raises(UnsupportedFragmentError):
+            ucq_from_formula(fo("forall x. E(x,x)"), GRAPH_VOCABULARY)
+
+    def test_semantics_match(self):
+        formula = fo(
+            "exists x. (E(x,x) | exists y. (E(x,y) & E(y,x)))"
+        )
+        u = ucq_from_formula(formula, GRAPH_VOCABULARY)
+        for seed in range(8):
+            s = random_directed_graph(4, 0.35, seed)
+            assert u.holds_in(s) == satisfies(s, formula)
+
+    def test_free_variables_become_head(self):
+        u = ucq_from_formula(
+            fo("E(x, y) | (exists z. E(x, z) & E(z, y))"), GRAPH_VOCABULARY
+        )
+        assert u.arity == 2
+        answers = u.evaluate(directed_path(4))
+        assert (0, 1) in answers and (0, 2) in answers
+        assert (0, 3) not in answers
+
+
+class TestSemantics:
+    def test_union_of_answers(self):
+        u = ucq_of([cq("exists y. E(x, y)"), cq("exists y. E(y, x)")])
+        assert u.evaluate(directed_path(3)) == {(0,), (1,), (2,)}
+
+    def test_boolean_union(self):
+        u = ucq_of([cq("exists x. E(x,x)"),
+                    cq("exists x y z. E(x,y) & E(y,z) & E(z,x)")])
+        assert u.holds_in(single_loop())
+        assert u.holds_in(directed_cycle(3))
+        assert not u.holds_in(directed_cycle(4))
+
+    def test_to_formula_equivalent(self):
+        u = ucq_of([cq("exists x. E(x,x)"), cq("exists x y. E(x,y) & E(y,x)")])
+        f = u.to_formula()
+        for seed in range(6):
+            s = random_directed_graph(4, 0.4, seed)
+            assert u.holds_in(s) == satisfies(s, f)
+
+
+class TestMinimization:
+    def test_minimized_drops_redundant(self):
+        u = ucq_of([
+            cq("exists a b c. E(a,b) & E(b,c)"),
+            cq("exists a b c d. E(a,b) & E(b,c) & E(c,d)"),
+        ])
+        m = u.minimized()
+        assert len(m) == 1
+        assert u.is_equivalent_to(m)
+
+    def test_containment_api(self):
+        small = ucq_of([cq("exists x. E(x,x)")])
+        big = ucq_of([cq("exists x. E(x,x)"), cq("exists x y. E(x,y)")])
+        assert small.is_contained_in(big)
+        assert not big.is_contained_in(small)
+
+    def test_str(self):
+        u = ucq_of([cq("exists x. E(x,x)"), cq("exists x y. E(x,y)")])
+        assert "UNION" in str(u)
+        empty = UnionOfConjunctiveQueries(GRAPH_VOCABULARY, 0, ())
+        assert str(empty) == "false"

@@ -1,0 +1,86 @@
+"""Unit tests for vocabularies."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.structures import GRAPH_VOCABULARY, Vocabulary
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = Vocabulary({"E": 2, "P": 1})
+        assert v.arity("E") == 2
+        assert v.relation_names == ("E", "P")
+        assert v.is_purely_relational()
+
+    def test_zero_arity_allowed(self):
+        v = Vocabulary({"Flag": 0})
+        assert v.arity("Flag") == 0
+
+    def test_bad_arity(self):
+        with pytest.raises(ValidationError):
+            Vocabulary({"E": -1})
+        with pytest.raises(ValidationError):
+            Vocabulary({"E": "two"})
+
+    def test_bad_name(self):
+        with pytest.raises(ValidationError):
+            Vocabulary({"": 2})
+
+    def test_constants(self):
+        v = Vocabulary({"E": 2}, constants=["c1", "c2"])
+        assert v.constants == ("c1", "c2")
+        assert v.has_constant("c1")
+        assert not v.is_purely_relational()
+
+    def test_constant_relation_collision(self):
+        with pytest.raises(ValidationError):
+            Vocabulary({"E": 2}, constants=["E"])
+
+    def test_duplicate_constants_merged(self):
+        v = Vocabulary({"E": 2}, constants=["c", "c"])
+        assert v.constants == ("c",)
+
+
+class TestOperations:
+    def test_with_constants(self):
+        v = GRAPH_VOCABULARY.with_constants(["c1"])
+        assert v.has_constant("c1")
+        assert v.relations == {"E": 2}
+
+    def test_without_constants(self):
+        v = Vocabulary({"E": 2}, ["c"]).without_constants()
+        assert v.is_purely_relational()
+
+    def test_with_relation(self):
+        v = GRAPH_VOCABULARY.with_relation("P", 1)
+        assert v.arity("P") == 1
+
+    def test_with_relation_duplicate(self):
+        with pytest.raises(ValidationError):
+            GRAPH_VOCABULARY.with_relation("E", 3)
+
+    def test_merge(self):
+        a = Vocabulary({"E": 2})
+        b = Vocabulary({"P": 1}, ["c"])
+        merged = a.merge(b)
+        assert merged.arity("E") == 2 and merged.arity("P") == 1
+        assert merged.has_constant("c")
+
+    def test_merge_conflict(self):
+        with pytest.raises(ValidationError):
+            Vocabulary({"E": 2}).merge(Vocabulary({"E": 3}))
+
+    def test_unknown_relation(self):
+        with pytest.raises(ValidationError):
+            GRAPH_VOCABULARY.arity("Z")
+
+
+class TestEquality:
+    def test_equality_and_hash(self):
+        assert Vocabulary({"E": 2}) == Vocabulary({"E": 2})
+        assert hash(Vocabulary({"E": 2})) == hash(Vocabulary({"E": 2}))
+        assert Vocabulary({"E": 2}) != Vocabulary({"E": 2}, ["c"])
+
+    def test_repr(self):
+        assert "E/2" in repr(GRAPH_VOCABULARY)
