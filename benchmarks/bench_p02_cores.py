@@ -3,11 +3,22 @@
 Times the iterated-retraction core algorithm on bipartite structures
 (cores collapse to K2), bicycles (collapse to K4) and rigid cores
 (no collapse — pure negative retraction searches).
+
+Run as a script for the *repeated-core* mode, which recomputes the
+cores of a recurring family through the hom engine and reports timing
+plus cache/solver counters as JSON::
+
+    python benchmarks/bench_p02_cores.py --repeat 10
+    python benchmarks/bench_p02_cores.py --repeat 10 --no-cache
 """
+
+import argparse
+import json
+import time
 
 import pytest
 
-from repro.homomorphism import compute_core
+from repro.engine import HomEngine
 from repro.structures import (
     bicycle_structure,
     grid_structure,
@@ -15,27 +26,90 @@ from repro.structures import (
     undirected_path,
 )
 
+# The microbenchmarks measure the *core algorithm*, so they bypass the
+# memo cache (pytest-benchmark replays each call many times and would
+# otherwise time cache hits); the instrumentation stays on.
+_UNCACHED = HomEngine(cache_enabled=False)
+
+
+def _core(structure):
+    return _UNCACHED.core(structure)
+
 
 @pytest.mark.parametrize("n", [6, 10, 14])
 def bench_p02_core_of_path(benchmark, n):
-    result = benchmark(compute_core, undirected_path(n))
+    result = benchmark(_core, undirected_path(n))
     assert result.size() == 2
 
 
 @pytest.mark.parametrize("dims", [(2, 3), (3, 3), (3, 4)])
 def bench_p02_core_of_grid(benchmark, dims):
-    result = benchmark(compute_core, grid_structure(*dims))
+    result = benchmark(_core, grid_structure(*dims))
     assert result.size() == 2
 
 
 @pytest.mark.parametrize("n", [5, 7])
 def bench_p02_core_of_bicycle(benchmark, n):
-    result = benchmark(compute_core, bicycle_structure(n))
+    result = benchmark(_core, bicycle_structure(n))
     assert result.size() == 4
 
 
 @pytest.mark.parametrize("n", [5, 7, 9])
 def bench_p02_rigid_core_no_collapse(benchmark, n):
     # odd cycles are cores: the algorithm must fail every retraction
-    result = benchmark(compute_core, undirected_cycle(n))
+    result = benchmark(_core, undirected_cycle(n))
     assert result.size() == n
+
+
+# ----------------------------------------------------------------------
+# Repeated-core mode (script entry point)
+# ----------------------------------------------------------------------
+def repeated_core_workload():
+    """Structures whose cores the experiment sweeps keep recomputing."""
+    structures = [undirected_path(n) for n in (6, 10)]
+    structures.append(grid_structure(2, 3))
+    structures.append(bicycle_structure(5))
+    structures.extend(undirected_cycle(n) for n in (5, 7))
+    return structures
+
+
+def run_repeated_cores(repeat: int, use_cache: bool) -> dict:
+    """Recompute the workload's cores ``repeat`` times on a private engine."""
+    structures = repeated_core_workload()
+    engine = HomEngine(cache_enabled=use_cache)
+    total_core_size = 0
+    started = time.perf_counter()
+    for _ in range(repeat):
+        for s in structures:
+            total_core_size += engine.core(s).size()
+    elapsed = time.perf_counter() - started
+    snapshot = engine.snapshot()
+    return {
+        "mode": "repeated-core",
+        "structures": len(structures),
+        "repeat": repeat,
+        "queries": repeat * len(structures),
+        "total_core_size": total_core_size,
+        "cache_enabled": use_cache,
+        "elapsed_s": elapsed,
+        "solver": snapshot["solver"],
+        "cache": snapshot["cache"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="repeated core-computation benchmark (JSON output)"
+    )
+    parser.add_argument("--repeat", type=int, default=10,
+                        help="times the workload is replayed")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the engine's memo cache")
+    args = parser.parse_args(argv)
+    report = run_repeated_cores(args.repeat, use_cache=not args.no_cache)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

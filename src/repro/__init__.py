@@ -23,6 +23,9 @@ Subpackages
     Vocabularies, finite structures, Gaifman graphs, generators.
 ``repro.homomorphism``
     Homomorphism/isomorphism search, retractions, cores.
+``repro.engine``
+    The memoized, instrumented hom-solver engine (fingerprints, LRU
+    memo cache, counters/timers behind ``python -m repro stats``).
 ``repro.logic``
     First-order syntax, parser, semantics, fragments, normal forms.
 ``repro.cq``

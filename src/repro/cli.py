@@ -17,6 +17,9 @@ JSON-serialized structures (see :mod:`repro.structures.io`):
     Decide the existential k-pebble game on (A, B).
 ``chandra-merlin A.json B.json``
     Report the three equivalent statements of Theorem 2.1.
+``stats [--pair A.json B.json --repeat N] [--no-cache]``
+    Dump the hom-engine's solver/cache counters as JSON (optionally
+    after exercising a homomorphism query ``N`` times first).
 """
 
 from __future__ import annotations
@@ -133,6 +136,21 @@ def _cmd_chandra_merlin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .engine import HomEngine, get_engine, set_engine
+
+    if args.no_cache:
+        set_engine(HomEngine(cache_enabled=False))
+    engine = get_engine()
+    if args.pair:
+        a = load_structure(args.pair[0])
+        b = load_structure(args.pair[1])
+        for _ in range(args.repeat):
+            engine.exists_homomorphism(a, b)
+    print(json.dumps(engine.snapshot(), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -183,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source")
     p.add_argument("target")
     p.set_defaults(func=_cmd_chandra_merlin)
+
+    p = sub.add_parser("stats",
+                       help="hom-engine solver/cache counters as JSON")
+    p.add_argument("--pair", nargs=2, metavar=("SOURCE", "TARGET"),
+                   help="run a homomorphism query before dumping stats")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="how many times to run the --pair query")
+    p.add_argument("--no-cache", action="store_true",
+                   help="use a fresh engine with memoization disabled")
+    p.set_defaults(func=_cmd_stats)
 
     return parser
 

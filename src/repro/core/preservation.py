@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..cq.canonical import canonical_query
 from ..cq.ucq import UnionOfConjunctiveQueries
-from ..homomorphism.search import find_homomorphism
+from ..engine import get_engine
 from ..logic.semantics import satisfies
 from ..logic.syntax import Formula
 from ..structures.structure import Structure
@@ -53,6 +53,7 @@ def check_preserved_under_homomorphisms(
     self-pairs).  This is a *sampled* check: passing it is evidence, not
     proof, of preservation on the whole class.
     """
+    engine = get_engine()
     q = as_boolean_query(query)
     truth = [q(s) for s in structures]
     for i, a in enumerate(structures):
@@ -61,7 +62,7 @@ def check_preserved_under_homomorphisms(
         for j, b in enumerate(structures):
             if truth[j]:
                 continue
-            hom = find_homomorphism(a, b)
+            hom = engine.find_homomorphism(a, b)
             if hom is not None:
                 return PreservationViolation(a, b, hom)
     return None

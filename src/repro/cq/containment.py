@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..engine import get_engine
 from ..exceptions import ValidationError
-from ..homomorphism.search import HomomorphismSearch, find_homomorphism
 from ..structures.structure import Structure
 from .conjunctive_query import ConjunctiveQuery
 
@@ -41,7 +41,7 @@ def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
         # Queries may use different subsets of constants; align by merging
         # into a shared vocabulary through their defining relation set.
         raise ValidationError("queries must share a vocabulary")
-    return HomomorphismSearch(source, target).first() is not None
+    return get_engine().exists_homomorphism(source, target)
 
 
 def containment_mapping(
@@ -49,7 +49,7 @@ def containment_mapping(
 ) -> Optional[dict]:
     """The containment mapping witnessing ``q1 ⊆ q2``, or ``None``."""
     source, target = _head_pinned_structures(q1, q2)
-    return HomomorphismSearch(source, target).first()
+    return get_engine().find_homomorphism(source, target)
 
 
 def are_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:

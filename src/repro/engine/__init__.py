@@ -1,0 +1,40 @@
+"""The hom-solver engine: memoized, instrumented homomorphism queries.
+
+Every theorem-experiment in this repository bottoms out in repeated
+calls to the NP-hard homomorphism search, and the same (source, target)
+pairs recur constantly across sweeps.  This package is the single entry
+point for those queries:
+
+* :mod:`repro.engine.fingerprint` — a canonical, order-invariant
+  fingerprint of a structure (isomorphism-invariant by construction),
+  cached on :class:`~repro.structures.structure.Structure`;
+* :mod:`repro.engine.cache` — an LRU memo cache keyed by fingerprint
+  pairs, with equality-verified buckets so hash collisions can never
+  produce a wrong answer, and explicit invalidation;
+* :mod:`repro.engine.instrumentation` — per-call solver counters
+  (backtracks, search nodes, AC-3 prunings, cache hits/misses) and
+  timers, dumped as JSON by ``python -m repro stats``;
+* :mod:`repro.engine.engine` — :class:`HomEngine`, the facade the rest
+  of the library (``homomorphism``, ``cq`` containment, ``core``
+  preservation, benchmarks) calls through.
+"""
+
+from .cache import HomCache
+from .engine import (
+    HomEngine,
+    get_engine,
+    reset_engine,
+    set_engine,
+)
+from .fingerprint import structure_fingerprint
+from .instrumentation import SolverStats
+
+__all__ = [
+    "HomCache",
+    "HomEngine",
+    "SolverStats",
+    "get_engine",
+    "reset_engine",
+    "set_engine",
+    "structure_fingerprint",
+]

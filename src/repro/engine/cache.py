@@ -1,0 +1,119 @@
+"""LRU memo cache for homomorphism and core queries.
+
+Entries are keyed by canonical structure fingerprints (plus the query
+kind and options), so the key is stable under re-listing a structure's
+facts in any order.  Fingerprints are isomorphism-invariant but not a
+complete isomorphism test, so each key holds a *bucket* of entries
+whose structures are compared by ``==`` before a hit is returned: a
+fingerprint collision degrades to a miss, never to a wrong answer.
+
+Invalidation is explicit: :meth:`HomCache.invalidate` drops every entry
+whose key involves a given structure's fingerprint (the hook mutation
+paths call after rebuilding a structure in place of an old one), and
+:meth:`HomCache.clear` empties the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+# A bucket entry: (structures the key was computed from, cached payload).
+_Entry = Tuple[Tuple[Any, ...], Any]
+
+#: Sentinel distinguishing "miss" from a cached ``None`` payload.
+MISS = object()
+
+
+class HomCache:
+    """A bounded LRU cache keyed by fingerprint tuples.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of keys retained (least-recently-used eviction).
+        ``0`` disables storage (every lookup misses).
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, List[_Entry]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._data.values())
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, witnesses: Tuple[Any, ...]) -> Any:
+        """The payload cached under ``key`` for ``witnesses``, or ``MISS``.
+
+        ``witnesses`` are the structures the key's fingerprints were
+        computed from; the stored entry must match them by equality.
+        """
+        bucket = self._data.get(key)
+        if bucket is not None:
+            for stored, payload in bucket:
+                if stored == witnesses:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    return payload
+        self.misses += 1
+        return MISS
+
+    def put(self, key: Hashable, witnesses: Tuple[Any, ...], payload: Any) -> None:
+        """Store ``payload`` under ``key`` for ``witnesses``."""
+        if self.maxsize == 0:
+            return
+        bucket = self._data.get(key)
+        if bucket is None:
+            self._data[key] = [(witnesses, payload)]
+        else:
+            for i, (stored, _) in enumerate(bucket):
+                if stored == witnesses:
+                    bucket[i] = (witnesses, payload)
+                    break
+            else:
+                bucket.append((witnesses, payload))
+            self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry whose key mentions ``fingerprint``.
+
+        Keys are tuples whose fingerprint components are hex strings;
+        returns the number of keys removed.
+        """
+        doomed = [
+            key for key in self._data
+            if isinstance(key, tuple) and fingerprint in key
+        ]
+        for key in doomed:
+            del self._data[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Empty the cache (counters are preserved)."""
+        self._data.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable cache statistics."""
+        looked_up = self.hits + self.misses
+        return {
+            "maxsize": self.maxsize,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / looked_up if looked_up else 0.0,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,232 @@
+""":class:`HomEngine` — the memoized, instrumented hom-query facade.
+
+The engine is the single entry point for homomorphism existence/witness
+queries and core computations.  Each query is
+
+1. normalized into a cache key ``(kind, fingerprint(s), options…)``,
+2. looked up in the LRU memo cache (equality-verified, so fingerprint
+   collisions can only cost a miss, never a wrong answer),
+3. on a miss, solved by the backtracking kernel in
+   :mod:`repro.homomorphism.search` with the engine's
+   :class:`~repro.engine.instrumentation.SolverStats` threaded through
+   so backtracks / nodes / AC-3 prunings are counted, and the result
+   stored.
+
+A process-global engine (``get_engine()``) backs the convenience
+functions of :mod:`repro.homomorphism`; benchmarks construct private
+instances (e.g. with ``cache_enabled=False``) for ablations.  Setting
+the environment variable ``REPRO_NO_CACHE=1`` disables memoization on
+the global engine — the instrumentation stays on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..structures.structure import Element, Structure
+from .cache import MISS, HomCache
+from .instrumentation import SolverStats, Timer
+
+Homomorphism = Dict[Element, Element]
+
+#: Default number of memoized keys retained by a fresh engine.
+DEFAULT_CACHE_SIZE = 4096
+
+
+def _freeze_mapping(
+    mapping: Optional[Mapping[Element, Element]],
+) -> FrozenSet[Tuple[Element, Element]]:
+    return frozenset((mapping or {}).items())
+
+
+class HomEngine:
+    """Memoized homomorphism/core solver with per-call instrumentation.
+
+    Parameters
+    ----------
+    cache_size:
+        LRU capacity in keys (see :class:`~repro.engine.cache.HomCache`).
+    cache_enabled:
+        When ``False`` every query is solved from scratch; counters and
+        timers still accumulate (used by the ``--no-cache`` ablations).
+    """
+
+    def __init__(
+        self,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_enabled: bool = True,
+    ) -> None:
+        self.cache = HomCache(cache_size)
+        self.cache_enabled = cache_enabled
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    # Homomorphism queries
+    # ------------------------------------------------------------------
+    def find_homomorphism(
+        self,
+        source: Structure,
+        target: Structure,
+        *,
+        injective: bool = False,
+        pinned: Optional[Mapping[Element, Element]] = None,
+        forbidden_images: Iterable[Element] = (),
+        propagate: bool = True,
+    ) -> Optional[Homomorphism]:
+        """A homomorphism ``source → target`` honoring the options, or
+        ``None``; memoized on (fingerprints, options)."""
+        self.stats.calls += 1
+        pinned_key = _freeze_mapping(pinned)
+        forbidden = frozenset(forbidden_images)
+        key = None
+        witnesses = (source, target)
+        if self.cache_enabled:
+            key = (
+                "hom",
+                source.fingerprint(),
+                target.fingerprint(),
+                injective,
+                pinned_key,
+                forbidden,
+                propagate,
+            )
+            cached = self.cache.get(key, witnesses)
+            if cached is not MISS:
+                self.stats.cache_hits += 1
+                return dict(cached) if cached is not None else None
+            self.stats.cache_misses += 1
+        result = self._solve(
+            source, target, injective, pinned, forbidden, propagate
+        )
+        if key is not None:
+            self.cache.put(
+                key, witnesses, dict(result) if result is not None else None
+            )
+        return result
+
+    def exists_homomorphism(self, source: Structure, target: Structure) -> bool:
+        """Whether a homomorphism ``source → target`` exists (memoized).
+
+        Shares the witness cache with :meth:`find_homomorphism`, so an
+        existence probe warms the cache for a later witness request.
+        """
+        return self.find_homomorphism(source, target) is not None
+
+    def _solve(
+        self,
+        source: Structure,
+        target: Structure,
+        injective: bool,
+        pinned: Optional[Mapping[Element, Element]],
+        forbidden: FrozenSet[Element],
+        propagate: bool,
+    ) -> Optional[Homomorphism]:
+        from ..homomorphism.search import HomomorphismSearch
+
+        self.stats.solves += 1
+        with Timer() as timer:
+            search = HomomorphismSearch(
+                source,
+                target,
+                injective=injective,
+                pinned=pinned,
+                forbidden_images=forbidden,
+                propagate=propagate,
+                stats=self.stats,
+            )
+            result = search.first()
+        self.stats.solve_time_s += timer.elapsed_s
+        return result
+
+    # ------------------------------------------------------------------
+    # Core computation
+    # ------------------------------------------------------------------
+    def core(self, structure: Structure) -> Structure:
+        """The core of ``structure``, memoized on its fingerprint.
+
+        The iterated-retraction algorithm's inner retraction searches run
+        through this engine too, so they are counted and (individually)
+        memoized.
+        """
+        from ..homomorphism.cores import core_by_retractions
+
+        self.stats.calls += 1
+        key = None
+        witnesses = (structure,)
+        if self.cache_enabled:
+            key = ("core", structure.fingerprint())
+            cached = self.cache.get(key, witnesses)
+            if cached is not MISS:
+                self.stats.cache_hits += 1
+                return cached
+            self.stats.cache_misses += 1
+        with Timer() as timer:
+            result = core_by_retractions(structure, engine=self)
+        self.stats.solve_time_s += timer.elapsed_s
+        if key is not None:
+            self.cache.put(key, witnesses, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Maintenance & observability
+    # ------------------------------------------------------------------
+    def invalidate(self, structure: Structure) -> int:
+        """Drop every cached result involving ``structure``; returns the
+        number of keys removed."""
+        return self.cache.invalidate(structure.fingerprint())
+
+    def clear_cache(self) -> None:
+        """Empty the memo cache (counters survive)."""
+        self.cache.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the solver counters and the cache's own counters."""
+        self.stats.reset()
+        self.cache.hits = 0
+        self.cache.misses = 0
+        self.cache.evictions = 0
+        self.cache.invalidations = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable view of engine configuration + counters.
+
+        This is exactly what ``python -m repro stats`` prints.
+        """
+        return {
+            "cache_enabled": self.cache_enabled,
+            "solver": self.stats.snapshot(),
+            "cache": self.cache.snapshot(),
+        }
+
+
+# ----------------------------------------------------------------------
+# The process-global engine
+# ----------------------------------------------------------------------
+_GLOBAL_ENGINE: Optional[HomEngine] = None
+
+
+def _default_engine() -> HomEngine:
+    disabled = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+    size = int(os.environ.get("REPRO_HOM_CACHE_SIZE", DEFAULT_CACHE_SIZE))
+    return HomEngine(cache_size=size, cache_enabled=not disabled)
+
+
+def get_engine() -> HomEngine:
+    """The process-global engine (created on first use)."""
+    global _GLOBAL_ENGINE
+    if _GLOBAL_ENGINE is None:
+        _GLOBAL_ENGINE = _default_engine()
+    return _GLOBAL_ENGINE
+
+
+def set_engine(engine: HomEngine) -> HomEngine:
+    """Install ``engine`` as the process-global engine; returns it."""
+    global _GLOBAL_ENGINE
+    _GLOBAL_ENGINE = engine
+    return engine
+
+
+def reset_engine() -> HomEngine:
+    """Replace the global engine with a fresh default one; returns it."""
+    return set_engine(_default_engine())

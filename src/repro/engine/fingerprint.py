@@ -1,0 +1,124 @@
+"""Canonical structure fingerprints (order- and label-invariant).
+
+The memo cache of the hom engine keys entries by ``(fingerprint(A),
+fingerprint(B))``.  The fingerprint is computed by color refinement
+(1-dimensional Weisfeiler–Leman adapted to relational structures): it
+never looks at element *identities*, only at how elements sit inside
+facts and constants, so
+
+* permuting the universe (an isomorphism) leaves the fingerprint
+  unchanged, and
+* any change to the vocabulary, the fact set, or the constant
+  interpretations changes the refined color multisets and — except for
+  deliberately adversarial WL-indistinguishable pairs — the digest.
+
+Because distinct structures *can* collide (WL is not a complete
+isomorphism test, and any 128-bit digest has collisions in principle),
+the cache never trusts the fingerprint alone: buckets are verified by
+structure equality before a hit is returned.  The fingerprint is purely
+an index, so a collision costs a cache miss, never a wrong answer.
+
+The digest is cached on the :class:`~repro.structures.structure.Structure`
+instance (structures are immutable; mutating operations such as
+``with_fact`` build fresh instances whose slot starts out empty, which
+is what invalidates the cached value).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, Hashable, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..structures.structure import Structure
+
+#: Digest size in bytes (128-bit fingerprints).
+_DIGEST_SIZE = 16
+
+
+def _digest(payload: str) -> str:
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+
+
+def _initial_colors(structure: "Structure") -> Dict[Hashable, str]:
+    """Seed colors from label-free per-element data.
+
+    An element's seed records which constants name it and, per relation,
+    at which position sets it occurs (its incidence pattern) — all
+    permutation-invariant information.
+    """
+    constant_names: Dict[Hashable, List[str]] = {}
+    for cname, value in structure.constants.items():
+        constant_names.setdefault(value, []).append(cname)
+
+    incidence: Dict[Hashable, Counter] = {e: Counter() for e in structure.universe}
+    for name, tup in structure.facts():
+        for e in set(tup):
+            positions = tuple(i for i, x in enumerate(tup) if x == e)
+            incidence[e][(name, positions)] += 1
+
+    colors: Dict[Hashable, str] = {}
+    for e in structure.universe:
+        seed = (
+            tuple(sorted(constant_names.get(e, ()))),
+            tuple(sorted(incidence[e].items())),
+        )
+        colors[e] = _digest(repr(seed))
+    return colors
+
+
+def _refine(structure: "Structure", colors: Dict[Hashable, str]) -> Dict[Hashable, str]:
+    """One WL round: recolor each element by its neighborhood's colors."""
+    signatures: Dict[Hashable, List[Tuple]] = {e: [] for e in structure.universe}
+    for name, tup in structure.facts():
+        fact_colors = tuple(colors[x] for x in tup)
+        for e in set(tup):
+            positions = tuple(i for i, x in enumerate(tup) if x == e)
+            signatures[e].append((name, positions, fact_colors))
+    return {
+        e: _digest(repr((colors[e], tuple(sorted(signatures[e])))))
+        for e in structure.universe
+    }
+
+
+def structure_fingerprint(structure: "Structure") -> str:
+    """The canonical 128-bit hex fingerprint of ``structure``.
+
+    Runs color refinement to a stable partition (at most ``|A|`` rounds)
+    and hashes the vocabulary signature together with the final color
+    multisets of elements, facts and constants.
+    """
+    colors = _initial_colors(structure)
+    num_classes = len(set(colors.values()))
+    for _ in range(len(structure.universe)):
+        refined = _refine(structure, colors)
+        refined_classes = len(set(refined.values()))
+        colors = refined
+        if refined_classes == num_classes:
+            break
+        num_classes = refined_classes
+
+    vocabulary = structure.vocabulary
+    vocab_sig = (
+        tuple(sorted(vocabulary.relations.items())),
+        tuple(sorted(vocabulary.constants)),
+    )
+    element_colors = tuple(sorted(colors.values()))
+    fact_colors = tuple(sorted(
+        (name, tuple(colors[x] for x in tup))
+        for name, tup in structure.facts()
+    ))
+    constant_colors = tuple(sorted(
+        (cname, colors[value]) for cname, value in structure.constants.items()
+    ))
+    payload = repr((
+        vocab_sig,
+        structure.size(),
+        element_colors,
+        fact_colors,
+        constant_colors,
+    ))
+    return _digest(payload)

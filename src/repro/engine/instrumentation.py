@@ -1,0 +1,84 @@
+"""Solver observability: counters and timers for the hom engine.
+
+:class:`SolverStats` is a plain mutable record the search kernel
+increments as it runs (it deliberately has no dependency on the rest of
+the package so :mod:`repro.homomorphism.search` can receive one without
+import cycles).  The engine aggregates one global instance per
+:class:`~repro.engine.engine.HomEngine` and serializes it — together
+with the cache's own counters — via :meth:`SolverStats.snapshot`,
+which is what ``python -m repro stats`` prints as JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SolverStats:
+    """Cumulative counters for homomorphism-engine activity.
+
+    Attributes
+    ----------
+    calls:
+        Engine queries answered (cached or solved).
+    cache_hits / cache_misses:
+        Memo-cache outcomes among those calls.
+    solves:
+        Actual searches run (= misses plus uncacheable queries).
+    nodes:
+        Assignments tried by the backtracking search.
+    backtracks:
+        Assignments undone (value rejected or subtree exhausted).
+    ac3_prunings:
+        Domain values removed by the AC-3-style propagation pass.
+    solve_time_s:
+        Wall-clock seconds spent inside actual searches.
+    core_iterations:
+        Retraction steps performed by core computations.
+    """
+
+    calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    solves: int = 0
+    nodes: int = 0
+    backtracks: int = 0
+    ac3_prunings: int = 0
+    solve_time_s: float = 0.0
+    core_iterations: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, type(getattr(self, name))())
+
+    def hit_rate(self) -> float:
+        """Cache hits / (hits + misses), ``0.0`` before any lookup."""
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy of the counters."""
+        out: Dict[str, object] = {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+        out["hit_rate"] = self.hit_rate()
+        return out
+
+
+@dataclass
+class Timer:
+    """Context manager accumulating elapsed wall-clock time in seconds."""
+
+    elapsed_s: float = 0.0
+    _started: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_s += time.perf_counter() - self._started

@@ -34,6 +34,7 @@ from .equivalence import (
 from .cores import (
     compute_core,
     compute_core_with_map,
+    core_by_retractions,
     core_certificate,
     find_proper_retraction,
     have_same_core,
@@ -66,6 +67,7 @@ __all__ = [
     "is_retract",
     "compute_core",
     "compute_core_with_map",
+    "core_by_retractions",
     "core_certificate",
     "find_proper_retraction",
     "have_same_core",

@@ -18,32 +18,51 @@ from typing import Dict, Optional, Tuple
 
 from ..structures.operations import homomorphic_image
 from ..structures.structure import Element, Structure
-from .search import (
-    HomomorphismSearch,
-    find_homomorphism,
-    is_homomorphism,
-)
+from .search import find_homomorphism, is_homomorphism
 
 
 def find_proper_retraction(
-    structure: Structure,
+    structure: Structure, engine=None
 ) -> Optional[Dict[Element, Element]]:
     """An endomorphism avoiding at least one element, or ``None``.
 
     Constant-named elements can never be avoided (homomorphisms fix
-    constants), so they are skipped.
+    constants), so they are skipped.  Each avoidance search runs through
+    the (given or global) memoized engine.
     """
+    if engine is None:
+        from ..engine import get_engine
+
+        engine = get_engine()
     protected = set(structure.constants.values())
     for element in structure.universe:
         if element in protected:
             continue
-        search = HomomorphismSearch(
-            structure, structure, forbidden_images=[element]
+        endo = engine.find_homomorphism(
+            structure, structure, forbidden_images=frozenset([element])
         )
-        endo = search.first()
         if endo is not None:
             return endo
     return None
+
+
+def core_by_retractions(structure: Structure, engine=None) -> Structure:
+    """The raw iterated-retraction core algorithm (no top-level memo).
+
+    :func:`compute_core` wraps this through the engine's core cache;
+    the engine itself calls back into this function on a cache miss.
+    """
+    if engine is None:
+        from ..engine import get_engine
+
+        engine = get_engine()
+    current = structure
+    while True:
+        retraction = find_proper_retraction(current, engine=engine)
+        if retraction is None:
+            return current
+        engine.stats.core_iterations += 1
+        current = homomorphic_image(current, retraction)
 
 
 def compute_core(structure: Structure) -> Structure:
@@ -51,13 +70,11 @@ def compute_core(structure: Structure) -> Structure:
 
     Iterates proper retractions to a fixpoint.  The result is a
     substructure of the input and homomorphically equivalent to it.
+    Memoized on the structure's fingerprint by the global engine.
     """
-    current = structure
-    while True:
-        retraction = find_proper_retraction(current)
-        if retraction is None:
-            return current
-        current = homomorphic_image(current, retraction)
+    from ..engine import get_engine
+
+    return get_engine().core(structure)
 
 
 def compute_core_with_map(
@@ -72,6 +89,18 @@ def compute_core_with_map(
             return current, total
         current = homomorphic_image(current, retraction)
         total = {e: retraction[v] for e, v in total.items()}
+
+
+def have_same_core(a: Structure, b: Structure) -> bool:
+    """Whether two structures have isomorphic cores.
+
+    Equivalent to homomorphic equivalence of ``a`` and ``b``; checked via
+    mutual homomorphisms (cheaper than isomorphism of cores).
+    """
+    return (
+        find_homomorphism(a, b) is not None
+        and find_homomorphism(b, a) is not None
+    )
 
 
 def is_core(structure: Structure) -> bool:
@@ -94,15 +123,3 @@ def core_certificate(structure: Structure) -> Tuple[Structure, Dict, bool]:
         and is_core(core)
     )
     return core, mapping, ok
-
-
-def have_same_core(a: Structure, b: Structure) -> bool:
-    """Whether two structures have isomorphic cores.
-
-    Equivalent to homomorphic equivalence of ``a`` and ``b``; checked via
-    mutual homomorphisms (cheaper than isomorphism of cores).
-    """
-    return (
-        find_homomorphism(a, b) is not None
-        and find_homomorphism(b, a) is not None
-    )

@@ -10,14 +10,15 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from ..structures.structure import Element, Structure
-from .search import HomomorphismSearch, find_homomorphism
 
 
 def are_homomorphically_equivalent(a: Structure, b: Structure) -> bool:
     """Whether there are homomorphisms ``a → b`` and ``b → a``."""
-    return (
-        find_homomorphism(a, b) is not None
-        and find_homomorphism(b, a) is not None
+    from ..engine import get_engine
+
+    engine = get_engine()
+    return engine.exists_homomorphism(a, b) and engine.exists_homomorphism(
+        b, a
     )
 
 
@@ -29,13 +30,16 @@ def find_retraction(
     A retraction is an endomorphism that is the identity on ``onto`` and
     whose image lies inside ``onto``.
     """
+    from ..engine import get_engine
+
     target_elements = set(onto)
     pinned = {e: e for e in target_elements}
-    forbidden = [e for e in structure.universe if e not in target_elements]
-    search = HomomorphismSearch(
+    forbidden = frozenset(
+        e for e in structure.universe if e not in target_elements
+    )
+    return get_engine().find_homomorphism(
         structure, structure, pinned=pinned, forbidden_images=forbidden
     )
-    return search.first()
 
 
 def is_retract(structure: Structure, candidate: Structure) -> bool:
@@ -44,11 +48,15 @@ def is_retract(structure: Structure, candidate: Structure) -> bool:
     Requires a homomorphism ``structure → candidate`` that is the identity
     on the candidate's universe.
     """
+    from ..engine import get_engine
+
     if not candidate.is_substructure_of(structure):
         return False
     pinned = {e: e for e in candidate.universe}
-    search = HomomorphismSearch(structure, candidate, pinned=pinned)
-    return search.first() is not None
+    return (
+        get_engine().find_homomorphism(structure, candidate, pinned=pinned)
+        is not None
+    )
 
 
 def homomorphism_preorder_classes(structures) -> list:

@@ -42,9 +42,24 @@ def is_homomorphism(
     """Verify that ``mapping`` is a homomorphism from ``source`` to ``target``.
 
     Checks totality, codomain, fact preservation and constant preservation.
+
+    ``mapping`` may carry extra keys outside the source universe (e.g. a
+    mapping built on a superstructure and restricted down); only its
+    restriction to the universe is verified.  The one exception is an
+    extra key that *shadows a constant* — a stray key equal to a
+    constant symbol's *name* almost certainly means the caller intended
+    to constrain that constant's element, so silently ignoring it would
+    mask a wrong mapping; such mappings are rejected.
     """
     if source.vocabulary.relations != target.vocabulary.relations:
         return False
+    extra_keys = set(mapping) - source.universe_set
+    if extra_keys:
+        constant_symbols = set(source.vocabulary.constants) | set(
+            target.vocabulary.constants
+        )
+        if extra_keys & constant_symbols:
+            return False
     for e in source.universe:
         if e not in mapping or mapping[e] not in target.universe_set:
             return False
@@ -103,6 +118,11 @@ class HomomorphismSearch:
         Enable the AC-style constraint propagation (default).  Disabling
         it leaves plain backtracking with forward checking — exposed for
         the ablation benchmarks.
+    stats:
+        Optional counter record (any object with integer ``nodes``,
+        ``backtracks`` and ``ac3_prunings`` attributes, e.g.
+        :class:`repro.engine.instrumentation.SolverStats`).  The search
+        increments it in place; ``None`` disables counting.
     """
 
     def __init__(
@@ -113,6 +133,7 @@ class HomomorphismSearch:
         pinned: Optional[Mapping[Element, Element]] = None,
         forbidden_images: Iterator = (),
         propagate: bool = True,
+        stats=None,
     ) -> None:
         if source.vocabulary.relations != target.vocabulary.relations:
             raise ValidationError(
@@ -122,6 +143,7 @@ class HomomorphismSearch:
         self.target = target
         self.injective = injective
         self.propagate = propagate
+        self.stats = stats
         self.index = _TargetIndex(target)
 
         forbidden = frozenset(forbidden_images)
@@ -236,6 +258,10 @@ class HomomorphismSearch:
                             supported.add(next(iter(vals)))
                     new_domain = domains[x] & supported
                     if len(new_domain) < len(domains[x]):
+                        if self.stats is not None:
+                            self.stats.ac3_prunings += (
+                                len(domains[x]) - len(new_domain)
+                            )
                         domains[x] = new_domain
                         if not new_domain:
                             return False
@@ -282,6 +308,8 @@ class HomomorphismSearch:
             if self.injective and value in assignment.values():
                 continue
             assignment[var] = value
+            if self.stats is not None:
+                self.stats.nodes += 1
             ok = all(
                 self._consistent_fact(name, tup, assignment)
                 for name, tup in self.facts_of[var]
@@ -291,10 +319,12 @@ class HomomorphismSearch:
                 child[var] = {value}
                 yield from self._search(child, assignment)
             del assignment[var]
+            if self.stats is not None:
+                self.stats.backtracks += 1
 
 
 # ----------------------------------------------------------------------
-# Convenience functions
+# Convenience functions (all routed through the global memoized engine)
 # ----------------------------------------------------------------------
 def find_homomorphism(
     source: Structure,
@@ -302,19 +332,31 @@ def find_homomorphism(
     pinned: Optional[Mapping[Element, Element]] = None,
 ) -> Optional[Homomorphism]:
     """A homomorphism from ``source`` to ``target``, or ``None``."""
-    return HomomorphismSearch(source, target, pinned=pinned).first()
+    from ..engine import get_engine
+
+    return get_engine().find_homomorphism(source, target, pinned=pinned)
 
 
 def has_homomorphism(source: Structure, target: Structure) -> bool:
     """Whether a homomorphism ``source → target`` exists (Theorem 2.1's (1))."""
-    return find_homomorphism(source, target) is not None
+    from ..engine import get_engine
+
+    return get_engine().exists_homomorphism(source, target)
 
 
 def iter_homomorphisms(
     source: Structure, target: Structure
 ) -> Iterator[Homomorphism]:
-    """All homomorphisms from ``source`` to ``target``."""
-    return HomomorphismSearch(source, target).solutions()
+    """All homomorphisms from ``source`` to ``target``.
+
+    Enumeration is not memoized (the cache stores single witnesses), but
+    the search is still counted by the engine's instrumentation.
+    """
+    from ..engine import get_engine
+
+    return HomomorphismSearch(
+        source, target, stats=get_engine().stats
+    ).solutions()
 
 
 def count_homomorphisms(source: Structure, target: Structure) -> int:
@@ -326,13 +368,17 @@ def find_injective_homomorphism(
     source: Structure, target: Structure
 ) -> Optional[Homomorphism]:
     """An injective homomorphism (embedding of the non-induced kind)."""
-    return HomomorphismSearch(source, target, injective=True).first()
+    from ..engine import get_engine
+
+    return get_engine().find_homomorphism(source, target, injective=True)
 
 
 def find_homomorphism_avoiding(
     source: Structure, target: Structure, forbidden: Iterator
 ) -> Optional[Homomorphism]:
     """A homomorphism whose image avoids the ``forbidden`` target elements."""
-    return HomomorphismSearch(
-        source, target, forbidden_images=forbidden
-    ).first()
+    from ..engine import get_engine
+
+    return get_engine().find_homomorphism(
+        source, target, forbidden_images=frozenset(forbidden)
+    )

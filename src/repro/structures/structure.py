@@ -58,7 +58,7 @@ class Structure:
     """
 
     __slots__ = ("_vocabulary", "_universe", "_universe_set", "_relations",
-                 "_constants", "_hash")
+                 "_constants", "_hash", "_fingerprint")
 
     def __init__(
         self,
@@ -116,6 +116,7 @@ class Structure:
                 raise ValidationError(f"unknown constant symbol {cname!r}")
         self._constants: Dict[str, Element] = consts
         self._hash: Optional[int] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -157,6 +158,20 @@ class Structure:
     def size(self) -> int:
         """The number of elements in the universe."""
         return len(self._universe)
+
+    def fingerprint(self) -> str:
+        """The canonical order-invariant fingerprint (lazily computed).
+
+        Delegates to :func:`repro.engine.fingerprint.structure_fingerprint`
+        and caches the digest on the instance.  Structures are immutable,
+        so mutating operations (``with_fact`` …) return fresh instances
+        whose cached digest starts out empty — that is the invalidation.
+        """
+        if self._fingerprint is None:
+            from ..engine.fingerprint import structure_fingerprint
+
+            self._fingerprint = structure_fingerprint(self)
+        return self._fingerprint
 
     def num_facts(self) -> int:
         """The total number of tuples across all relations."""

@@ -112,3 +112,43 @@ class TestErrorPaths:
     def test_treewidth_limit_flag(self, files, capsys):
         assert main(["treewidth", files["loop"], "--limit", "10"]) == 0
         assert "treewidth: 0" in capsys.readouterr().out
+
+
+class TestStats:
+    def _fresh(self):
+        from repro.engine import reset_engine
+
+        reset_engine()
+
+    def test_stats_after_repeated_pair(self, files, capsys):
+        self._fresh()
+        try:
+            assert main(["stats", "--pair", files["p4"], files["c3"],
+                         "--repeat", "5"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["cache_enabled"] is True
+            assert data["solver"]["calls"] >= 5
+            assert data["solver"]["cache_hits"] >= 4
+            assert data["cache"]["hit_rate"] > 0
+        finally:
+            self._fresh()
+
+    def test_stats_no_cache(self, files, capsys):
+        try:
+            assert main(["stats", "--no-cache", "--pair", files["c3"],
+                         files["p4"], "--repeat", "3"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["cache_enabled"] is False
+            assert data["solver"]["cache_hits"] == 0
+            assert data["solver"]["solves"] == 3
+        finally:
+            self._fresh()
+
+    def test_stats_bare(self, capsys):
+        self._fresh()
+        try:
+            assert main(["stats"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["solver"]["calls"] == 0
+        finally:
+            self._fresh()

@@ -1,0 +1,99 @@
+"""Differential harness: the memoized engine vs a brute-force oracle.
+
+Randomized (seeded) structure pairs are fed both to the engine and to a
+naive oracle that enumerates *every* mapping of universes and validates
+each with ``is_homomorphism``.  The harness asserts
+
+* existence agreement on 500+ randomized cases (both query directions),
+* that every witness the engine returns actually passes
+  ``is_homomorphism`` — including witnesses served from the cache on a
+  repeated query.
+"""
+
+import itertools
+
+import pytest
+
+from repro.engine import HomEngine
+from repro.homomorphism import is_homomorphism
+from repro.structures import Structure, Vocabulary, random_structure
+
+GRAPH = Vocabulary({"E": 2})
+COLORED = Vocabulary({"E": 2, "P": 1})
+
+# One engine for the whole module so repeated pairs exercise the cache.
+ENGINE = HomEngine()
+
+
+def brute_force_has_homomorphism(source: Structure, target: Structure) -> bool:
+    """Oracle: try every mapping universe(source) → universe(target)."""
+    if source.vocabulary.relations != target.vocabulary.relations:
+        return False
+    src = list(source.universe)
+    if not src:
+        return is_homomorphism(source, target, {})
+    tgt = list(target.universe)
+    if not tgt:
+        return False
+    for images in itertools.product(tgt, repeat=len(src)):
+        if is_homomorphism(source, target, dict(zip(src, images))):
+            return True
+    return False
+
+
+def _random_pair(vocabulary, seed):
+    size_a = 1 + seed % 4
+    size_b = 1 + (seed // 4) % 4
+    density_a = 0.15 + 0.2 * (seed % 3)
+    density_b = 0.15 + 0.2 * ((seed // 3) % 3)
+    a = random_structure(vocabulary, size_a, density_a, seed=2 * seed)
+    b = random_structure(vocabulary, size_b, density_b, seed=2 * seed + 1)
+    return a, b
+
+
+def _check_pair(a, b):
+    """One differential case: engine vs oracle, twice (second is cached)."""
+    expected = brute_force_has_homomorphism(a, b)
+    for attempt in range(2):
+        witness = ENGINE.find_homomorphism(a, b)
+        assert (witness is not None) == expected, (
+            f"engine disagrees with oracle on attempt {attempt}: "
+            f"{a!r} -> {b!r}"
+        )
+        if witness is not None:
+            assert is_homomorphism(a, b, witness), (
+                f"engine returned an invalid witness on attempt {attempt}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(150))
+def test_differential_graph_pairs(seed):
+    a, b = _random_pair(GRAPH, seed)
+    _check_pair(a, b)
+    _check_pair(b, a)
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_differential_colored_pairs(seed):
+    a, b = _random_pair(COLORED, seed)
+    _check_pair(a, b)
+    _check_pair(b, a)
+
+
+def test_harness_covers_500_cases():
+    """The parametrized sweeps above check >= 500 (pair, direction) cases."""
+    assert 2 * 150 + 2 * 100 >= 500
+
+
+def test_cache_hits_occurred():
+    """The repeated queries in the sweeps actually hit the memo cache."""
+    assert ENGINE.cache.hits >= 250
+    assert ENGINE.stats.cache_hits == ENGINE.cache.hits
+
+
+def test_differential_empty_and_degenerate():
+    empty = Structure(GRAPH, [])
+    loopy = Structure(GRAPH, [0], {"E": [(0, 0)]})
+    edge = Structure(GRAPH, [0, 1], {"E": [(0, 1)]})
+    for a, b in itertools.product([empty, loopy, edge], repeat=2):
+        _check_pair(a, b)

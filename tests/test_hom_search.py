@@ -181,3 +181,69 @@ class TestHigherArity:
         a = Structure(vocab, [0, 1], {"T": [(0, 0, 1)]})
         b = Structure(vocab, ["x", "y"], {"T": [("x", "y", "y")]})
         assert find_homomorphism(a, b) is None
+
+
+class TestVerifierExtraKeys:
+    """The superset-mapping policy: extra keys are tolerated unless they
+    shadow a constant symbol (see ``is_homomorphism``)."""
+
+    def test_superset_mapping_accepted(self):
+        hom = {0: 0, 1: 1, 2: 2, 3: 0, 99: 1, "junk": 2}
+        assert is_homomorphism(directed_path(4), directed_cycle(3), hom)
+
+    def test_extra_key_shadowing_source_constant_rejected(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        a = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        b = Structure(vocab, [0, 1], {"E": [(0, 1), (1, 0)]}, {"c": 0})
+        assert is_homomorphism(a, b, {0: 0, 1: 1})
+        # the stray "c" entry shadows the constant symbol c
+        assert not is_homomorphism(a, b, {0: 0, 1: 1, "c": 1})
+
+    def test_extra_key_shadowing_target_constant_rejected(self):
+        vocab = GRAPH_VOCABULARY.with_constants(["c"])
+        plain = GRAPH_VOCABULARY
+        a = Structure(plain, [0, 1], {"E": [(0, 1)]})
+        b = Structure(plain, [0, 1], {"E": [(0, 1)]})
+        assert is_homomorphism(a, b, {0: 0, 1: 1, "c": 0})  # no constants
+        a2 = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        b2 = Structure(vocab, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        assert not is_homomorphism(a2, b2, {0: 0, 1: 1, "c": 0})
+
+    def test_constant_named_element_is_not_extra(self):
+        # an element literally called "c" that IS in the universe is fine
+        vocab = Vocabulary({"E": 2}, ["c"])
+        a = Structure(vocab, ["c", 1], {"E": [("c", 1)]}, {"c": "c"})
+        b = Structure(vocab, ["c", 1], {"E": [("c", 1)]}, {"c": "c"})
+        assert is_homomorphism(a, b, {"c": "c", 1: 1})
+
+
+class TestVerifierDegenerateStructures:
+    def test_empty_universe_source(self):
+        empty = Structure(GRAPH_VOCABULARY, [], {})
+        assert is_homomorphism(empty, directed_cycle(3), {})
+        assert is_homomorphism(empty, empty, {})
+
+    def test_empty_universe_with_extra_keys(self):
+        empty = Structure(GRAPH_VOCABULARY, [], {})
+        assert is_homomorphism(empty, directed_cycle(3), {"x": 0})
+
+    def test_empty_source_vocab_mismatch(self):
+        empty = Structure(GRAPH_VOCABULARY, [], {})
+        other = Structure(Vocabulary({"R": 1}), [0], {})
+        assert not is_homomorphism(empty, other, {})
+
+    def test_constant_only_structures(self):
+        vocab = Vocabulary({}, ["c"])
+        a = Structure(vocab, [0], {}, {"c": 0})
+        b = Structure(vocab, ["x", "y"], {}, {"c": "x"})
+        assert is_homomorphism(a, b, {0: "x"})
+        assert not is_homomorphism(a, b, {0: "y"})  # constant not preserved
+        assert not is_homomorphism(a, b, {})        # not total
+
+    def test_constant_only_search_agrees(self):
+        vocab = Vocabulary({}, ["c"])
+        a = Structure(vocab, [0, 1], {}, {"c": 0})
+        b = Structure(vocab, ["x"], {}, {"c": "x"})
+        hom = find_homomorphism(a, b)
+        assert hom == {0: "x", 1: "x"}
+        assert is_homomorphism(a, b, hom)
