@@ -2,7 +2,22 @@
 
 Times the branch-and-bound treewidth solver and the minor tester on the
 graph families the experiments sweep.
+
+Run as a script for the *governed sweep* mode: every instance runs under
+a per-instance deadline with graceful degradation to the heuristic upper
+bound, and each result is checkpointed to an append-only journal under
+``benchmarks/results/`` the moment it completes — killing the sweep and
+rerunning it resumes after the last finished instance::
+
+    python benchmarks/bench_p03_treewidth.py --deadline 5
+    python benchmarks/bench_p03_treewidth.py --deadline 5   # resumes
+    python benchmarks/bench_p03_treewidth.py --fresh        # start over
 """
+
+import argparse
+import json
+import os
+import time
 
 import pytest
 
@@ -62,3 +77,92 @@ def bench_p03_planarity_grid(benchmark, dims):
 
 def bench_p03_planarity_negative(benchmark):
     assert not benchmark(is_planar, complete_graph(6))
+
+
+# ----------------------------------------------------------------------
+# Governed, resumable sweep (script entry point)
+# ----------------------------------------------------------------------
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DEFAULT_JOURNAL = os.path.join(RESULTS_DIR, "treewidth_sweep.jsonl")
+
+
+def sweep_instances():
+    """The (key, graph) pairs the sweep covers, in a deterministic order."""
+    instances = []
+    for rows, cols in [(3, 3), (3, 4), (4, 4), (4, 5)]:
+        instances.append((f"grid-{rows}x{cols}", grid_graph(rows, cols)))
+    for n in (20, 40):
+        instances.append((f"tree-{n}", random_tree(n, seed=n)))
+    for n in (8, 10, 12, 14):
+        instances.append((f"random-{n}", random_graph(n, 0.35, seed=n)))
+    for n in (25, 45):
+        instances.append((f"2tree-{n}", k_tree(2, n, seed=n)))
+    return instances
+
+
+def run_sweep(journal_path: str, deadline_s: float, limit: int,
+              fresh: bool) -> dict:
+    """Run the governed treewidth sweep, resuming from the journal.
+
+    Each instance runs under its own deadline via
+    :func:`repro.resources.governed` and degrades to the heuristic upper
+    bound on a trip (the journal records which).  Results are flushed to
+    disk per instance, so an interrupted sweep loses at most the
+    instance in flight.
+    """
+    from repro.graphtheory import treewidth_with_fallback
+    from repro.resources import SweepJournal, governed
+
+    os.makedirs(os.path.dirname(journal_path), exist_ok=True)
+    journal = SweepJournal(journal_path)
+    if fresh:
+        journal.reset()
+    computed = resumed = fallbacks = 0
+    for key, graph in sweep_instances():
+        if journal.is_done(key):
+            resumed += 1
+            continue
+        started = time.perf_counter()
+        with governed(deadline=deadline_s):
+            result = treewidth_with_fallback(graph, limit=limit)
+        journal.record(key, {
+            "width": result.width,
+            "exact": result.exact,
+            "method": result.method,
+            "reason": result.reason,
+            "elapsed_s": time.perf_counter() - started,
+        })
+        computed += 1
+        if not result.exact:
+            fallbacks += 1
+    return {
+        "mode": "treewidth-sweep",
+        "journal": journal_path,
+        "instances": len(journal),
+        "computed": computed,
+        "resumed": resumed,
+        "fallbacks": fallbacks,
+        "results": {key: journal.result(key) for key in journal.keys()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="governed, resumable treewidth sweep (JSON output)"
+    )
+    parser.add_argument("--deadline", type=float, default=10.0,
+                        help="per-instance wall-clock deadline in seconds")
+    parser.add_argument("--limit", type=int, default=40,
+                        help="exact-solver vertex limit before fallback")
+    parser.add_argument("--journal", default=DEFAULT_JOURNAL,
+                        help="checkpoint journal path")
+    parser.add_argument("--fresh", action="store_true",
+                        help="discard the journal and start over")
+    args = parser.parse_args(argv)
+    report = run_sweep(args.journal, args.deadline, args.limit, args.fresh)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,9 @@ Subpackages
     Graphs, treewidth, minors, scattered sets, sunflowers, Ramsey.
 ``repro.pebble``
     Existential k-pebble games and the queries q(A, k).
+``repro.resources``
+    Resource governance: deadlines, budgets, cooperative cancellation,
+    trivalent verdicts, resumable sweep journaling.
 ``repro.core``
     The paper's preservation theorems, executable.
 ``repro.dataexchange``
@@ -54,11 +57,16 @@ from . import (  # noqa: F401
     homomorphism,
     logic,
     pebble,
+    resources,
     structures,
 )
 from .exceptions import (
     BudgetExceededError,
+    DeadlineExceededError,
+    InvariantViolationError,
+    OperationCancelledError,
     ReproError,
+    ResourceError,
     UnsupportedFragmentError,
     ValidationError,
 )
@@ -72,9 +80,14 @@ __all__ = [
     "homomorphism",
     "logic",
     "pebble",
+    "resources",
     "structures",
     "BudgetExceededError",
+    "DeadlineExceededError",
+    "InvariantViolationError",
+    "OperationCancelledError",
     "ReproError",
+    "ResourceError",
     "UnsupportedFragmentError",
     "ValidationError",
     "__version__",

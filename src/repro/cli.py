@@ -3,12 +3,16 @@
 A thin operational layer over the library for quick experiments on
 JSON-serialized structures (see :mod:`repro.structures.io`):
 
-``hom A.json B.json``
+``hom A.json B.json [--deadline S] [--budget N]``
     Find a homomorphism (exit 0 with the mapping, exit 1 when none).
+    With a deadline/budget, runs governed and exits 2 with an
+    ``unknown: ...`` line when the limit trips first.
 ``core A.json``
     Compute the core and report sizes.
-``treewidth A.json``
-    Exact treewidth of the structure's Gaifman graph.
+``treewidth A.json [--deadline S] [--fallback]``
+    Exact treewidth of the structure's Gaifman graph; ``--fallback``
+    degrades to the greedy upper bound instead of failing when the
+    deadline or the exact-solver size limit trips.
 ``rewrite "<FO sentence>" --relations E:2 [--max-size N]``
     Run the preservation pipeline: minimal models → UCQ.
 ``datalog program.dl A.json --query P``
@@ -56,6 +60,22 @@ def _parse_relations(spec: str) -> Vocabulary:
 def _cmd_hom(args: argparse.Namespace) -> int:
     a = load_structure(args.source)
     b = load_structure(args.target)
+    if args.deadline is not None or args.budget is not None:
+        from .engine import get_engine
+        from .resources import governed
+
+        with governed(deadline=args.deadline, budget=args.budget):
+            verdict = get_engine().decide_homomorphism(a, b)
+        if verdict.is_unknown:
+            print(f"unknown: {verdict.reason}")
+            return 2
+        if verdict.is_false:
+            print("no homomorphism")
+            return 1
+        print(json.dumps(
+            {repr(k): repr(v) for k, v in verdict.witness.items()}, indent=2
+        ))
+        return 0
     hom = find_homomorphism(a, b)
     if hom is None:
         print("no homomorphism")
@@ -77,8 +97,23 @@ def _cmd_core(args: argparse.Namespace) -> int:
 
 
 def _cmd_treewidth(args: argparse.Namespace) -> int:
+    from .resources import governed
+
     s = load_structure(args.structure)
-    width = treewidth_exact(gaifman_graph(s), limit=args.limit)
+    graph = gaifman_graph(s)
+    if args.fallback:
+        from .graphtheory import treewidth_with_fallback
+
+        with governed(deadline=args.deadline):
+            result = treewidth_with_fallback(graph, limit=args.limit)
+        if result.exact:
+            print(f"treewidth: {result.width}")
+        else:
+            print(f"treewidth: <= {result.width} "
+                  f"({result.method}; {result.reason})")
+        return 0
+    with governed(deadline=args.deadline):
+        width = treewidth_exact(graph, limit=args.limit)
     print(f"treewidth: {width}")
     return 0
 
@@ -163,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("hom", help="find a homomorphism between structures")
     p.add_argument("source")
     p.add_argument("target")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock limit in seconds (governed mode)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="search-step budget (governed mode)")
     p.set_defaults(func=_cmd_hom)
 
     p = sub.add_parser("core", help="compute the core of a structure")
@@ -173,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("treewidth", help="exact treewidth of a structure")
     p.add_argument("structure")
     p.add_argument("--limit", type=int, default=40)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock limit in seconds for the exact solver")
+    p.add_argument("--fallback", action="store_true",
+                   help="degrade to the greedy upper bound on a trip "
+                        "instead of failing")
     p.set_defaults(func=_cmd_treewidth)
 
     p = sub.add_parser("rewrite",

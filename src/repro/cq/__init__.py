@@ -9,6 +9,8 @@ from .canonical import (
     homomorphism_witness_from_query,
 )
 from .containment import (
+    containment_verdict,
+    ucq_containment_verdict,
     are_equivalent,
     containment_mapping,
     is_contained_in,
@@ -52,6 +54,8 @@ __all__ = [
     "homomorphism_witness_from_query",
     "are_equivalent",
     "containment_mapping",
+    "containment_verdict",
+    "ucq_containment_verdict",
     "is_contained_in",
     "remove_redundant_disjuncts",
     "ucq_are_equivalent",

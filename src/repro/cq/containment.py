@@ -6,6 +6,13 @@ of ``q1`` fixing the answer variables.
 
 UCQ containment (Sagiv–Yannakakis, used in the proof of Theorem 7.4):
 ``∪ q_i ⊆ ∪ p_j`` iff every ``q_i`` is contained in *some* ``p_j``.
+
+Both deciders also come in *governed* forms (:func:`containment_verdict`
+and :func:`ucq_containment_verdict`) that return a trivalent
+:class:`~repro.resources.Verdict` — TRUE/FALSE with certificates where
+available, UNKNOWN (with the reason and resources consumed) when the
+ambient deadline or budget tripped mid-decision.  UCQ verdicts combine
+per-disjunct verdicts by Kleene three-valued logic.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..engine import get_engine
 from ..exceptions import ValidationError
+from ..resources.verdict import Verdict
 from ..structures.structure import Structure
 from .conjunctive_query import ConjunctiveQuery
 
@@ -50,6 +58,77 @@ def containment_mapping(
     """The containment mapping witnessing ``q1 ⊆ q2``, or ``None``."""
     source, target = _head_pinned_structures(q1, q2)
     return get_engine().find_homomorphism(source, target)
+
+
+def containment_verdict(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> Verdict:
+    """The governed, trivalent form of :func:`is_contained_in`.
+
+    TRUE verdicts carry the containment mapping as their witness; an
+    UNKNOWN verdict means the ambient deadline/budget tripped before the
+    homomorphism search decided, and explains why.
+    """
+    source, target = _head_pinned_structures(q1, q2)
+    if source.vocabulary.relations != target.vocabulary.relations:
+        raise ValidationError("queries must share a vocabulary")
+    verdict = get_engine().decide_homomorphism(source, target)
+    if verdict.is_true:
+        return Verdict.true(
+            reason="containment mapping found",
+            witness=verdict.witness,
+            consumed=verdict.consumed,
+        )
+    if verdict.is_false:
+        return Verdict.false(
+            reason="no containment mapping exists",
+            consumed=verdict.consumed,
+        )
+    return verdict
+
+
+def ucq_containment_verdict(
+    union1: Sequence[ConjunctiveQuery], union2: Sequence[ConjunctiveQuery]
+) -> Verdict:
+    """Governed Sagiv–Yannakakis: Kleene combination over disjunct pairs.
+
+    ``∪ union1 ⊆ ∪ union2`` iff each ``q ∈ union1`` is contained in some
+    ``p ∈ union2``; the combination is three-valued — a disjunct whose
+    every candidate containment either fails or is UNKNOWN (with at
+    least one UNKNOWN) makes the union verdict UNKNOWN rather than
+    falsely FALSE.
+    """
+    unknown_reasons: List[str] = []
+    for i, q in enumerate(union1):
+        found = False
+        q_unknowns: List[str] = []
+        for p in union2:
+            verdict = containment_verdict(q, p)
+            if verdict.is_true:
+                found = True
+                break
+            if verdict.is_unknown:
+                q_unknowns.append(verdict.reason)
+        if found:
+            continue
+        if q_unknowns:
+            unknown_reasons.append(
+                f"disjunct {i}: {q_unknowns[0]}"
+                + (f" (+{len(q_unknowns) - 1} more)" if len(q_unknowns) > 1
+                   else "")
+            )
+        else:
+            return Verdict.false(
+                reason=f"disjunct {i} is contained in no disjunct of the "
+                       "right-hand union"
+            )
+    if unknown_reasons:
+        return Verdict.unknown(
+            reason="; ".join(unknown_reasons)
+        )
+    return Verdict.true(
+        reason="every disjunct is contained in some right-hand disjunct"
+    )
 
 
 def are_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:

@@ -4,6 +4,11 @@ The minimal equivalent of a CQ is the canonical query of the *core* of
 its canonical structure (with answer variables protected).  This is the
 query-optimization application of cores the paper's introduction cites
 [Chandra and Merlin 1977].
+
+Minimization is *governed* through the core computation it delegates to:
+under an ambient deadline/budget (``with governed(...)``) the retraction
+search raises a typed :class:`~repro.exceptions.ResourceError` instead
+of hanging on adversarial queries.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from typing import Dict, List, Tuple
 
 from ..homomorphism.cores import compute_core_with_map
 from ..logic.syntax import Atom, Const, Term, Var
+from ..resources.governor import current_context
 from ..structures.structure import Element, Structure
 from .conjunctive_query import ConjunctiveQuery, _CONST_TAG, _VAR_TAG
 
@@ -36,8 +42,10 @@ def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
 
     atoms: List[Atom] = []
     seen = set()
+    context = current_context()
     for name in query.vocabulary.relation_names:
         for tup in core.relation(name):
+            context.checkpoint("cq.minimize")
             atom = Atom(name, tuple(term_of(x) for x in tup))
             if atom not in seen:
                 seen.add(atom)

@@ -6,6 +6,11 @@ recomputes every rule each round (and exposes the stage sequence — the
 object Theorems 7.4/7.5 reason about); the semi-naive evaluator joins
 each rule against at least one *delta* tuple per round, the classical
 optimization [Ullman 1989].
+
+Both evaluators are *governed*: the join loops and the per-round
+fixpoint loops call :meth:`~repro.resources.RunContext.checkpoint`, so
+an ambient deadline/budget (``with governed(...)``) interrupts even a
+pathological join with a typed error instead of hanging.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import ValidationError
 from ..logic.syntax import Atom, Const, Var
+from ..resources.governor import current_context
 from ..structures.structure import Element, Structure, Tup
 from .program import DatalogProgram, Rule
 
@@ -62,6 +68,7 @@ def _rule_matches(
     match a *delta* tuple (semi-naive restriction).
     """
     derived: Set[Tup] = set()
+    context = current_context()
 
     def rows_for(index: int, atom: Atom) -> Sequence[Tup]:
         if required_delta is not None and index == required_delta[0]:
@@ -82,6 +89,7 @@ def _rule_matches(
             return
         atom = rule.body[index]
         for tup in rows_for(index, atom):
+            context.checkpoint("datalog.match")
             new_binding = dict(binding)
             ok = True
             for term, value in zip(atom.terms, tup):
@@ -116,9 +124,11 @@ def evaluate_naive(
     ``Φ^m`` for all rules simultaneously.
     """
     _check_vocabulary(program, structure)
+    context = current_context()
     idb: Database = {p: set() for p in program.idb_predicates}
     stages = [_snapshot(program, idb)]
     for _ in range(max_rounds):
+        context.checkpoint("datalog.naive.round")
         new: Database = {p: set() for p in program.idb_predicates}
         for rule in program.rules:
             new[rule.head.relation] |= _rule_matches(rule, structure, idb)
@@ -144,6 +154,7 @@ def evaluate_semi_naive(
     naive stages for this round-based delta scheme).
     """
     _check_vocabulary(program, structure)
+    context = current_context()
     idb: Database = {p: set() for p in program.idb_predicates}
     delta: Database = {p: set() for p in program.idb_predicates}
     stages = [_snapshot(program, idb)]
@@ -160,6 +171,7 @@ def evaluate_semi_naive(
 
     rounds = 0
     while any(delta[p] for p in delta):
+        context.checkpoint("datalog.semi_naive.round")
         rounds += 1
         if rounds > max_rounds:
             raise ValidationError(f"no fixed point within {max_rounds} rounds")

@@ -27,9 +27,11 @@ from .engine import (
     set_engine,
 )
 from .fingerprint import structure_fingerprint
-from .instrumentation import SolverStats
+from .instrumentation import GOVERNOR, GovernorStats, SolverStats
 
 __all__ = [
+    "GOVERNOR",
+    "GovernorStats",
     "HomCache",
     "HomEngine",
     "SolverStats",

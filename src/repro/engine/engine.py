@@ -24,9 +24,14 @@ from __future__ import annotations
 import os
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
+from ..exceptions import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    OperationCancelledError,
+)
 from ..structures.structure import Element, Structure
 from .cache import MISS, HomCache
-from .instrumentation import SolverStats, Timer
+from .instrumentation import GOVERNOR, SolverStats, Timer
 
 Homomorphism = Dict[Element, Element]
 
@@ -113,6 +118,59 @@ class HomEngine:
         """
         return self.find_homomorphism(source, target) is not None
 
+    def decide_homomorphism(
+        self,
+        source: Structure,
+        target: Structure,
+        *,
+        injective: bool = False,
+        pinned: Optional[Mapping[Element, Element]] = None,
+        forbidden_images: Iterable[Element] = (),
+        propagate: bool = True,
+    ):
+        """The governed, trivalent form of :meth:`find_homomorphism`.
+
+        Returns a :class:`~repro.resources.Verdict`:
+
+        * TRUE (with the witness mapping) when a homomorphism exists,
+        * FALSE when provably none exists,
+        * UNKNOWN when the ambient deadline/budget/cancellation tripped
+          before the search finished — the verdict carries the trip's
+          reason and the resources consumed.
+
+        Never hangs and never lets a governor trip escape as an
+        exception; this is the entry point services should call.
+        """
+        from ..resources.governor import current_context
+        from ..resources.verdict import Verdict
+
+        ctx = current_context()
+        try:
+            witness = self.find_homomorphism(
+                source,
+                target,
+                injective=injective,
+                pinned=pinned,
+                forbidden_images=forbidden_images,
+                propagate=propagate,
+            )
+        except (
+            DeadlineExceededError,
+            BudgetExceededError,
+            OperationCancelledError,
+        ) as err:
+            GOVERNOR.unknown_verdicts += 1
+            return Verdict.from_error(err)
+        if witness is None:
+            return Verdict.false(
+                reason="no homomorphism exists", consumed=ctx.consumption()
+            )
+        return Verdict.true(
+            reason="witness found",
+            witness=witness,
+            consumed=ctx.consumption(),
+        )
+
     def _solve(
         self,
         source: Structure,
@@ -181,22 +239,28 @@ class HomEngine:
         self.cache.clear()
 
     def reset_stats(self) -> None:
-        """Zero the solver counters and the cache's own counters."""
+        """Zero the solver counters, the cache's counters, and the
+        process-global governor counters."""
         self.stats.reset()
         self.cache.hits = 0
         self.cache.misses = 0
         self.cache.evictions = 0
         self.cache.invalidations = 0
+        GOVERNOR.reset()
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-serializable view of engine configuration + counters.
 
-        This is exactly what ``python -m repro stats`` prints.
+        This is exactly what ``python -m repro stats`` prints.  The
+        ``governor`` section reports the process-global resource
+        governor (deadline hits, budget trips, fallbacks, UNKNOWN
+        verdicts), which is shared across engines.
         """
         return {
             "cache_enabled": self.cache_enabled,
             "solver": self.stats.snapshot(),
             "cache": self.cache.snapshot(),
+            "governor": GOVERNOR.snapshot(),
         }
 
 

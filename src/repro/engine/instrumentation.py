@@ -69,6 +69,13 @@ class SolverStats:
         return out
 
 
+# The governor counters live in repro.resources.governor (the governance
+# layer is lower in the import graph than the engine); they are
+# re-exported here because this module is the package's observability
+# surface and ``repro stats`` reports both families of counters.
+from ..resources.governor import GOVERNOR, GovernorStats  # noqa: E402,F401
+
+
 @dataclass
 class Timer:
     """Context manager accumulating elapsed wall-clock time in seconds."""

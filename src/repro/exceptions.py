@@ -2,13 +2,22 @@
 
 All errors raised by the library derive from :class:`ReproError`, so callers
 can catch one type to handle any library failure.  The subtypes distinguish
-the three broad failure modes: malformed inputs (:class:`ValidationError`),
+the broad failure modes: malformed inputs (:class:`ValidationError`),
 well-formed inputs outside an algorithm's supported fragment
-(:class:`UnsupportedFragmentError`), and resource guards tripping
-(:class:`BudgetExceededError`).
+(:class:`UnsupportedFragmentError`), broken internal invariants surfacing
+as errors instead of hangs (:class:`InvariantViolationError`), and the
+resource governor tripping (:class:`ResourceError` and its subtypes).
+
+Resource errors are *structured*: besides a human-readable message they
+carry the ``site`` (a dotted label of the cooperative ``checkpoint()``
+location that tripped) and a record of what was consumed, so callers —
+and the trivalent :class:`~repro.resources.verdict.Verdict` built from
+them — can report exactly why a decider gave up.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional
 
 
 class ReproError(Exception):
@@ -28,10 +37,133 @@ class UnsupportedFragmentError(ReproError):
     """
 
 
-class BudgetExceededError(ReproError):
-    """An exhaustive search exceeded its configured size/time budget.
+class InvariantViolationError(ReproError):
+    """An internal invariant failed (e.g. a retraction did not shrink).
 
-    Raised by exact algorithms (treewidth, minor search, minimal-model
-    enumeration) when the instance is larger than the configured limit,
-    instead of silently running forever.
+    Raised where a silent bug would otherwise cause an infinite loop or a
+    wrong answer; seeing this error means the library itself is at fault,
+    not the input.
     """
+
+
+class ResourceError(ReproError):
+    """Base class for resource-governor trips (deadline, budget, cancel).
+
+    Attributes
+    ----------
+    site:
+        Dotted label of the cooperative checkpoint that tripped
+        (``"hom.search"``, ``"treewidth.exact"``, ...), or ``None`` for
+        legacy call sites.
+    consumed:
+        JSON-serializable record of resources consumed when the trip
+        happened (checkpoints passed, budget units charged, elapsed
+        seconds, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: Optional[str] = None,
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+        self.consumed: Dict[str, Any] = dict(consumed or {})
+
+
+class BudgetExceededError(ResourceError):
+    """An exhaustive search exceeded its configured size/step budget.
+
+    Raised by exact algorithms (treewidth, minor search, Ramsey witnesses,
+    pebble games, minimal-model enumeration) when the instance is larger
+    than the configured limit, instead of silently running forever.
+
+    Attributes
+    ----------
+    budget:
+        The configured limit that was exceeded.
+    spent:
+        How much had been consumed when the trip happened (same unit as
+        ``budget``); also mirrored under ``consumed["spent"]``.
+    """
+
+    def __init__(
+        self,
+        message: Optional[str] = None,
+        *,
+        budget: Optional[int] = None,
+        spent: Optional[int] = None,
+        site: Optional[str] = None,
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"budget exceeded at {site or '<unknown site>'}: "
+                f"spent {spent} of {budget}"
+            )
+        merged = dict(consumed or {})
+        if spent is not None:
+            merged.setdefault("spent", spent)
+        if budget is not None:
+            merged.setdefault("budget", budget)
+        super().__init__(message, site=site, consumed=merged)
+        self.budget = budget
+        self.spent = spent
+
+
+class DeadlineExceededError(ResourceError):
+    """A decider ran past its cooperative wall-clock deadline.
+
+    Attributes
+    ----------
+    deadline_s:
+        The configured deadline in seconds.
+    elapsed_s:
+        Wall-clock seconds elapsed when the trip was noticed (always
+        within one checkpoint interval of the deadline).
+    """
+
+    def __init__(
+        self,
+        message: Optional[str] = None,
+        *,
+        deadline_s: Optional[float] = None,
+        elapsed_s: Optional[float] = None,
+        site: Optional[str] = None,
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"deadline of {deadline_s}s exceeded at "
+                f"{site or '<unknown site>'} after {elapsed_s}s"
+            )
+        merged = dict(consumed or {})
+        if deadline_s is not None:
+            merged.setdefault("deadline_s", deadline_s)
+        if elapsed_s is not None:
+            merged.setdefault("elapsed_s", elapsed_s)
+        super().__init__(message, site=site, consumed=merged)
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+
+
+class OperationCancelledError(ResourceError):
+    """A cooperative cancellation request was observed at a checkpoint.
+
+    Raised inside the cancelled computation itself (e.g. when another
+    thread called :meth:`repro.resources.RunContext.cancel`), never by
+    the canceller.
+    """
+
+    def __init__(
+        self,
+        message: Optional[str] = None,
+        *,
+        site: Optional[str] = None,
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if message is None:
+            message = f"operation cancelled at {site or '<unknown site>'}"
+        super().__init__(message, site=site, consumed=consumed)

@@ -19,6 +19,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..exceptions import BudgetExceededError
+from ..resources.governor import current_context
 from .generators import complete_bipartite_graph, complete_graph
 from .graphs import Graph, Vertex, connected_components, is_connected, is_forest
 
@@ -43,8 +44,10 @@ def subgraph_isomorphism(pattern: Graph, host: Graph,
 
     assignment: Dict[Vertex, Vertex] = {}
     used: Set[Vertex] = set()
+    context = current_context()
 
     def backtrack(i: int) -> bool:
+        context.checkpoint("minors.subgraph_isomorphism")
         if i == len(p_verts):
             return True
         pv = p_verts[i]
@@ -80,6 +83,7 @@ class _MinorSearch:
         self.pattern_has_cycle = not is_forest(pattern)
         self.budget = budget
         self.nodes = 0
+        self.context = current_context()
         self.memo: Set[Tuple[FrozenSet, FrozenSet, FrozenSet]] = set()
         # patches[v] = set of original host vertices merged into v
         self.initial_patches: Dict[Vertex, FrozenSet[Vertex]] = {
@@ -92,10 +96,15 @@ class _MinorSearch:
 
     def _tick(self) -> None:
         self.nodes += 1
+        self.context.checkpoint("minors.search")
         if self.nodes > self.budget:
             raise BudgetExceededError(
                 f"minor search exceeded {self.budget} nodes; "
-                "increase the budget or shrink the instance"
+                "increase the budget or shrink the instance",
+                budget=self.budget,
+                spent=self.nodes,
+                site="minors.search",
+                consumed={"unit": "branch-and-reduce nodes"},
             )
 
     def _prune(self, g: Graph) -> bool:

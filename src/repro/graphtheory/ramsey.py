@@ -23,6 +23,7 @@ from math import comb
 from typing import Callable, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from ..exceptions import BudgetExceededError, ValidationError
+from ..resources.governor import current_context
 
 Element = Hashable
 Coloring = Callable[[Tuple[Element, ...]], Hashable]
@@ -69,13 +70,20 @@ def ramsey_bound(l: int, k: int, m: int,
     # before materializing the power.
     if s.bit_length() * k > 64:
         raise BudgetExceededError(
-            f"r({l}, {k}, {m}) is a power tower beyond representation"
+            f"r({l}, {k}, {m}) is a power tower beyond representation",
+            budget=bit_cap,
+            site="ramsey.bound",
+            consumed={"unit": "bits", "tower": True},
         )
     exponent = comb(s + k, k)
     bits = exponent * max(l.bit_length() - 1, 1) + s.bit_length()
     if bits > bit_cap:
         raise BudgetExceededError(
-            f"r({l}, {k}, {m}) needs ~{bits} bits (cap {bit_cap})"
+            f"r({l}, {k}, {m}) needs ~{bits} bits (cap {bit_cap})",
+            budget=bit_cap,
+            spent=bits,
+            site="ramsey.bound",
+            consumed={"unit": "bits"},
         )
     return s * l ** exponent + k
 
@@ -108,12 +116,18 @@ def find_monochromatic_subset(
         if len(pool) >= target:
             return frozenset(pool[:target])
         return None
+    context = current_context()
     checked = 0
     for candidate in combinations(pool, target):
         checked += 1
+        context.checkpoint("ramsey.candidates")
         if checked > budget:
             raise BudgetExceededError(
-                f"monochromatic-subset search exceeded {budget} candidates"
+                f"monochromatic-subset search exceeded {budget} candidates",
+                budget=budget,
+                spent=checked,
+                site="ramsey.candidates",
+                consumed={"unit": "candidate subsets"},
             )
         colors = {coloring(sub) for sub in combinations(candidate, k)}
         if len(colors) <= 1:

@@ -12,9 +12,15 @@ sentences.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..exceptions import BudgetExceededError, ValidationError
+from ..exceptions import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    ValidationError,
+)
+from ..resources.governor import current_context
 from .graphs import Graph, Vertex, connected_components
 from .tree_decomposition import (
     TreeDecomposition,
@@ -118,9 +124,14 @@ def _component_treewidth_exact(graph: Graph, limit: int) -> int:
     if n > limit:
         raise BudgetExceededError(
             f"exact treewidth limited to {limit} vertices (got {n}); "
-            "use treewidth_upper_bound for larger graphs"
+            "use treewidth_upper_bound for larger graphs",
+            budget=limit,
+            spent=n,
+            site="treewidth.exact",
+            consumed={"unit": "vertices"},
         )
 
+    context = current_context()
     vertices = list(graph.vertices)
     best = upper
     # memo: frozenset of eliminated vertices -> best width achieved so far
@@ -129,6 +140,7 @@ def _component_treewidth_exact(graph: Graph, limit: int) -> int:
     def search(adj: Dict[Vertex, Set[Vertex]], width_so_far: int,
                eliminated: FrozenSet[Vertex]) -> None:
         nonlocal best
+        context.checkpoint("treewidth.exact")
         if width_so_far >= best:
             return
         if not adj:
@@ -201,9 +213,11 @@ def treewidth_decomposition(
 def _order_of_width(graph: Graph, target: int) -> Optional[List[Vertex]]:
     """An elimination order of width ``<= target``, or ``None``."""
     memo: Set[FrozenSet[Vertex]] = set()
+    context = current_context()
 
     def search(adj: Dict[Vertex, Set[Vertex]],
                eliminated: FrozenSet[Vertex]) -> Optional[List[Vertex]]:
+        context.checkpoint("treewidth.order")
         if not adj:
             return []
         if eliminated in memo:
@@ -228,3 +242,57 @@ def has_treewidth_less_than(graph: Graph, k: int,
     if k < 1:
         return False
     return treewidth_exact(graph, limit) < k
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: exact width, or a certified upper bound
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TreewidthResult:
+    """The outcome of a governed treewidth computation.
+
+    Attributes
+    ----------
+    width:
+        The exact treewidth when ``exact``; otherwise a *valid upper
+        bound* (every heuristic elimination order yields one).
+    exact:
+        Whether ``width`` is the exact value.
+    method:
+        ``"branch-and-bound"`` or ``"min-fill/min-degree upper bound"``.
+    reason:
+        For fallbacks: the governor trip that forced the degradation.
+    """
+
+    width: int
+    exact: bool
+    method: str
+    reason: str = ""
+
+
+def treewidth_with_fallback(
+    graph: Graph, limit: int = DEFAULT_EXACT_LIMIT
+) -> TreewidthResult:
+    """Exact treewidth, degrading to the greedy upper bound on a trip.
+
+    Runs the branch-and-bound solver under the ambient
+    :mod:`repro.resources` context; when the instance budget
+    (``limit``), an installed deadline, or a step budget trips, the
+    heuristic min-fill/min-degree upper bound — polynomial, so always
+    affordable — is returned instead of failing.  The result records
+    whether it is exact and, for fallbacks, why degradation happened.
+    """
+    from ..engine.instrumentation import GOVERNOR
+
+    try:
+        width = treewidth_exact(graph, limit)
+        return TreewidthResult(width, True, "branch-and-bound")
+    except (BudgetExceededError, DeadlineExceededError) as err:
+        GOVERNOR.fallbacks += 1
+        upper, _ = treewidth_upper_bound(graph)
+        return TreewidthResult(
+            upper,
+            False,
+            "min-fill/min-degree upper bound",
+            reason=f"{type(err).__name__}: {err}",
+        )

@@ -8,6 +8,7 @@ from .search import (
     find_homomorphism_avoiding,
     find_injective_homomorphism,
     has_homomorphism,
+    homomorphism_verdict,
     is_homomorphism,
     iter_homomorphisms,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "find_homomorphism_avoiding",
     "find_injective_homomorphism",
     "has_homomorphism",
+    "homomorphism_verdict",
     "is_homomorphism",
     "iter_homomorphisms",
     "automorphism_count",

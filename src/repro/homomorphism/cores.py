@@ -16,9 +16,29 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..exceptions import InvariantViolationError
+from ..resources.governor import current_context
 from ..structures.operations import homomorphic_image
 from ..structures.structure import Element, Structure
 from .search import find_homomorphism, is_homomorphism
+
+
+def _shrunk(image: Structure, current: Structure) -> Structure:
+    """Assert the retraction step strictly shrank the structure.
+
+    A proper retraction avoids at least one element, so its image must
+    be strictly smaller; anything else means the retraction search (or
+    the image construction) is buggy and the iteration would never
+    terminate.  Surfacing that as a typed error turns a silent infinite
+    loop into a diagnosable failure.
+    """
+    if image.size() >= current.size():
+        raise InvariantViolationError(
+            f"core retraction failed to shrink the structure "
+            f"({current.size()} -> {image.size()} elements); "
+            "a proper retraction must avoid at least one element"
+        )
+    return image
 
 
 def find_proper_retraction(
@@ -56,13 +76,15 @@ def core_by_retractions(structure: Structure, engine=None) -> Structure:
         from ..engine import get_engine
 
         engine = get_engine()
+    context = current_context()
     current = structure
     while True:
+        context.checkpoint("cores.retract")
         retraction = find_proper_retraction(current, engine=engine)
         if retraction is None:
             return current
         engine.stats.core_iterations += 1
-        current = homomorphic_image(current, retraction)
+        current = _shrunk(homomorphic_image(current, retraction), current)
 
 
 def compute_core(structure: Structure) -> Structure:
@@ -81,13 +103,15 @@ def compute_core_with_map(
     structure: Structure,
 ) -> Tuple[Structure, Dict[Element, Element]]:
     """The core together with a homomorphism from the input onto it."""
+    context = current_context()
     current = structure
     total: Dict[Element, Element] = {e: e for e in structure.universe}
     while True:
+        context.checkpoint("cores.retract_with_map")
         retraction = find_proper_retraction(current)
         if retraction is None:
             return current, total
-        current = homomorphic_image(current, retraction)
+        current = _shrunk(homomorphic_image(current, retraction), current)
         total = {e: retraction[v] for e, v in total.items()}
 
 

@@ -13,6 +13,12 @@ The solver is backtracking search with:
 * AC-3-style propagation over the fact hypergraph,
 * MRV (fewest remaining values) variable selection, and
 * per-position tuple indexes on the target for fast support checks.
+
+The search is *governed*: every node expansion and every propagation
+sweep passes a cooperative :meth:`~repro.resources.RunContext.checkpoint`
+of the ambient :mod:`repro.resources` context, so an installed deadline
+or budget interrupts the search with a typed
+:class:`~repro.exceptions.ResourceError` instead of hanging.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from typing import (
 )
 
 from ..exceptions import ValidationError
+from ..resources.governor import RunContext, current_context
 from ..structures.structure import Element, Structure, Tup
 
 Homomorphism = Dict[Element, Element]
@@ -123,6 +130,10 @@ class HomomorphismSearch:
         ``backtracks`` and ``ac3_prunings`` attributes, e.g.
         :class:`repro.engine.instrumentation.SolverStats`).  The search
         increments it in place; ``None`` disables counting.
+    context:
+        The governing :class:`~repro.resources.RunContext`; defaults to
+        the ambient context at construction time.  The search
+        checkpoints it at every node expansion and propagation sweep.
     """
 
     def __init__(
@@ -134,6 +145,7 @@ class HomomorphismSearch:
         forbidden_images: Iterator = (),
         propagate: bool = True,
         stats=None,
+        context: Optional[RunContext] = None,
     ) -> None:
         if source.vocabulary.relations != target.vocabulary.relations:
             raise ValidationError(
@@ -144,6 +156,7 @@ class HomomorphismSearch:
         self.injective = injective
         self.propagate = propagate
         self.stats = stats
+        self.context = context if context is not None else current_context()
         self.index = _TargetIndex(target)
 
         forbidden = frozenset(forbidden_images)
@@ -227,6 +240,7 @@ class HomomorphismSearch:
         while changed:
             changed = False
             for name, tup in self.all_facts:
+                self.context.checkpoint("hom.propagate")
                 if all(x in assignment for x in tup):
                     continue
                 # candidate target tuples compatible with current domains
@@ -292,6 +306,7 @@ class HomomorphismSearch:
         domains: Dict[Element, Set[Element]],
         assignment: Dict[Element, Element],
     ) -> Iterator[Homomorphism]:
+        self.context.checkpoint("hom.search")
         if len(assignment) == len(self.source.universe):
             yield dict(assignment)
             return
@@ -382,3 +397,15 @@ def find_homomorphism_avoiding(
     return get_engine().find_homomorphism(
         source, target, forbidden_images=frozenset(forbidden)
     )
+
+
+def homomorphism_verdict(source: Structure, target: Structure):
+    """The governed, trivalent form of :func:`has_homomorphism`.
+
+    Returns a :class:`~repro.resources.Verdict`: TRUE with a witness,
+    FALSE, or UNKNOWN when the ambient deadline/budget tripped before
+    the search finished (the reason and consumption travel with it).
+    """
+    from ..engine import get_engine
+
+    return get_engine().decide_homomorphism(source, target)

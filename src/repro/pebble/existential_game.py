@@ -20,6 +20,7 @@ from itertools import combinations, product
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..exceptions import BudgetExceededError, ValidationError
+from ..resources.governor import current_context
 from ..structures.structure import Element, Structure
 
 #: A position: the set of pebbled (source, target) pairs.
@@ -94,12 +95,18 @@ class ExistentialPebbleGame:
         if estimated > self.budget:
             raise BudgetExceededError(
                 f"pebble game would enumerate ~{estimated} positions "
-                f"(budget {self.budget})"
+                f"(budget {self.budget})",
+                budget=self.budget,
+                spent=estimated,
+                site="pebble.positions",
+                consumed={"unit": "candidate positions"},
             )
+        context = current_context()
         family: Set[Position] = {frozenset()}
         for size in range(1, self.k + 1):
             for sources in combinations(self.a.universe, size):
                 for targets in product(self.b.universe, repeat=size):
+                    context.checkpoint("pebble.enumerate")
                     mapping = dict(zip(sources, targets))
                     if _is_partial_homomorphism(mapping, self.a, self.b):
                         family.add(frozenset(mapping.items()))
@@ -111,12 +118,14 @@ class ExistentialPebbleGame:
         if self._family is not None:
             return self._family
         family = self._initial_family()
+        context = current_context()
         a_elements = list(self.a.universe)
         b_elements = list(self.b.universe)
         changed = True
         while changed:
             changed = False
             for position in list(family):
+                context.checkpoint("pebble.fixpoint")
                 if position not in family:
                     continue
                 mapping = _functional(position)

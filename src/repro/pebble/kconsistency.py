@@ -19,6 +19,7 @@ from itertools import combinations, product
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from ..exceptions import BudgetExceededError, ValidationError
+from ..resources.governor import current_context
 from ..structures.structure import Element, Structure
 from .existential_game import (
     DEFAULT_POSITION_BUDGET,
@@ -86,13 +87,19 @@ def direct_k_consistency(
     )
     if estimated > budget:
         raise BudgetExceededError(
-            f"k-consistency would enumerate ~{estimated} positions"
+            f"k-consistency would enumerate ~{estimated} positions",
+            budget=budget,
+            spent=estimated,
+            site="kconsistency.positions",
+            consumed={"unit": "candidate positions"},
         )
 
+    context = current_context()
     family: Set[Position] = {frozenset()}
     for size in range(1, k):
         for sources in combinations(elements, size):
             for values in product(targets, repeat=size):
+                context.checkpoint("kconsistency.enumerate")
                 mapping = dict(zip(sources, values))
                 if _is_partial_homomorphism(mapping, source, target):
                     family.add(frozenset(mapping.items()))
@@ -101,6 +108,7 @@ def direct_k_consistency(
     while changed:
         changed = False
         for position in list(family):
+            context.checkpoint("kconsistency.fixpoint")
             if position not in family:
                 continue
             mapping = dict(position)

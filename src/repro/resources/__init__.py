@@ -1,0 +1,46 @@
+"""Resource governance: deadlines, budgets, trivalent verdicts, resume.
+
+Every decider in this library is worst-case exponential; this package is
+how a single pathological instance is kept from taking a sweep (or a
+service) down:
+
+* :mod:`repro.resources.governor` — :class:`Deadline`, :class:`Budget`
+  and :class:`RunContext`, the ambient cooperative governor whose
+  ``checkpoint()`` calls thread through every hot search loop;
+* :mod:`repro.resources.verdict` — :class:`Verdict`, the trivalent
+  TRUE/FALSE/UNKNOWN answer (with reason and consumption record) that
+  governed deciders return instead of hanging or lying;
+* :mod:`repro.resources.checkpointing` — :class:`SweepJournal`,
+  append-only per-instance result journaling so interrupted benchmark
+  sweeps resume instead of restarting.
+
+See DESIGN.md §"Resource governance" for the fallback ladder and the
+fault-injection harness (``tests/chaos.py``) that locks the contract in.
+"""
+
+from .checkpointing import SweepJournal
+from .governor import (
+    GOVERNOR,
+    PASSIVE_CONTEXT,
+    Budget,
+    Deadline,
+    GovernorStats,
+    RunContext,
+    current_context,
+    governed,
+)
+from .verdict import Trivalent, Verdict
+
+__all__ = [
+    "Budget",
+    "Deadline",
+    "GOVERNOR",
+    "GovernorStats",
+    "PASSIVE_CONTEXT",
+    "RunContext",
+    "SweepJournal",
+    "Trivalent",
+    "Verdict",
+    "current_context",
+    "governed",
+]

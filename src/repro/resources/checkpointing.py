@@ -1,0 +1,95 @@
+"""Per-instance result journaling for interruptible benchmark sweeps.
+
+A sweep over dozens of exponential-decider instances must survive a
+deadline trip, a crash or a Ctrl-C without losing the instances it
+already finished.  :class:`SweepJournal` is the small append-only
+JSONL journal that makes sweeps resumable: each completed instance is
+written (and flushed) as one line keyed by a caller-chosen string, and
+re-opening the journal recovers every completed key so the sweep can
+skip straight to the remaining work.
+
+The journal lives under ``benchmarks/results/`` by convention (the same
+directory the paper-style tables are emitted to), but any path works.
+Corrupt or truncated trailing lines — the signature of a hard kill mid
+write — are ignored on load, so a resumed sweep at worst repeats the
+one instance whose record was cut off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional
+
+
+class SweepJournal:
+    """Append-only JSONL journal of per-instance sweep results.
+
+    Parameters
+    ----------
+    path:
+        The journal file; created (with parent directories) on first
+        record.  Existing records are loaded eagerly.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._results: Dict[str, Any] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated trailing line from a hard kill
+                if isinstance(entry, dict) and "key" in entry:
+                    self._results[str(entry["key"])] = entry.get("result")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def is_done(self, key: str) -> bool:
+        """Whether ``key`` already has a journaled result."""
+        return key in self._results
+
+    def result(self, key: str) -> Optional[Any]:
+        """The journaled result for ``key`` (``None`` if absent)."""
+        return self._results.get(key)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._results)
+
+    # ------------------------------------------------------------------
+    def record(self, key: str, result: Any) -> None:
+        """Journal one completed instance (written and flushed at once).
+
+        ``result`` must be JSON-serializable.  Re-recording a key
+        overwrites its in-memory result and appends a superseding line
+        (last record wins on reload).
+        """
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        line = json.dumps({"key": key, "result": result}, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._results[key] = result
+
+    def reset(self) -> None:
+        """Delete the journal file and forget every result."""
+        self._results.clear()
+        if os.path.exists(self.path):
+            os.remove(self.path)

@@ -1,0 +1,327 @@
+"""Deadlines, budgets and cooperative run contexts.
+
+Every decider in this reproduction (hom search, cores, exact treewidth,
+minor search, Datalog fixpoints, pebble games) is worst-case exponential
+— the paper's constructions are effective but not polynomial.  This
+module provides the *governance* layer that keeps them from hanging a
+process:
+
+* :class:`Deadline` — a wall-clock cutoff with cheap expiry checks;
+* :class:`Budget` — a named step counter with a hard limit;
+* :class:`RunContext` — bundles an optional deadline, budget, fault
+  injector and a cooperative cancellation flag behind a single
+  :meth:`~RunContext.checkpoint` method the hot loops call.
+
+Contexts are *ambient*: installing one with ``with RunContext(...)``
+(or the :func:`governed` helper) makes it visible to every decider on
+the same thread/task via :func:`current_context`, so the deadline does
+not have to be threaded through a dozen call signatures.  Code that
+never installs a context runs under a shared passive context whose
+checkpoints are (almost) free.
+
+Checkpoints are also the seam the fault-injection harness
+(``tests/chaos.py``) uses: a context's ``injector`` callable runs first
+at every checkpoint and may raise a typed
+:class:`~repro.exceptions.ResourceError` or perturb shared state (cache
+eviction), which is how "any checkpoint may trip at any moment" is
+simulated deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..exceptions import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    OperationCancelledError,
+    ValidationError,
+)
+
+
+@dataclass
+class GovernorStats:
+    """Cumulative counters for the resource-governance layer.
+
+    One process-global instance (:data:`GOVERNOR`) is shared by every
+    :class:`RunContext`; the hom engine folds it into its
+    :meth:`~repro.engine.engine.HomEngine.snapshot` so ``python -m
+    repro stats`` reports governor activity next to the solver counters
+    (it is also re-exported by :mod:`repro.engine.instrumentation`).
+
+    Attributes
+    ----------
+    checkpoints:
+        Cooperative ``checkpoint()`` calls observed across all contexts.
+    deadline_hits:
+        Checkpoints that found their deadline expired and raised
+        :class:`~repro.exceptions.DeadlineExceededError`.
+    budget_trips:
+        Budget charges that pushed consumption past the limit and raised
+        :class:`~repro.exceptions.BudgetExceededError`.
+    cancellations:
+        Checkpoints that observed a cooperative cancel request.
+    fallbacks:
+        Graceful degradations taken (e.g. exact treewidth replaced by
+        the min-fill upper bound after a governor trip).
+    unknown_verdicts:
+        Trivalent verdicts downgraded to UNKNOWN because a governor
+        trip interrupted the underlying decision procedure.
+    """
+
+    checkpoints: int = 0
+    deadline_hits: int = 0
+    budget_trips: int = 0
+    cancellations: int = 0
+    fallbacks: int = 0
+    unknown_verdicts: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy of the counters."""
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+
+
+#: The process-global governor counters (see :class:`GovernorStats`).
+GOVERNOR = GovernorStats()
+
+#: An injector receives ``(context, site)`` at every checkpoint; it may
+#: raise a :class:`~repro.exceptions.ResourceError` to simulate a trip.
+Injector = Callable[["RunContext", str], None]
+
+
+class Deadline:
+    """A wall-clock deadline measured with the monotonic clock.
+
+    Construct with :meth:`after` (relative) or directly with a number of
+    seconds; the countdown starts at construction time.
+    """
+
+    __slots__ = ("seconds", "_started", "_expires")
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValidationError("a deadline cannot be negative")
+        self.seconds = float(seconds)
+        self._started = time.monotonic()
+        self._expires = self._started + self.seconds
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(seconds)
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return time.monotonic() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return time.monotonic() >= self._expires
+
+    def __repr__(self) -> str:
+        return f"Deadline({self.seconds}s, remaining={self.remaining():.3f}s)"
+
+
+class Budget:
+    """A consumable step budget with a hard limit.
+
+    ``charge(n)`` adds ``n`` units and raises a structured
+    :class:`~repro.exceptions.BudgetExceededError` once consumption
+    exceeds the limit.  The unit is whatever the charging loop counts
+    (search nodes, candidate subsets, fixpoint rounds, ...).
+    """
+
+    __slots__ = ("limit", "unit", "spent")
+
+    def __init__(self, limit: int, unit: str = "steps") -> None:
+        if limit < 0:
+            raise ValidationError("a budget cannot be negative")
+        self.limit = int(limit)
+        self.unit = unit
+        self.spent = 0
+
+    def remaining(self) -> int:
+        """Units left before the next charge trips (may be negative)."""
+        return self.limit - self.spent
+
+    def exhausted(self) -> bool:
+        """Whether consumption has reached the limit."""
+        return self.spent >= self.limit
+
+    def charge(self, amount: int = 1, site: str = "") -> None:
+        """Consume ``amount`` units; raise once past the limit."""
+        self.spent += amount
+        if self.spent > self.limit:
+            GOVERNOR.budget_trips += 1
+            raise BudgetExceededError(
+                budget=self.limit,
+                spent=self.spent,
+                site=site or None,
+                consumed={"unit": self.unit},
+            )
+
+    def __repr__(self) -> str:
+        return f"Budget({self.spent}/{self.limit} {self.unit})"
+
+
+class RunContext:
+    """The cooperative governor a long-running decider runs under.
+
+    Parameters
+    ----------
+    deadline:
+        A :class:`Deadline`, or a float number of seconds (converted to
+        a deadline starting now), or ``None`` for no time limit.
+    budget:
+        A :class:`Budget`, or an int step limit, or ``None``.
+    injector:
+        Optional fault-injection hook run at every checkpoint (see the
+        module docstring); production code leaves this ``None``.
+
+    Hot loops call :meth:`checkpoint` with a dotted ``site`` label; the
+    call is cheap when nothing is configured and raises a typed
+    :class:`~repro.exceptions.ResourceError` on any trip.  Used as a
+    context manager, the context installs itself as the ambient context
+    (see :func:`current_context`) for the dynamic extent of the block.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[Union[Deadline, float]] = None,
+        budget: Optional[Union[Budget, int]] = None,
+        injector: Optional[Injector] = None,
+    ) -> None:
+        if isinstance(deadline, (int, float)):
+            deadline = Deadline(deadline)
+        if isinstance(budget, int):
+            budget = Budget(budget)
+        self.deadline = deadline
+        self.budget = budget
+        self.injector = injector
+        self.checkpoints = 0
+        self._cancelled = threading.Event()
+        self._tokens: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Cooperative cancellation
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cancellation; the governed computation notices at its
+        next checkpoint and raises
+        :class:`~repro.exceptions.OperationCancelledError`.
+
+        Safe to call from another thread (that is the point)."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._cancelled.is_set()
+
+    # ------------------------------------------------------------------
+    # The checkpoint — the single seam every decider passes through
+    # ------------------------------------------------------------------
+    def checkpoint(self, site: str = "", cost: int = 1) -> None:
+        """One cooperative yield point; raises on any governor trip.
+
+        ``site`` labels the calling loop (``"hom.search"``,
+        ``"treewidth.exact"``, ...); ``cost`` is the number of budget
+        units this step consumed (default 1).
+        """
+        self.checkpoints += 1
+        GOVERNOR.checkpoints += 1
+        if self.injector is not None:
+            self.injector(self, site)
+        if self._cancelled.is_set():
+            GOVERNOR.cancellations += 1
+            raise OperationCancelledError(
+                site=site or None, consumed=self.consumption()
+            )
+        budget = self.budget
+        if budget is not None:
+            budget.charge(cost, site)
+        deadline = self.deadline
+        if deadline is not None and deadline.expired():
+            GOVERNOR.deadline_hits += 1
+            raise DeadlineExceededError(
+                deadline_s=deadline.seconds,
+                elapsed_s=deadline.elapsed(),
+                site=site or None,
+                consumed=self.consumption(),
+            )
+
+    def consumption(self) -> Dict[str, Any]:
+        """A JSON-serializable record of what this context has consumed."""
+        out: Dict[str, Any] = {"checkpoints": self.checkpoints}
+        if self.budget is not None:
+            out["budget"] = self.budget.limit
+            out["spent"] = self.budget.spent
+            out["unit"] = self.budget.unit
+        if self.deadline is not None:
+            out["deadline_s"] = self.deadline.seconds
+            out["elapsed_s"] = self.deadline.elapsed()
+        return out
+
+    # ------------------------------------------------------------------
+    # Ambient installation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "RunContext":
+        self._tokens.append(_CURRENT.set(self))
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        _CURRENT.reset(self._tokens.pop())
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.deadline is not None:
+            parts.append(repr(self.deadline))
+        if self.budget is not None:
+            parts.append(repr(self.budget))
+        if self.cancelled:
+            parts.append("cancelled")
+        return f"RunContext({', '.join(parts) or 'passive'})"
+
+
+_CURRENT: "ContextVar[Optional[RunContext]]" = ContextVar(
+    "repro_run_context", default=None
+)
+
+#: The shared do-nothing context returned when no governor is installed.
+#: Its checkpoints only bump counters; it has no deadline, budget or
+#: injector and is never cancelled.
+PASSIVE_CONTEXT = RunContext()
+
+
+def current_context() -> RunContext:
+    """The ambient :class:`RunContext` (the passive one if none installed)."""
+    ctx = _CURRENT.get()
+    return ctx if ctx is not None else PASSIVE_CONTEXT
+
+
+def governed(
+    deadline: Optional[Union[Deadline, float]] = None,
+    budget: Optional[Union[Budget, int]] = None,
+    injector: Optional[Injector] = None,
+) -> RunContext:
+    """A fresh :class:`RunContext`, ready for ``with governed(...) as ctx:``.
+
+    Purely a readability helper: ``governed(deadline=0.5)`` reads as a
+    policy where ``RunContext(0.5)`` reads as plumbing.
+    """
+    return RunContext(deadline=deadline, budget=budget, injector=injector)

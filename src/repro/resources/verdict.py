@@ -1,0 +1,125 @@
+"""Trivalent verdicts: TRUE / FALSE / UNKNOWN with provenance.
+
+A governed decider that runs out of deadline or budget should not have
+to choose between lying and crashing.  A :class:`Verdict` is the third
+option: the answer when there is one (with its witness), and an honest
+UNKNOWN — carrying the reason and the resources consumed — when the
+governor tripped first.
+
+Verdicts deliberately refuse boolean coercion when UNKNOWN: silently
+treating "we do not know" as ``False`` is exactly the bug class this
+type exists to prevent, so ``if verdict:`` raises unless the verdict is
+definite.  Use ``verdict.is_true`` / ``is_false`` / ``is_unknown`` (or
+check ``definite`` first) instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from ..exceptions import ResourceError, ValidationError
+
+
+class Trivalent(Enum):
+    """Kleene three-valued truth."""
+
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    UNKNOWN = "UNKNOWN"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The governed answer to a decision query.
+
+    Attributes
+    ----------
+    value:
+        The trivalent truth value.
+    reason:
+        Human-readable provenance: why the verdict is what it is
+        (``"witness found"``, ``"deadline of 0.5s exceeded at
+        hom.search"``, ...).
+    witness:
+        An optional certificate (a homomorphism mapping, a containment
+        mapping, ...) for definite verdicts.
+    consumed:
+        JSON-serializable resource-consumption record (checkpoints,
+        budget units, elapsed seconds) from the governing context.
+    """
+
+    value: Trivalent
+    reason: str = ""
+    witness: Optional[Any] = None
+    consumed: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        return self.value is Trivalent.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self.value is Trivalent.FALSE
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.value is Trivalent.UNKNOWN
+
+    @property
+    def definite(self) -> bool:
+        """Whether the verdict is TRUE or FALSE (i.e. usable as a bool)."""
+        return self.value is not Trivalent.UNKNOWN
+
+    def __bool__(self) -> bool:
+        if self.value is Trivalent.UNKNOWN:
+            raise ValidationError(
+                "an UNKNOWN verdict cannot be coerced to bool; check "
+                f".is_unknown first (reason: {self.reason or 'unspecified'})"
+            )
+        return self.value is Trivalent.TRUE
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def true(
+        cls,
+        reason: str = "",
+        witness: Optional[Any] = None,
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> "Verdict":
+        return cls(Trivalent.TRUE, reason, witness, dict(consumed or {}))
+
+    @classmethod
+    def false(
+        cls,
+        reason: str = "",
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> "Verdict":
+        return cls(Trivalent.FALSE, reason, None, dict(consumed or {}))
+
+    @classmethod
+    def unknown(
+        cls,
+        reason: str,
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> "Verdict":
+        return cls(Trivalent.UNKNOWN, reason, None, dict(consumed or {}))
+
+    @classmethod
+    def from_error(cls, error: ResourceError) -> "Verdict":
+        """An UNKNOWN verdict explaining a governor trip."""
+        return cls.unknown(
+            f"{type(error).__name__}: {error}", consumed=error.consumed
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable view (witness elided to its size)."""
+        return {
+            "value": self.value.value,
+            "reason": self.reason,
+            "has_witness": self.witness is not None,
+            "consumed": dict(self.consumed),
+        }

@@ -1,0 +1,260 @@
+"""Fault-injection harness for the resource governor (library half).
+
+The harness exploits the seam every governed decider already passes
+through — :meth:`repro.resources.RunContext.checkpoint` — to simulate
+governor trips at arbitrary moments: a :class:`FaultInjector` installed
+as a context's ``injector`` fires (with seeded randomness) deadline
+expiries, budget exhaustions, cooperative cancellations and hom-cache
+evictions mid-decision, at whichever checkpoint the dice pick.
+
+A chaos *trial* runs one public operation (homomorphism verdict, core,
+treewidth-with-fallback, Datalog fixpoint, pebble game) on structures
+drawn from a small reused pool (so engine cache keys recur and evictions
+hit warm entries) under an injecting context, then classifies the
+outcome:
+
+* ``ok`` — the operation completed with a valid definite result;
+* ``unknown`` — a trivalent API honestly reported UNKNOWN;
+* ``typed_error`` — a :class:`~repro.exceptions.ReproError` subtype
+  escaped (allowed for non-trivalent APIs);
+* ``invalid`` — anything else: a foreign exception, a wrong-shaped
+  result, or an UNKNOWN→bool coercion sneaking through.
+
+``tests/test_chaos.py`` drives hundreds of seeded trials, asserts no
+trial is ``invalid``, that each fault kind actually fired, and that the
+memo cache still satisfies the brute-force differential oracle after the
+injection storm (a trip must never corrupt a cached answer).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine import HomEngine
+from repro.exceptions import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    OperationCancelledError,
+    ReproError,
+)
+from repro.homomorphism import is_homomorphism
+from repro.resources import RunContext, Verdict, governed
+from repro.structures import (
+    Structure,
+    Vocabulary,
+    random_structure,
+    single_edge,
+    undirected_cycle,
+    undirected_path,
+)
+
+#: Per-trial wall-clock cap: even a trial whose faults never fire must
+#: finish well within this (the pool instances are all sub-second), so a
+#: governed deadline this long is purely an anti-hang backstop.
+HANG_CAP_S = 10.0
+
+GRAPH = Vocabulary({"E": 2})
+
+FAULT_KINDS = ("deadline", "budget", "cancel", "evict")
+
+
+# ----------------------------------------------------------------------
+# The injector
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Seeded random fault source run at every checkpoint.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private RNG; trials are reproducible given the seed.
+    rate:
+        Per-checkpoint probability that *some* fault fires (the kind is
+        then drawn uniformly from ``kinds``).
+    kinds:
+        The fault kinds this injector may fire (default: all four).
+    engine:
+        The engine whose cache the ``evict`` fault clears.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float = 0.01,
+        kinds=FAULT_KINDS,
+        engine: Optional[HomEngine] = None,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.engine = engine
+        self.fired: Dict[str, int] = {kind: 0 for kind in self.kinds}
+
+    def __call__(self, context: RunContext, site: str) -> None:
+        if self.rng.random() >= self.rate:
+            return
+        kind = self.rng.choice(self.kinds)
+        self.fired[kind] += 1
+        if kind == "deadline":
+            raise DeadlineExceededError(
+                f"injected deadline expiry at {site or 'unknown site'}",
+                deadline_s=0.0,
+                elapsed_s=0.0,
+                site=site or None,
+                consumed=context.consumption(),
+            )
+        if kind == "budget":
+            raise BudgetExceededError(
+                f"injected budget exhaustion at {site or 'unknown site'}",
+                budget=0,
+                spent=1,
+                site=site or None,
+                consumed=context.consumption(),
+            )
+        if kind == "cancel":
+            context.cancel()  # surfaces via the checkpoint's own check
+            return
+        # "evict": perturb shared state instead of raising — the decider
+        # must keep working (and stay correct) with a cold cache.
+        if self.engine is not None:
+            self.engine.cache.clear()
+
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+
+# ----------------------------------------------------------------------
+# The structure pool
+# ----------------------------------------------------------------------
+def structure_pool() -> List[Structure]:
+    """Small deterministic structures, reused across trials so the memo
+    cache sees recurring keys (and evictions hit warm entries)."""
+    pool = [
+        single_edge(),
+        undirected_path(2),
+        undirected_path(3),
+        undirected_cycle(3),
+        undirected_cycle(4),
+        undirected_cycle(5),
+    ]
+    for seed in range(6):
+        pool.append(random_structure(GRAPH, 2 + seed % 3, 0.4, seed=seed))
+    return pool
+
+
+def brute_force_has_homomorphism(source: Structure, target: Structure) -> bool:
+    """Oracle: try every mapping universe(source) → universe(target)."""
+    src = list(source.universe)
+    if not src:
+        return is_homomorphism(source, target, {})
+    tgt = list(target.universe)
+    if not tgt:
+        return False
+    for images in itertools.product(tgt, repeat=len(src)):
+        if is_homomorphism(source, target, dict(zip(src, images))):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Trials
+# ----------------------------------------------------------------------
+@dataclass
+class TrialResult:
+    """One classified chaos trial."""
+
+    operation: str
+    outcome: str  # ok | unknown | typed_error | invalid
+    detail: str = ""
+    faults: Dict[str, int] = field(default_factory=dict)
+
+
+def _run_operation(rng: random.Random, engine: HomEngine, pool) -> TrialResult:
+    """Pick and run one public operation; classify what came back."""
+    op = rng.choice(("hom", "core", "treewidth", "datalog", "pebble"))
+    try:
+        if op == "hom":
+            source, target = rng.choice(pool), rng.choice(pool)
+            verdict = engine.decide_homomorphism(source, target)
+            if not isinstance(verdict, Verdict):
+                return TrialResult(op, "invalid", "non-Verdict result")
+            if verdict.is_unknown:
+                return TrialResult(op, "unknown", verdict.reason)
+            if verdict.is_true and not is_homomorphism(
+                source, target, verdict.witness
+            ):
+                return TrialResult(op, "invalid", "TRUE with bogus witness")
+            return TrialResult(op, "ok")
+        if op == "core":
+            structure = rng.choice(pool)
+            core = engine.core(structure)
+            if not isinstance(core, Structure):
+                return TrialResult(op, "invalid", "non-Structure core")
+            if core.size() > structure.size():
+                return TrialResult(op, "invalid", "core grew")
+            return TrialResult(op, "ok")
+        if op == "treewidth":
+            from repro.graphtheory import treewidth_with_fallback
+            from repro.structures import gaifman_graph
+
+            structure = rng.choice(pool)
+            result = treewidth_with_fallback(gaifman_graph(structure))
+            if result.width < 0:
+                return TrialResult(op, "invalid", "negative width")
+            return TrialResult(op, "ok")
+        if op == "datalog":
+            from repro.datalog import evaluate_semi_naive, parse_program
+            from repro.structures import directed_path
+
+            structure = directed_path(2 + rng.randrange(4))
+            program = parse_program(
+                "T(x, y) <- E(x, y).\nT(x, z) <- E(x, y), T(y, z).",
+                structure.vocabulary.without_constants(),
+            )
+            result = evaluate_semi_naive(program, structure)
+            n = structure.size()
+            if len(result.relations["T"]) != n * (n - 1) // 2:
+                return TrialResult(op, "invalid", "wrong fixpoint")
+            return TrialResult(op, "ok")
+        # pebble
+        from repro.pebble import duplicator_wins
+
+        source, target = rng.choice(pool), rng.choice(pool)
+        wins = duplicator_wins(source, target, 2)
+        if not isinstance(wins, bool):
+            return TrialResult(op, "invalid", "non-bool game outcome")
+        return TrialResult(op, "ok")
+    except (DeadlineExceededError, BudgetExceededError,
+            OperationCancelledError) as err:
+        return TrialResult(op, "typed_error", f"{type(err).__name__}: {err}")
+    except ReproError as err:
+        return TrialResult(op, "typed_error", f"{type(err).__name__}: {err}")
+    except Exception as err:  # noqa: BLE001 - the whole point of the harness
+        return TrialResult(op, "invalid", f"{type(err).__name__}: {err}")
+
+
+def run_trial(seed: int, engine: HomEngine, pool,
+              rate: float = 0.01) -> TrialResult:
+    """One seeded chaos trial under an injecting governed context."""
+    rng = random.Random(seed)
+    injector = FaultInjector(
+        seed=seed ^ 0x5EED, rate=rate, engine=engine
+    )
+    with governed(deadline=HANG_CAP_S, injector=injector):
+        result = _run_operation(rng, engine, pool)
+    result.faults = dict(injector.fired)
+    return result
+
+
+def run_campaign(trials: int, base_seed: int,
+                 rate: float = 0.01) -> List[TrialResult]:
+    """A full chaos campaign against one shared engine and pool."""
+    engine = HomEngine()
+    pool = structure_pool()
+    return [
+        run_trial(base_seed + i, engine, pool, rate=rate)
+        for i in range(trials)
+    ]

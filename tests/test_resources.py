@@ -1,0 +1,338 @@
+"""Unit tests for the resource-governance layer (repro.resources).
+
+Covers the governor primitives in isolation — deadlines, budgets, run
+contexts, trivalent verdicts, the sweep journal — plus the wiring of the
+global governor counters into the hom engine's stats snapshot.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    OperationCancelledError,
+    ResourceError,
+    ValidationError,
+)
+from repro.resources import (
+    GOVERNOR,
+    Budget,
+    Deadline,
+    PASSIVE_CONTEXT,
+    RunContext,
+    SweepJournal,
+    Trivalent,
+    Verdict,
+    current_context,
+    governed,
+)
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_not_expired_initially(self):
+        d = Deadline.after(60.0)
+        assert not d.expired()
+        assert 0 <= d.elapsed() < 1.0
+        assert 59.0 < d.remaining() <= 60.0
+        assert d.seconds == 60.0
+
+    def test_zero_deadline_expires_immediately(self):
+        d = Deadline(0.0)
+        assert d.expired()
+        assert d.remaining() <= 0
+
+    def test_expires_after_sleeping_past_it(self):
+        d = Deadline.after(0.01)
+        time.sleep(0.02)
+        assert d.expired()
+        assert d.elapsed() >= 0.01
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValidationError):
+            Deadline(-1.0)
+
+    def test_repr_mentions_seconds(self):
+        assert "60.0s" in repr(Deadline(60.0))
+
+
+# ----------------------------------------------------------------------
+# Budget
+# ----------------------------------------------------------------------
+class TestBudget:
+    def test_charges_accumulate(self):
+        b = Budget(10, unit="nodes")
+        b.charge(3)
+        b.charge(4)
+        assert b.spent == 7
+        assert b.remaining() == 3
+        assert not b.exhausted()
+
+    def test_trip_raises_structured_error(self):
+        b = Budget(5, unit="nodes")
+        b.charge(5, site="test.site")
+        assert b.exhausted()
+        with pytest.raises(BudgetExceededError) as excinfo:
+            b.charge(1, site="test.site")
+        err = excinfo.value
+        assert err.budget == 5
+        assert err.spent == 6
+        assert err.site == "test.site"
+        assert err.consumed["unit"] == "nodes"
+        assert isinstance(err, ResourceError)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            Budget(-1)
+
+    def test_zero_budget_trips_on_first_charge(self):
+        with pytest.raises(BudgetExceededError):
+            Budget(0).charge()
+
+
+# ----------------------------------------------------------------------
+# RunContext
+# ----------------------------------------------------------------------
+class TestRunContext:
+    def test_passive_checkpoint_is_free(self):
+        ctx = RunContext()
+        for _ in range(100):
+            ctx.checkpoint("test")
+        assert ctx.checkpoints == 100
+
+    def test_deadline_trip(self):
+        ctx = RunContext(deadline=0.0)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            ctx.checkpoint("test.site")
+        err = excinfo.value
+        assert err.deadline_s == 0.0
+        assert err.elapsed_s >= 0.0
+        assert err.site == "test.site"
+        assert "checkpoints" in err.consumed
+
+    def test_budget_trip_through_checkpoint(self):
+        ctx = RunContext(budget=3)
+        ctx.checkpoint()
+        ctx.checkpoint()
+        ctx.checkpoint()
+        with pytest.raises(BudgetExceededError):
+            ctx.checkpoint()
+
+    def test_checkpoint_cost_multiplier(self):
+        ctx = RunContext(budget=10)
+        with pytest.raises(BudgetExceededError):
+            ctx.checkpoint("bulk", cost=11)
+
+    def test_cancellation(self):
+        ctx = RunContext()
+        assert not ctx.cancelled
+        ctx.cancel()
+        assert ctx.cancelled
+        with pytest.raises(OperationCancelledError):
+            ctx.checkpoint("after.cancel")
+
+    def test_cancellation_from_another_thread(self):
+        ctx = RunContext()
+        cancelled = threading.Event()
+
+        def canceller():
+            ctx.cancel()
+            cancelled.set()
+
+        t = threading.Thread(target=canceller)
+        t.start()
+        t.join()
+        assert cancelled.is_set()
+        with pytest.raises(OperationCancelledError):
+            ctx.checkpoint()
+
+    def test_injector_runs_before_budget_and_deadline(self):
+        class Boom(ResourceError):
+            pass
+
+        def injector(ctx, site):
+            raise Boom("injected", site=site)
+
+        ctx = RunContext(deadline=0.0, budget=0, injector=injector)
+        with pytest.raises(Boom):
+            ctx.checkpoint("x")
+
+    def test_ambient_installation_and_nesting(self):
+        assert current_context() is PASSIVE_CONTEXT
+        outer = RunContext(budget=100)
+        inner = RunContext(budget=5)
+        with outer:
+            assert current_context() is outer
+            with inner:
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is PASSIVE_CONTEXT
+
+    def test_governed_helper(self):
+        with governed(deadline=60.0, budget=10) as ctx:
+            assert current_context() is ctx
+            assert ctx.deadline is not None
+            assert ctx.budget is not None
+        assert current_context() is PASSIVE_CONTEXT
+
+    def test_consumption_record(self):
+        ctx = RunContext(deadline=60.0, budget=10)
+        ctx.checkpoint()
+        ctx.checkpoint()
+        record = ctx.consumption()
+        assert record["checkpoints"] == 2
+        assert record["budget"] == 10
+        assert record["spent"] == 2
+        assert record["deadline_s"] == 60.0
+        json.dumps(record)  # must be serializable
+
+
+# ----------------------------------------------------------------------
+# Verdict
+# ----------------------------------------------------------------------
+class TestVerdict:
+    def test_true_false_properties(self):
+        t = Verdict.true(reason="witness found", witness={"a": "b"})
+        f = Verdict.false(reason="no mapping")
+        assert t.is_true and not t.is_false and not t.is_unknown
+        assert f.is_false and not f.is_true and not f.is_unknown
+        assert t.definite and f.definite
+        assert bool(t) is True
+        assert bool(f) is False
+        assert t.witness == {"a": "b"}
+
+    def test_unknown_refuses_bool_coercion(self):
+        u = Verdict.unknown(reason="deadline tripped")
+        assert u.is_unknown and not u.definite
+        with pytest.raises(ValidationError):
+            bool(u)
+        with pytest.raises(ValidationError):
+            if u:  # pragma: no cover - the coercion itself raises
+                pass
+
+    def test_from_error_carries_consumption(self):
+        err = BudgetExceededError(
+            budget=5, spent=6, site="s", consumed={"unit": "nodes"}
+        )
+        v = Verdict.from_error(err)
+        assert v.is_unknown
+        assert "BudgetExceededError" in v.reason
+        assert v.consumed.get("unit") == "nodes"
+
+    def test_snapshot_is_json_serializable(self):
+        v = Verdict.true(reason="ok", witness={"x": 1}, consumed={"n": 2})
+        snap = v.snapshot()
+        assert snap["value"] == "TRUE"
+        assert snap["has_witness"] is True
+        json.dumps(snap)
+
+    def test_trivalent_values(self):
+        assert {t.value for t in Trivalent} == {"TRUE", "FALSE", "UNKNOWN"}
+
+
+# ----------------------------------------------------------------------
+# SweepJournal
+# ----------------------------------------------------------------------
+class TestSweepJournal:
+    def test_record_and_reload(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        assert len(journal) == 0
+        journal.record("a", {"width": 3})
+        journal.record("b", {"width": 4})
+        reloaded = SweepJournal(path)
+        assert len(reloaded) == 2
+        assert reloaded.is_done("a")
+        assert "b" in reloaded
+        assert reloaded.result("a") == {"width": 3}
+        assert set(reloaded.keys()) == {"a", "b"}
+
+    def test_rerecord_last_wins(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        journal.record("a", 1)
+        journal.record("a", 2)
+        assert journal.result("a") == 2
+        assert SweepJournal(path).result("a") == 2
+
+    def test_corrupt_trailing_line_ignored(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        journal.record("a", 1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "result":')  # hard-kill torn write
+        reloaded = SweepJournal(path)
+        assert reloaded.is_done("a")
+        assert not reloaded.is_done("b")
+
+    def test_reset_deletes_file(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        journal.record("a", 1)
+        journal.reset()
+        assert len(journal) == 0
+        assert not (tmp_path / "sweep.jsonl").exists()
+        assert len(SweepJournal(path)) == 0
+
+
+# ----------------------------------------------------------------------
+# Governor counters and the engine snapshot
+# ----------------------------------------------------------------------
+class TestGovernorStats:
+    def test_checkpoints_are_counted_globally(self):
+        before = GOVERNOR.checkpoints
+        RunContext().checkpoint()
+        assert GOVERNOR.checkpoints == before + 1
+
+    def test_trip_counters(self):
+        before_deadline = GOVERNOR.deadline_hits
+        before_budget = GOVERNOR.budget_trips
+        before_cancel = GOVERNOR.cancellations
+        with pytest.raises(DeadlineExceededError):
+            RunContext(deadline=0.0).checkpoint()
+        with pytest.raises(BudgetExceededError):
+            RunContext(budget=0).checkpoint()
+        ctx = RunContext()
+        ctx.cancel()
+        with pytest.raises(OperationCancelledError):
+            ctx.checkpoint()
+        assert GOVERNOR.deadline_hits == before_deadline + 1
+        assert GOVERNOR.budget_trips == before_budget + 1
+        assert GOVERNOR.cancellations == before_cancel + 1
+
+    def test_snapshot_and_reset(self):
+        RunContext().checkpoint()
+        snap = GOVERNOR.snapshot()
+        assert set(snap) == {
+            "checkpoints", "deadline_hits", "budget_trips",
+            "cancellations", "fallbacks", "unknown_verdicts",
+        }
+        json.dumps(snap)
+
+    def test_engine_snapshot_includes_governor(self):
+        from repro.engine import HomEngine
+
+        engine = HomEngine()
+        snap = engine.snapshot()
+        assert "governor" in snap
+        assert "checkpoints" in snap["governor"]
+
+    def test_engine_reset_stats_resets_governor(self):
+        from repro.engine import HomEngine
+
+        engine = HomEngine()
+        RunContext().checkpoint()
+        assert GOVERNOR.checkpoints > 0
+        engine.reset_stats()
+        assert GOVERNOR.checkpoints == 0
+
+    def test_instrumentation_reexports_same_object(self):
+        from repro.engine.instrumentation import GOVERNOR as G2
+
+        assert G2 is GOVERNOR
