@@ -1,0 +1,46 @@
+"""Machine-readable benchmark emission (the perf trajectory).
+
+Performance benches emit ``BENCH_<name>.json`` files under
+``benchmarks/results/`` alongside the prose ``.txt`` tables, so runs
+can be diffed and plotted across commits.  Each file carries a schema
+version and the raw numbers (wall time, solver counters, speedups) the
+CI bench-smoke job asserts on and uploads as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+SCHEMA_VERSION = 1
+
+
+def write_bench_json(
+    name: str, payload: Dict[str, Any], out_dir: str = RESULTS_DIR
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The payload is wrapped with a schema version, a wall-clock stamp
+    and the python/runtime identification needed to compare runs across
+    machines.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": name,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        **payload,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

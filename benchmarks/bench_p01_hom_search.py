@@ -14,10 +14,23 @@ reports timing plus cache/solver counters as JSON::
 
 ``--compare`` runs both configurations and reports the speedup (the
 engine's acceptance bar is >= 5x with the cache on).
+
+The *kernel-compare* mode races the compiled bitset kernel against the
+reference backtracking solver on the same grid (memo caches off, so it
+times solving, not caching), checks the verdicts agree on every
+instance, and writes the machine-readable ``BENCH_hom.json`` next to
+the journals under ``benchmarks/results/``::
+
+    python benchmarks/bench_p01_hom_search.py --kernel-compare
+    python benchmarks/bench_p01_hom_search.py --kernel-compare --grid tiny
+
+The kernel's acceptance bar is a >= 5x median speedup on the medium
+grid with zero disagreements.
 """
 
 import argparse
 import json
+import statistics
 import time
 
 import pytest
@@ -25,6 +38,7 @@ import pytest
 from repro.engine import HomEngine
 from repro.structures import (
     directed_path,
+    path_with_random_chords,
     random_directed_graph,
     undirected_cycle,
     undirected_path,
@@ -108,17 +122,149 @@ def run_repeated_queries(repeat: int, use_cache: bool) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Kernel-vs-reference compare mode (script entry point)
+# ----------------------------------------------------------------------
+def kernel_compare_workload(grid: str):
+    """Named (source, target) pairs for the kernel/reference race.
+
+    The ``medium`` grid is the acceptance grid: it includes the
+    chorded-path refutations whose node-by-node AC-3 re-scans dominate
+    the reference solver.  ``tiny`` is the CI smoke subset (seconds,
+    not minutes, on a cold runner).
+    """
+    pairs = [
+        ("odd-cycle-7-vs-k2", undirected_cycle(7), undirected_path(2)),
+        ("odd-cycle-9-vs-k2", undirected_cycle(9), undirected_path(2)),
+        ("path6-into-random-8",
+         directed_path(6), random_directed_graph(8, 0.3, seed=8)),
+        ("random-pair-4",
+         random_directed_graph(4, 0.25, seed=1),
+         random_directed_graph(6, 0.35, seed=2)),
+        ("chorded-30-6-s1-vs-c7",
+         path_with_random_chords(30, 6, seed=1), undirected_cycle(7)),
+    ]
+    if grid == "tiny":
+        return pairs
+    pairs += [
+        ("odd-cycle-11-vs-k2", undirected_cycle(11), undirected_path(2)),
+        ("path6-into-random-16",
+         directed_path(6), random_directed_graph(16, 0.3, seed=16)),
+        ("path6-into-random-32",
+         directed_path(6), random_directed_graph(32, 0.3, seed=32)),
+        ("random-pair-6",
+         random_directed_graph(6, 0.25, seed=1),
+         random_directed_graph(8, 0.35, seed=2)),
+        ("random-pair-8",
+         random_directed_graph(8, 0.25, seed=1),
+         random_directed_graph(10, 0.35, seed=2)),
+        ("chorded-40-8-s1-vs-c7",
+         path_with_random_chords(40, 8, seed=1), undirected_cycle(7)),
+        ("chorded-50-10-s3-vs-c7",
+         path_with_random_chords(50, 10, seed=3), undirected_cycle(7)),
+        ("chorded-60-12-s5-vs-c7",
+         path_with_random_chords(60, 12, seed=5), undirected_cycle(7)),
+    ]
+    return pairs
+
+
+def _time_solver(engine, source, target, repeat):
+    """Best-of-``repeat`` wall time plus the first run's search counters."""
+    best = float("inf")
+    nodes = backtracks = 0
+    found = None
+    for attempt in range(repeat):
+        before_nodes = engine.stats.nodes
+        before_backtracks = engine.stats.backtracks
+        started = time.perf_counter()
+        result = engine.find_homomorphism(source, target)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        if attempt == 0:
+            found = result is not None
+            nodes = engine.stats.nodes - before_nodes
+            backtracks = engine.stats.backtracks - before_backtracks
+    return {
+        "found": found,
+        "best_s": best,
+        "nodes": nodes,
+        "backtracks": backtracks,
+    }
+
+
+def run_kernel_compare(grid: str, repeat: int) -> dict:
+    """Race the bitset kernel against the reference solver per instance.
+
+    Memo caches are disabled on both engines so the race times solving;
+    the kernel engine still reuses its compiled target across repeats,
+    exactly as the production engine does across queries.
+    """
+    from _json import write_bench_json
+
+    reference = HomEngine(cache_enabled=False, use_kernel=False)
+    kernel = HomEngine(cache_enabled=False, use_kernel=True)
+    rows = []
+    disagreements = []
+    speedups = []
+    for name, source, target in kernel_compare_workload(grid):
+        ref = _time_solver(reference, source, target, repeat)
+        ker = _time_solver(kernel, source, target, repeat)
+        speedup = (
+            ref["best_s"] / ker["best_s"] if ker["best_s"] > 0
+            else float("inf")
+        )
+        speedups.append(speedup)
+        if ref["found"] != ker["found"]:
+            disagreements.append(name)
+        rows.append({
+            "instance": name,
+            "found": ker["found"],
+            "reference": ref,
+            "kernel": ker,
+            "speedup": speedup,
+        })
+    report = {
+        "mode": "kernel-compare",
+        "grid": grid,
+        "repeat": repeat,
+        "instances": len(rows),
+        "disagreements": disagreements,
+        "median_speedup": statistics.median(speedups),
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "kernel_snapshot": kernel.snapshot()["compiled_targets"],
+        "results": rows,
+    }
+    report["json_path"] = write_bench_json("hom", report)
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="repeated-query homomorphism benchmark (JSON output)"
     )
     parser.add_argument("--repeat", type=int, default=25,
-                        help="times the workload is replayed")
+                        help="times the workload is replayed "
+                             "(kernel-compare: best-of runs per instance)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the engine's memo cache")
     parser.add_argument("--compare", action="store_true",
                         help="run cached and uncached, report the speedup")
+    parser.add_argument("--kernel-compare", action="store_true",
+                        help="race the bitset kernel against the reference "
+                             "solver; writes BENCH_hom.json")
+    parser.add_argument("--grid", choices=("tiny", "medium"),
+                        default="medium",
+                        help="kernel-compare instance grid")
     args = parser.parse_args(argv)
+
+    if args.kernel_compare:
+        # --repeat defaults to 25 for the replay mode; best-of-3 is
+        # plenty for per-instance timing.
+        repeat = 3 if args.repeat == 25 else args.repeat
+        report = run_kernel_compare(args.grid, repeat)
+        print(json.dumps(report, indent=2))
+        return 0 if not report["disagreements"] else 1
 
     if args.compare:
         uncached = run_repeated_queries(args.repeat, use_cache=False)

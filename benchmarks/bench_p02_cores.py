@@ -10,6 +10,12 @@ plus cache/solver counters as JSON::
 
     python benchmarks/bench_p02_cores.py --repeat 10
     python benchmarks/bench_p02_cores.py --repeat 10 --no-cache
+
+The *sweep* mode runs the registered ``cores`` instance grid through
+the parallel governed executor instead (one core computation per
+instance, fanned out over ``--workers`` processes)::
+
+    python benchmarks/bench_p02_cores.py --sweep --workers 4 --deadline 10
 """
 
 import argparse
@@ -97,6 +103,21 @@ def run_repeated_cores(repeat: int, use_cache: bool) -> dict:
     }
 
 
+def run_core_sweep(workers: int, deadline_s: float) -> dict:
+    """The registered ``cores`` grid through the parallel executor."""
+    from repro.parallel import get_sweep, run_sweep
+
+    sweep = get_sweep("cores")
+    outcome = run_sweep(
+        sweep.task,
+        sweep.instances(),
+        workers=workers,
+        deadline_s=deadline_s,
+        mode="cores-sweep",
+    )
+    return outcome.to_dict()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="repeated core-computation benchmark (JSON output)"
@@ -105,8 +126,18 @@ def main(argv=None) -> int:
                         help="times the workload is replayed")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the engine's memo cache")
+    parser.add_argument("--sweep", action="store_true",
+                        help="run the registered cores grid through the "
+                             "parallel governed executor")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="sweep mode: worker processes")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="sweep mode: per-instance deadline in seconds")
     args = parser.parse_args(argv)
-    report = run_repeated_cores(args.repeat, use_cache=not args.no_cache)
+    if args.sweep:
+        report = run_core_sweep(args.workers, args.deadline)
+    else:
+        report = run_repeated_cores(args.repeat, use_cache=not args.no_cache)
     print(json.dumps(report, indent=2))
     return 0
 

@@ -12,12 +12,17 @@ rerunning it resumes after the last finished instance::
     python benchmarks/bench_p03_treewidth.py --deadline 5
     python benchmarks/bench_p03_treewidth.py --deadline 5   # resumes
     python benchmarks/bench_p03_treewidth.py --fresh        # start over
+
+The sweep runs through :func:`repro.parallel.run_sweep`; ``--workers N``
+fans the instances out over a process pool (per-instance governors are
+re-installed inside each worker), and ``--compare-workers N`` races the
+serial and parallel paths to report the wall-clock speedup.  Either way
+the machine-readable ``BENCH_sweep.json`` lands next to the journal.
 """
 
 import argparse
 import json
 import os
-import time
 
 import pytest
 
@@ -87,62 +92,91 @@ DEFAULT_JOURNAL = os.path.join(RESULTS_DIR, "treewidth_sweep.jsonl")
 
 
 def sweep_instances():
-    """The (key, graph) pairs the sweep covers, in a deterministic order."""
-    instances = []
-    for rows, cols in [(3, 3), (3, 4), (4, 4), (4, 5)]:
-        instances.append((f"grid-{rows}x{cols}", grid_graph(rows, cols)))
-    for n in (20, 40):
-        instances.append((f"tree-{n}", random_tree(n, seed=n)))
-    for n in (8, 10, 12, 14):
-        instances.append((f"random-{n}", random_graph(n, 0.35, seed=n)))
-    for n in (25, 45):
-        instances.append((f"2tree-{n}", k_tree(2, n, seed=n)))
-    return instances
+    """The (key, spec) pairs the sweep covers, in a deterministic order
+    (shared with ``repro sweep treewidth`` via the registry)."""
+    from repro.parallel.sweeps import treewidth_instances
+
+    return treewidth_instances()
+
+
+def _count_fallbacks(results: dict) -> int:
+    return sum(
+        1
+        for record in results.values()
+        if record
+        and record.get("status") == "ok"
+        and not record["result"]["exact"]
+    )
 
 
 def run_sweep(journal_path: str, deadline_s: float, limit: int,
-              fresh: bool) -> dict:
+              fresh: bool, workers: int = 1) -> dict:
     """Run the governed treewidth sweep, resuming from the journal.
 
-    Each instance runs under its own deadline via
-    :func:`repro.resources.governed` and degrades to the heuristic upper
-    bound on a trip (the journal records which).  Results are flushed to
-    disk per instance, so an interrupted sweep loses at most the
-    instance in flight.
+    The work goes through :func:`repro.parallel.run_sweep`: each
+    instance runs under its own deadline (re-installed inside the
+    worker when ``workers > 1``) and degrades to the heuristic upper
+    bound on a trip; every completion is flushed to the journal the
+    moment it lands, so an interrupted sweep loses at most the
+    instances in flight.
     """
-    from repro.graphtheory import treewidth_with_fallback
-    from repro.resources import SweepJournal, governed
+    import functools
+
+    from repro.parallel import run_sweep as parallel_sweep
+    from repro.parallel.sweeps import treewidth_task
+    from repro.resources import SweepJournal
 
     os.makedirs(os.path.dirname(journal_path), exist_ok=True)
     journal = SweepJournal(journal_path)
-    if fresh:
-        journal.reset()
-    computed = resumed = fallbacks = 0
-    for key, graph in sweep_instances():
-        if journal.is_done(key):
-            resumed += 1
-            continue
-        started = time.perf_counter()
-        with governed(deadline=deadline_s):
-            result = treewidth_with_fallback(graph, limit=limit)
-        journal.record(key, {
-            "width": result.width,
-            "exact": result.exact,
-            "method": result.method,
-            "reason": result.reason,
-            "elapsed_s": time.perf_counter() - started,
-        })
-        computed += 1
-        if not result.exact:
-            fallbacks += 1
+    outcome = parallel_sweep(
+        functools.partial(treewidth_task, limit=limit),
+        sweep_instances(),
+        workers=workers,
+        deadline_s=deadline_s,
+        journal=journal,
+        fresh=fresh,
+        mode="treewidth-sweep",
+    )
+    report = outcome.to_dict()
+    report["journal"] = journal_path
+    report["fallbacks"] = _count_fallbacks(report["results"])
+    return report
+
+
+def run_worker_compare(deadline_s: float, limit: int, workers: int) -> dict:
+    """Race the serial path against ``workers`` processes (no journal,
+    so both runs compute everything) and report the wall-clock speedup.
+
+    On a single-core box the parallel run measures pure overhead; the
+    report carries ``cpu_count`` so consumers can gate expectations on
+    the hardware instead of pretending a speedup where none is possible.
+    """
+    import functools
+
+    from repro.parallel import run_sweep as parallel_sweep
+    from repro.parallel.sweeps import treewidth_task
+
+    task = functools.partial(treewidth_task, limit=limit)
+    serial = parallel_sweep(
+        task, sweep_instances(), workers=1, deadline_s=deadline_s,
+        mode="treewidth-sweep-serial",
+    )
+    parallel = parallel_sweep(
+        task, sweep_instances(), workers=workers, deadline_s=deadline_s,
+        mode="treewidth-sweep-parallel",
+    )
     return {
-        "mode": "treewidth-sweep",
-        "journal": journal_path,
-        "instances": len(journal),
-        "computed": computed,
-        "resumed": resumed,
-        "fallbacks": fallbacks,
-        "results": {key: journal.result(key) for key in journal.keys()},
+        "mode": "treewidth-worker-compare",
+        "workers": workers,
+        "serial_elapsed_s": serial.elapsed_s,
+        "parallel_elapsed_s": parallel.elapsed_s,
+        "parallel_used_pool": parallel.parallel,
+        "speedup": (
+            serial.elapsed_s / parallel.elapsed_s
+            if parallel.elapsed_s > 0 else float("inf")
+        ),
+        "serial": serial.to_dict(),
+        "parallel": parallel.to_dict(),
     }
 
 
@@ -158,8 +192,25 @@ def main(argv=None) -> int:
                         help="checkpoint journal path")
     parser.add_argument("--fresh", action="store_true",
                         help="discard the journal and start over")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial in-process)")
+    parser.add_argument("--compare-workers", type=int, default=None,
+                        metavar="N",
+                        help="race serial vs N workers, report the speedup")
     args = parser.parse_args(argv)
-    report = run_sweep(args.journal, args.deadline, args.limit, args.fresh)
+
+    from _json import write_bench_json
+
+    if args.compare_workers is not None:
+        report = run_worker_compare(
+            args.deadline, args.limit, args.compare_workers
+        )
+    else:
+        report = run_sweep(
+            args.journal, args.deadline, args.limit, args.fresh,
+            workers=args.workers,
+        )
+    report["json_path"] = write_bench_json("sweep", report)
     print(json.dumps(report, indent=2))
     return 0
 

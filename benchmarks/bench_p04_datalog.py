@@ -2,7 +2,9 @@
 
 Naive vs semi-naive bottom-up evaluation of transitive closure across
 instance sizes — the classical crossover the Datalog literature reports
-(semi-naive asymptotically dominates).  Also times stage unfolding.
+(semi-naive asymptotically dominates).  Also times stage unfolding and
+the boundedness probes, which now run semi-naively; the naive benches
+stay as the ablation baseline that crossover is measured against.
 """
 
 import pytest
@@ -10,8 +12,10 @@ import pytest
 from repro.datalog import (
     evaluate_naive,
     evaluate_semi_naive,
+    rounds_to_fixpoint,
     stage_ucqs,
     transitive_closure_program,
+    unboundedness_evidence,
 )
 from repro.structures import directed_cycle, directed_path, random_directed_graph
 
@@ -48,3 +52,20 @@ def bench_p04_stage_unfolding(benchmark, stage):
     program = transitive_closure_program()
     stages = benchmark(stage_ucqs, program, stage)
     assert len(stages[stage]["T"]) == stage
+
+
+@pytest.mark.parametrize("n", [12, 24])
+def bench_p04_boundedness_probe(benchmark, n):
+    # the rounds-to-fixpoint probe is the hot path of the empirical
+    # unboundedness sweeps; routed through the semi-naive engine
+    program = transitive_closure_program()
+    rounds = benchmark(rounds_to_fixpoint, program, directed_path(n))
+    assert rounds == n - 1
+
+
+def bench_p04_unboundedness_evidence(benchmark):
+    program = transitive_closure_program()
+    growth = benchmark(
+        unboundedness_evidence, program, directed_path, [4, 8, 12]
+    )
+    assert growth == [3, 7, 11]

@@ -21,9 +21,13 @@ JSON-serialized structures (see :mod:`repro.structures.io`):
     Decide the existential k-pebble game on (A, B).
 ``chandra-merlin A.json B.json``
     Report the three equivalent statements of Theorem 2.1.
-``stats [--pair A.json B.json --repeat N] [--no-cache]``
+``stats [--pair A.json B.json --repeat N] [--no-cache] [--no-kernel]``
     Dump the hom-engine's solver/cache counters as JSON (optionally
     after exercising a homomorphism query ``N`` times first).
+``sweep {hom,cores,treewidth} [--workers N] [--deadline S] ...``
+    Run a registered instance sweep through the parallel governed
+    executor (:mod:`repro.parallel`): per-instance deadlines/budgets,
+    journaled kill-resume (``--journal``), deterministic JSON report.
 """
 
 from __future__ import annotations
@@ -171,11 +175,40 @@ def _cmd_chandra_merlin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import functools
+
+    from .parallel import get_sweep, run_sweep
+    from .resources import SweepJournal
+
+    sweep = get_sweep(args.name)
+    task = sweep.task
+    if args.name == "treewidth":
+        task = functools.partial(task, limit=args.limit)
+    journal = SweepJournal(args.journal) if args.journal else None
+    outcome = run_sweep(
+        task,
+        sweep.instances(),
+        workers=args.workers,
+        deadline_s=args.deadline,
+        budget=args.budget,
+        journal=journal,
+        fresh=args.fresh,
+        chunksize=args.chunksize,
+        mode=f"sweep-{args.name}",
+    )
+    print(json.dumps(outcome.to_dict(), indent=2))
+    return 0 if outcome.failed == 0 else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .engine import HomEngine, get_engine, set_engine
 
-    if args.no_cache:
-        set_engine(HomEngine(cache_enabled=False))
+    if args.no_cache or args.no_kernel:
+        set_engine(HomEngine(
+            cache_enabled=not args.no_cache,
+            use_kernel=not args.no_kernel,
+        ))
     engine = get_engine()
     if args.pair:
         a = load_structure(args.pair[0])
@@ -246,6 +279,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target")
     p.set_defaults(func=_cmd_chandra_merlin)
 
+    p = sub.add_parser("sweep",
+                       help="run a registered instance sweep "
+                            "(parallel, governed, resumable)")
+    p.add_argument("name", choices=("hom", "cores", "treewidth"),
+                   help="which registered sweep to run")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial in-process)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-instance wall-clock deadline in seconds")
+    p.add_argument("--budget", type=int, default=None,
+                   help="per-instance search-step budget")
+    p.add_argument("--journal", default=None,
+                   help="JSONL journal path for kill-resume")
+    p.add_argument("--fresh", action="store_true",
+                   help="discard the journal and start over")
+    p.add_argument("--chunksize", type=int, default=1,
+                   help="instances per worker task")
+    p.add_argument("--limit", type=int, default=40,
+                   help="treewidth sweep: exact-solver vertex limit")
+    p.set_defaults(func=_cmd_sweep)
+
     p = sub.add_parser("stats",
                        help="hom-engine solver/cache counters as JSON")
     p.add_argument("--pair", nargs=2, metavar=("SOURCE", "TARGET"),
@@ -254,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how many times to run the --pair query")
     p.add_argument("--no-cache", action="store_true",
                    help="use a fresh engine with memoization disabled")
+    p.add_argument("--no-kernel", action="store_true",
+                   help="use a fresh engine on the reference solver "
+                        "(compiled bitset kernel disabled)")
     p.set_defaults(func=_cmd_stats)
 
     return parser

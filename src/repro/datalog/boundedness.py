@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..cq.ucq import UnionOfConjunctiveQueries
 from ..structures.structure import Structure
-from .evaluation import evaluate_naive
+from .evaluation import evaluate_semi_naive
 from .program import DatalogProgram
 from .stages import DEFAULT_STAGE_BUDGET, stage_ucqs
 
@@ -76,8 +76,17 @@ def is_bounded_up_to(
 def rounds_to_fixpoint(
     program: DatalogProgram, structure: Structure
 ) -> int:
-    """The number of naive rounds until the fixed point on one structure."""
-    return evaluate_naive(program, structure).rounds
+    """The number of naive rounds until the fixed point on one structure.
+
+    Evaluated semi-naively: the cumulative semi-naive states per round
+    coincide with the naive stages ``Φ^m`` (each round adds exactly the
+    facts first derivable at that stage), so the round count is the
+    same while each round joins only against the previous deltas.  The
+    stage-semantics construction of Theorems 7.4/7.5 lives in
+    :mod:`repro.datalog.stages`, which deliberately stays on
+    :func:`~repro.datalog.evaluation.evaluate_naive`.
+    """
+    return evaluate_semi_naive(program, structure).rounds
 
 
 def unboundedness_evidence(
@@ -100,9 +109,13 @@ def certificate_defines_query(
     structures: Sequence[Structure],
 ) -> bool:
     """Cross-check a certificate: on each structure, the certificate UCQ
-    evaluates exactly to the program's least-fixed-point query."""
+    evaluates exactly to the program's least-fixed-point query.
+
+    Only the fixed point matters here (not the stage sequence), so the
+    semi-naive engine is the right one: same least fixed point, no
+    re-derivation of old facts each round."""
     for s in structures:
-        fixpoint = evaluate_naive(program, s)
+        fixpoint = evaluate_semi_naive(program, s)
         if certificate.query.evaluate(s) != set(
             fixpoint.relations[certificate.predicate]
         ):

@@ -229,7 +229,12 @@ def verify_stage_against_evaluation(
     budget: int = DEFAULT_STAGE_BUDGET,
 ) -> bool:
     """Check Theorem 7.1(1) on a concrete structure: the unfolded stage UCQ
-    evaluates exactly to the ``m``-th naive stage."""
+    evaluates exactly to the ``m``-th naive stage.
+
+    Stays on the naive evaluator on purpose: the theorem is a statement
+    about the naive stage sequence ``Φ^m``, so the check should compute
+    that sequence by its definition rather than trust the semi-naive
+    engine's stage-coincidence argument it is partly evidence for."""
     from .evaluation import evaluate_naive
 
     ucq = stage_ucq(program, predicate, m, budget)

@@ -6,17 +6,20 @@ queries and core computations.  Each query is
 1. normalized into a cache key ``(kind, fingerprint(s), options…)``,
 2. looked up in the LRU memo cache (equality-verified, so fingerprint
    collisions can only cost a miss, never a wrong answer),
-3. on a miss, solved by the backtracking kernel in
-   :mod:`repro.homomorphism.search` with the engine's
-   :class:`~repro.engine.instrumentation.SolverStats` threaded through
-   so backtracks / nodes / AC-3 prunings are counted, and the result
+3. on a miss, solved by the compiled bitset kernel
+   (:mod:`repro.kernel`, the default — the target is interned once per
+   fingerprint and reused) or by the reference backtracking solver in
+   :mod:`repro.homomorphism.search` (``use_kernel=False``), with the
+   engine's :class:`~repro.engine.instrumentation.SolverStats` threaded
+   through so backtracks / nodes / prunings are counted, and the result
    stored.
 
 A process-global engine (``get_engine()``) backs the convenience
 functions of :mod:`repro.homomorphism`; benchmarks construct private
-instances (e.g. with ``cache_enabled=False``) for ablations.  Setting
-the environment variable ``REPRO_NO_CACHE=1`` disables memoization on
-the global engine — the instrumentation stays on.
+instances (e.g. with ``cache_enabled=False`` or ``use_kernel=False``)
+for ablations.  Environment switches for the global engine:
+``REPRO_NO_CACHE=1`` disables memoization, ``REPRO_NO_KERNEL=1`` routes
+searches to the reference solver — the instrumentation stays on.
 """
 
 from __future__ import annotations
@@ -55,15 +58,36 @@ class HomEngine:
     cache_enabled:
         When ``False`` every query is solved from scratch; counters and
         timers still accumulate (used by the ``--no-cache`` ablations).
+    use_kernel:
+        When ``True`` (default) searches run on the compiled bitset
+        kernel (:mod:`repro.kernel`), with targets compiled once per
+        fingerprint and reused across queries; ``False`` keeps the
+        reference set-based solver (the ``--no-kernel`` ablation and
+        the differential oracle path).
+    compiled_cache_size:
+        Compiled targets retained by the kernel's per-engine cache.
     """
 
     def __init__(
         self,
         cache_size: int = DEFAULT_CACHE_SIZE,
         cache_enabled: bool = True,
+        use_kernel: bool = True,
+        compiled_cache_size: Optional[int] = None,
     ) -> None:
+        from ..kernel.compile import (
+            DEFAULT_COMPILED_CACHE_SIZE,
+            CompiledTargetCache,
+        )
+
         self.cache = HomCache(cache_size)
         self.cache_enabled = cache_enabled
+        self.use_kernel = use_kernel
+        self.compiled_targets = CompiledTargetCache(
+            compiled_cache_size
+            if compiled_cache_size is not None
+            else DEFAULT_COMPILED_CACHE_SIZE
+        )
         self.stats = SolverStats()
 
     # ------------------------------------------------------------------
@@ -180,20 +204,36 @@ class HomEngine:
         forbidden: FrozenSet[Element],
         propagate: bool,
     ) -> Optional[Homomorphism]:
-        from ..homomorphism.search import HomomorphismSearch
-
         self.stats.solves += 1
         with Timer() as timer:
-            search = HomomorphismSearch(
-                source,
-                target,
-                injective=injective,
-                pinned=pinned,
-                forbidden_images=forbidden,
-                propagate=propagate,
-                stats=self.stats,
-            )
-            result = search.first()
+            if self.use_kernel:
+                from ..kernel.solver import BitsetHomomorphismSolver
+
+                self.stats.kernel_solves += 1
+                compiled = self.compiled_targets.get(target, stats=self.stats)
+                solver = BitsetHomomorphismSolver(
+                    source,
+                    compiled,
+                    injective=injective,
+                    pinned=pinned,
+                    forbidden_images=forbidden,
+                    propagate=propagate,
+                    stats=self.stats,
+                )
+                result = solver.first()
+            else:
+                from ..homomorphism.search import HomomorphismSearch
+
+                search = HomomorphismSearch(
+                    source,
+                    target,
+                    injective=injective,
+                    pinned=pinned,
+                    forbidden_images=forbidden,
+                    propagate=propagate,
+                    stats=self.stats,
+                )
+                result = search.first()
         self.stats.solve_time_s += timer.elapsed_s
         return result
 
@@ -235,8 +275,9 @@ class HomEngine:
         return self.cache.invalidate(structure.fingerprint())
 
     def clear_cache(self) -> None:
-        """Empty the memo cache (counters survive)."""
+        """Empty the memo and compiled-target caches (counters survive)."""
         self.cache.clear()
+        self.compiled_targets.clear()
 
     def reset_stats(self) -> None:
         """Zero the solver counters, the cache's counters, and the
@@ -246,6 +287,8 @@ class HomEngine:
         self.cache.misses = 0
         self.cache.evictions = 0
         self.cache.invalidations = 0
+        self.compiled_targets.hits = 0
+        self.compiled_targets.misses = 0
         GOVERNOR.reset()
 
     def snapshot(self) -> Dict[str, object]:
@@ -258,8 +301,10 @@ class HomEngine:
         """
         return {
             "cache_enabled": self.cache_enabled,
+            "kernel_enabled": self.use_kernel,
             "solver": self.stats.snapshot(),
             "cache": self.cache.snapshot(),
+            "compiled_targets": self.compiled_targets.snapshot(),
             "governor": GOVERNOR.snapshot(),
         }
 
@@ -272,8 +317,13 @@ _GLOBAL_ENGINE: Optional[HomEngine] = None
 
 def _default_engine() -> HomEngine:
     disabled = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+    no_kernel = os.environ.get("REPRO_NO_KERNEL", "") not in ("", "0")
     size = int(os.environ.get("REPRO_HOM_CACHE_SIZE", DEFAULT_CACHE_SIZE))
-    return HomEngine(cache_size=size, cache_enabled=not disabled)
+    return HomEngine(
+        cache_size=size,
+        cache_enabled=not disabled,
+        use_kernel=not no_kernel,
+    )
 
 
 def get_engine() -> HomEngine:

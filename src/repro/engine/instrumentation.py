@@ -33,11 +33,20 @@ class SolverStats:
     backtracks:
         Assignments undone (value rejected or subtree exhausted).
     ac3_prunings:
-        Domain values removed by the AC-3-style propagation pass.
+        Domain values removed by constraint propagation (the reference
+        solver's AC-3 pass or the kernel's bitmask worklist pass).
     solve_time_s:
         Wall-clock seconds spent inside actual searches.
     core_iterations:
         Retraction steps performed by core computations.
+    kernel_solves:
+        Searches answered by the compiled bitset kernel (the remainder
+        of ``solves`` ran the reference solver).
+    kernel_compilations:
+        Targets interned into bitmask form (compiled-target cache
+        misses).
+    kernel_compile_hits:
+        Kernel solves that reused an already-compiled target.
     """
 
     calls: int = 0
@@ -49,6 +58,9 @@ class SolverStats:
     ac3_prunings: int = 0
     solve_time_s: float = 0.0
     core_iterations: int = 0
+    kernel_solves: int = 0
+    kernel_compilations: int = 0
+    kernel_compile_hits: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -23,7 +23,8 @@ or budget interrupts the search with a typed
 
 from __future__ import annotations
 
-from collections import defaultdict
+import threading
+from collections import OrderedDict, defaultdict
 from typing import (
     Dict,
     FrozenSet,
@@ -105,6 +106,36 @@ class _TargetIndex:
             ]
 
 
+#: Per-target index reuse: core-retraction loops and containment batches
+#: issue many searches against the same (or a recurring) target, and the
+#: per-position indexes only depend on the target.  Keyed by the WL
+#: fingerprint with equality verification (fingerprints are isomorphism-
+#: invariant, so a colliding isomorphic-but-different structure rebuilds
+#: and takes over the slot instead of borrowing wrong element tables).
+_INDEX_CACHE_SIZE = 256
+_INDEX_CACHE: "OrderedDict[str, Tuple[Structure, _TargetIndex]]" = (
+    OrderedDict()
+)
+_INDEX_LOCK = threading.Lock()
+
+
+def target_index_for(target: Structure) -> _TargetIndex:
+    """The (cached) :class:`_TargetIndex` of ``target``."""
+    key = target.fingerprint()
+    with _INDEX_LOCK:
+        entry = _INDEX_CACHE.get(key)
+        if entry is not None and entry[0] == target:
+            _INDEX_CACHE.move_to_end(key)
+            return entry[1]
+    index = _TargetIndex(target)
+    with _INDEX_LOCK:
+        _INDEX_CACHE[key] = (target, index)
+        _INDEX_CACHE.move_to_end(key)
+        while len(_INDEX_CACHE) > _INDEX_CACHE_SIZE:
+            _INDEX_CACHE.popitem(last=False)
+    return index
+
+
 class HomomorphismSearch:
     """A configurable homomorphism search between two fixed structures.
 
@@ -157,7 +188,7 @@ class HomomorphismSearch:
         self.propagate = propagate
         self.stats = stats
         self.context = context if context is not None else current_context()
-        self.index = _TargetIndex(target)
+        self.index = target_index_for(target)
 
         forbidden = frozenset(forbidden_images)
         base_domain = [

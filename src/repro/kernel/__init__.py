@@ -1,0 +1,42 @@
+"""The compiled bitset homomorphism kernel.
+
+The reference solver (:mod:`repro.homomorphism.search`) works directly
+over ``Set[Element]`` domains and re-scans target tuples during every
+AC-3 sweep.  This package is the compiled fast path the engine uses by
+default:
+
+* :mod:`repro.kernel.compile` — interns a target structure into a
+  dense-integer form: elements become ``0..n-1``, each relation becomes
+  a tuple array with per-position *support bitmasks* (Python ints) and
+  memoized per-position-group supports, so "which target tuples can put
+  value ``v`` at the positions of variable ``x``" is one dict lookup.
+  :class:`~repro.kernel.compile.CompiledTargetCache` keeps compiled
+  targets keyed by the structure's WL fingerprint (equality-verified),
+  so core-retraction loops and containment batches that re-query one
+  target compile it exactly once.
+* :mod:`repro.kernel.solver` — MAC search over integer bitmask domains:
+  MRV by ``int.bit_count()``, propagation as masked intersections over
+  the precompiled supports with a worklist (only facts touching a
+  shrunk variable are revisited, replacing the reference's full AC-3
+  re-sweeps), forward-checking fallback for the ``propagate=False``
+  ablation.
+
+The kernel preserves the cooperative governance contract: every node
+expansion checkpoints ``hom.search`` and every fact revision checkpoints
+``hom.propagate`` on the ambient :class:`~repro.resources.RunContext`,
+so deadlines, budgets, cancellation and the chaos harness govern the
+compiled path exactly as they govern the reference solver.  The
+reference solver remains the differential oracle and is selectable via
+``HomEngine(use_kernel=False)``, ``REPRO_NO_KERNEL=1`` or the CLI/bench
+``--no-kernel`` flags.
+"""
+
+from .compile import CompiledRelation, CompiledTarget, CompiledTargetCache
+from .solver import BitsetHomomorphismSolver
+
+__all__ = [
+    "BitsetHomomorphismSolver",
+    "CompiledRelation",
+    "CompiledTarget",
+    "CompiledTargetCache",
+]

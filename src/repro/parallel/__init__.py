@@ -1,0 +1,31 @@
+"""Parallel, governed, resumable sweeps over experiment instances.
+
+Every benchmark/experiment sweep in this repository is embarrassingly
+parallel over instances, and every instance is a worst-case-exponential
+decider that must run governed.  This package provides the one executor
+that combines the two:
+
+* :mod:`repro.parallel.executor` — :func:`run_sweep`, a
+  ``ProcessPoolExecutor``-based map over ``(key, spec)`` instances with
+  chunking, per-task deadline/budget propagation into the workers,
+  deterministic result ordering, per-completion
+  :class:`~repro.resources.SweepJournal` checkpointing (kill the sweep,
+  rerun it, it resumes after the last finished instance) and graceful
+  serial fallback when process pools are unavailable or break;
+* :mod:`repro.parallel.sweeps` — the named sweep registry (``hom``,
+  ``cores``, ``treewidth``) with picklable instance specs and task
+  functions, shared by ``repro sweep`` and the ``bench_p01``/
+  ``bench_p02``/``bench_p03`` script modes.
+"""
+
+from .executor import SweepOutcome, run_sweep, serial_map
+from .sweeps import SWEEPS, Sweep, get_sweep
+
+__all__ = [
+    "SWEEPS",
+    "Sweep",
+    "SweepOutcome",
+    "get_sweep",
+    "run_sweep",
+    "serial_map",
+]

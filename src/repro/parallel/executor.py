@@ -1,0 +1,272 @@
+"""The governed parallel sweep executor.
+
+:func:`run_sweep` maps a picklable task over ``(key, spec)`` instances:
+
+* **parallel** — a ``ProcessPoolExecutor`` with ``workers`` processes;
+  pending instances are grouped into order-preserving chunks so small
+  tasks amortize the submission overhead;
+* **governed** — the configured per-task deadline/budget is re-installed
+  *inside* each worker via :func:`repro.resources.governed`, so one
+  pathological instance trips its own governor instead of stalling the
+  sweep; trips are recorded as honest ``status: "unknown"`` records;
+* **resumable** — each completed record is journaled (and fsynced) in
+  the parent the moment its future resolves; a journaled key is skipped
+  on the next run, so a killed sweep resumes after the last finished
+  chunk;
+* **deterministic** — the report's ``results`` mapping is ordered by the
+  original instance order regardless of completion order;
+* **graceful** — when process pools cannot be created (sandboxes,
+  missing ``/dev/shm``, pickling failures) or break mid-run, the
+  remaining instances fall back to the in-process serial path, which is
+  also the ``workers <= 1`` mode.
+
+Workers inherit the parent's engine configuration (memo cache, compiled
+bitset kernel) through ``fork``; on spawn-based platforms the task and
+spec only need to be picklable top-level objects, which everything in
+:mod:`repro.parallel.sweeps` is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ResourceError, ValidationError
+from ..resources.checkpointing import SweepJournal
+from ..resources.governor import governed
+
+#: A task maps one instance spec to a JSON-serializable result.
+Task = Callable[[Any], Any]
+
+#: One sweep instance: a unique string key plus a picklable spec.
+Instance = Tuple[str, Any]
+
+
+@dataclass
+class SweepOutcome:
+    """The aggregate outcome of one :func:`run_sweep` call.
+
+    ``results`` maps every instance key (in instance order) to its
+    record: ``{"status": "ok" | "unknown" | "error", ...}`` with the
+    task's return value under ``"result"`` for ``ok`` records.
+    """
+
+    mode: str
+    workers: int
+    parallel: bool
+    computed: int = 0
+    resumed: int = 0
+    unknown: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+    results: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def instances(self) -> int:
+        return len(self.results)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serializable report."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "instances": self.instances,
+            "computed": self.computed,
+            "resumed": self.resumed,
+            "unknown": self.unknown,
+            "failed": self.failed,
+            "elapsed_s": self.elapsed_s,
+            "results": self.results,
+        }
+
+
+def _run_one(
+    task: Task, spec: Any, deadline_s: Optional[float], budget: Optional[int]
+) -> Dict[str, Any]:
+    """Run one instance under its own governed context; classify the
+    outcome instead of letting a governor trip poison the whole sweep."""
+    started = time.perf_counter()
+    try:
+        with governed(deadline=deadline_s, budget=budget):
+            value = task(spec)
+        return {
+            "status": "ok",
+            "result": value,
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except ResourceError as err:
+        return {
+            "status": "unknown",
+            "error": type(err).__name__,
+            "detail": str(err),
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except Exception as err:  # noqa: BLE001 - one bad instance must not
+        # take down the sweep; the record carries the diagnosis.
+        return {
+            "status": "error",
+            "error": type(err).__name__,
+            "detail": str(err),
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+
+def _run_chunk(
+    task: Task,
+    chunk: Sequence[Instance],
+    deadline_s: Optional[float],
+    budget: Optional[int],
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Worker entry point: run one chunk of instances in order."""
+    return [
+        (key, _run_one(task, spec, deadline_s, budget)) for key, spec in chunk
+    ]
+
+
+def serial_map(
+    task: Task,
+    instances: Sequence[Instance],
+    deadline_s: Optional[float] = None,
+    budget: Optional[int] = None,
+    journal: Optional[SweepJournal] = None,
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """The in-process fallback path: governed, journaled, in order."""
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    for key, spec in instances:
+        record = _run_one(task, spec, deadline_s, budget)
+        if journal is not None:
+            journal.record(key, record)
+        out.append((key, record))
+    return out
+
+
+def _chunked(
+    instances: Sequence[Instance], chunksize: int
+) -> List[List[Instance]]:
+    return [
+        list(instances[i:i + chunksize])
+        for i in range(0, len(instances), chunksize)
+    ]
+
+
+def run_sweep(
+    task: Task,
+    instances: Sequence[Instance],
+    *,
+    workers: int = 1,
+    deadline_s: Optional[float] = None,
+    budget: Optional[int] = None,
+    journal: Optional[SweepJournal] = None,
+    fresh: bool = False,
+    chunksize: int = 1,
+    mode: str = "sweep",
+) -> SweepOutcome:
+    """Map ``task`` over ``instances``, parallel, governed and resumable.
+
+    Parameters
+    ----------
+    task:
+        Picklable callable ``spec -> JSON-serializable result`` (a
+        top-level function, or a :func:`functools.partial` of one).
+    instances:
+        ``(key, spec)`` pairs; keys must be unique — they name journal
+        records and report rows.
+    workers:
+        Process count; ``<= 1`` runs serially in-process.
+    deadline_s / budget:
+        Per-instance governor limits, installed inside the worker for
+        each instance separately.
+    journal:
+        Optional :class:`~repro.resources.SweepJournal`; journaled keys
+        are skipped (``resumed``) and every completion is recorded the
+        moment its future resolves.
+    fresh:
+        Reset the journal before sweeping.
+    chunksize:
+        Instances per worker task (order-preserving).
+    """
+    keys = [key for key, _ in instances]
+    if len(set(keys)) != len(keys):
+        raise ValidationError("sweep instance keys must be unique")
+    if chunksize < 1:
+        raise ValidationError("chunksize must be >= 1")
+    if journal is not None and fresh:
+        journal.reset()
+
+    outcome = SweepOutcome(mode=mode, workers=workers, parallel=False)
+    started = time.perf_counter()
+
+    pending: List[Instance] = []
+    for key, spec in instances:
+        if journal is not None and journal.is_done(key):
+            outcome.resumed += 1
+        else:
+            pending.append((key, spec))
+
+    completed: Dict[str, Dict[str, Any]] = {}
+    if pending and workers > 1:
+        completed, leftover = _parallel_phase(
+            task, pending, workers, deadline_s, budget, journal, chunksize
+        )
+        outcome.parallel = bool(completed) or not leftover
+        pending = leftover
+    if pending:
+        completed.update(
+            dict(serial_map(task, pending, deadline_s, budget, journal))
+        )
+
+    for key, _ in instances:
+        if key in completed:
+            record = completed[key]
+            outcome.computed += 1
+            status = record.get("status")
+            if status == "unknown":
+                outcome.unknown += 1
+            elif status == "error":
+                outcome.failed += 1
+        else:
+            record = journal.result(key) if journal is not None else None
+        outcome.results[key] = record
+    outcome.elapsed_s = time.perf_counter() - started
+    return outcome
+
+
+def _parallel_phase(
+    task: Task,
+    pending: Sequence[Instance],
+    workers: int,
+    deadline_s: Optional[float],
+    budget: Optional[int],
+    journal: Optional[SweepJournal],
+    chunksize: int,
+) -> Tuple[Dict[str, Dict[str, Any]], List[Instance]]:
+    """Run as much of ``pending`` as possible on a process pool.
+
+    Returns the completed records plus the instances still owed; any
+    pool-level failure (creation, pickling, worker death) degrades to
+    returning the unfinished remainder for the serial path instead of
+    raising.
+    """
+    completed: Dict[str, Dict[str, Any]] = {}
+    chunks = _chunked(pending, chunksize)
+    try:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_chunk, task, chunk, deadline_s, budget): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                for key, record in future.result():
+                    if journal is not None:
+                        journal.record(key, record)
+                    completed[key] = record
+    except Exception:  # noqa: BLE001 - any pool failure degrades to serial
+        leftover = [
+            (key, spec) for key, spec in pending if key not in completed
+        ]
+        return completed, leftover
+    return completed, []

@@ -118,9 +118,11 @@ class FaultInjector:
             context.cancel()  # surfaces via the checkpoint's own check
             return
         # "evict": perturb shared state instead of raising — the decider
-        # must keep working (and stay correct) with a cold cache.
+        # must keep working (and stay correct) with a cold cache.  Both
+        # caches go: the memo cache and the compiled-target interning.
         if self.engine is not None:
             self.engine.cache.clear()
+            self.engine.compiled_targets.clear()
 
     def total_fired(self) -> int:
         return sum(self.fired.values())

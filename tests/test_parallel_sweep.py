@@ -1,0 +1,215 @@
+"""The parallel governed sweep executor (:mod:`repro.parallel`).
+
+Covers the executor's contract end to end: deterministic result
+ordering, per-instance governor classification (``ok`` / ``unknown`` /
+``error``), journal kill-resume, chunking, graceful degradation to the
+serial path when process pools break, and the real multi-process path
+(which also proves the per-instance governor is re-installed *inside*
+the workers).
+"""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.parallel import SWEEPS, get_sweep, run_sweep, serial_map
+from repro.parallel.sweeps import (
+    build_graph,
+    build_structure,
+    hom_task,
+    treewidth_task,
+)
+from repro.resources import SweepJournal
+
+
+def _square(spec):
+    return spec * spec
+
+
+def _checkpointing_task(spec):
+    """Burn governed checkpoints so a budget of 0 trips immediately."""
+    from repro.resources import current_context
+
+    context = current_context()
+    for _ in range(spec):
+        context.checkpoint("test.parallel")
+    return spec
+
+
+def _flaky_task(spec):
+    if spec == "boom":
+        raise ValueError("intentional test failure")
+    return spec
+
+
+def _instances(n=5):
+    return [(f"i{k}", k) for k in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+def test_serial_sweep_computes_everything_in_order():
+    outcome = run_sweep(_square, _instances())
+    assert outcome.computed == outcome.instances == 5
+    assert outcome.failed == outcome.unknown == outcome.resumed == 0
+    assert not outcome.parallel
+    assert list(outcome.results) == [f"i{k}" for k in range(5)]
+    assert [r["result"] for r in outcome.results.values()] == [
+        0, 1, 4, 9, 16
+    ]
+    assert all(r["status"] == "ok" for r in outcome.results.values())
+
+
+def test_one_bad_instance_is_classified_not_fatal():
+    instances = [("ok-1", "a"), ("bad", "boom"), ("ok-2", "b")]
+    outcome = run_sweep(_flaky_task, instances)
+    assert outcome.computed == 3
+    assert outcome.failed == 1
+    assert outcome.results["bad"]["status"] == "error"
+    assert outcome.results["bad"]["error"] == "ValueError"
+    assert outcome.results["ok-2"]["status"] == "ok"
+
+
+def test_budget_trips_are_honest_unknowns():
+    outcome = run_sweep(_checkpointing_task, _instances(4), budget=0)
+    # spec 0 never checkpoints, specs 1..3 trip their budget of 0
+    assert outcome.results["i0"]["status"] == "ok"
+    assert outcome.unknown == 3
+    assert all(
+        outcome.results[f"i{k}"]["status"] == "unknown" for k in (1, 2, 3)
+    )
+    assert outcome.failed == 0
+
+
+def test_unique_keys_and_chunksize_are_validated():
+    with pytest.raises(ValidationError):
+        run_sweep(_square, [("dup", 1), ("dup", 2)])
+    with pytest.raises(ValidationError):
+        run_sweep(_square, _instances(), chunksize=0)
+
+
+# ----------------------------------------------------------------------
+# Journal resume
+# ----------------------------------------------------------------------
+def test_journal_resume_skips_finished_instances(tmp_path):
+    journal_path = str(tmp_path / "sweep.jsonl")
+    first = run_sweep(
+        _square, _instances(), journal=SweepJournal(journal_path)
+    )
+    assert first.computed == 5 and first.resumed == 0
+
+    second = run_sweep(
+        _square, _instances(), journal=SweepJournal(journal_path)
+    )
+    assert second.computed == 0
+    assert second.resumed == 5
+    # resumed records are served from the journal, order preserved
+    assert list(second.results) == list(first.results)
+    assert [r["result"] for r in second.results.values()] == [
+        0, 1, 4, 9, 16
+    ]
+
+
+def test_journal_resume_after_partial_kill(tmp_path):
+    """A journal holding a prefix (as a killed sweep leaves behind)
+    makes the rerun compute exactly the missing suffix."""
+    journal_path = str(tmp_path / "sweep.jsonl")
+    partial = SweepJournal(journal_path)
+    serial_map(_square, _instances()[:2], journal=partial)
+
+    outcome = run_sweep(
+        _square, _instances(), journal=SweepJournal(journal_path)
+    )
+    assert outcome.resumed == 2
+    assert outcome.computed == 3
+    assert [r["result"] for r in outcome.results.values()] == [
+        0, 1, 4, 9, 16
+    ]
+
+
+def test_fresh_discards_the_journal(tmp_path):
+    journal_path = str(tmp_path / "sweep.jsonl")
+    run_sweep(_square, _instances(), journal=SweepJournal(journal_path))
+    outcome = run_sweep(
+        _square, _instances(), journal=SweepJournal(journal_path), fresh=True
+    )
+    assert outcome.computed == 5 and outcome.resumed == 0
+
+
+# ----------------------------------------------------------------------
+# Parallel path and its degradation
+# ----------------------------------------------------------------------
+def test_broken_pool_degrades_to_serial(monkeypatch):
+    """If the process pool cannot even be created, the sweep silently
+    completes on the in-process path."""
+    import concurrent.futures
+
+    class _Broken:
+        def __init__(self, *args, **kwargs):
+            raise OSError("no process pool in this sandbox")
+
+    monkeypatch.setattr(
+        concurrent.futures, "ProcessPoolExecutor", _Broken
+    )
+    outcome = run_sweep(_square, _instances(), workers=4)
+    assert not outcome.parallel
+    assert outcome.computed == 5
+    assert [r["result"] for r in outcome.results.values()] == [
+        0, 1, 4, 9, 16
+    ]
+
+
+def test_multiprocess_sweep_runs_registry_task():
+    """The real pool path, using a picklable registry task; chunking
+    keeps the result order deterministic."""
+    instances = get_sweep("hom").instances()[:4]
+    outcome = run_sweep(
+        hom_task, instances, workers=2, deadline_s=30, chunksize=2,
+        mode="test-hom",
+    )
+    assert outcome.computed == 4
+    assert outcome.failed == 0
+    assert list(outcome.results) == [key for key, _ in instances]
+    # odd cycles are not 2-colorable: the first rows are refutations
+    assert outcome.results[instances[0][0]]["result"]["verdict"] == "FALSE"
+
+
+def test_multiprocess_governor_reinstalled_inside_workers():
+    """A budget of 0 must trip inside every worker process — proving
+    the per-instance governor travels into the pool.  The trivalent
+    decider absorbs the trip, so it surfaces as an honest UNKNOWN
+    verdict rather than an executor-level unknown record."""
+    instances = get_sweep("hom").instances()[:3]
+    outcome = run_sweep(hom_task, instances, workers=2, budget=0)
+    assert outcome.computed == 3
+    assert outcome.failed == 0
+    assert all(
+        r["status"] == "ok" and r["result"]["verdict"] == "UNKNOWN"
+        for r in outcome.results.values()
+    )
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+def test_registry_names_and_unknown_lookup():
+    assert set(SWEEPS) == {"hom", "cores", "treewidth"}
+    with pytest.raises(ValidationError):
+        get_sweep("nope")
+
+
+def test_registry_specs_rebuild_and_tasks_run():
+    for name, sweep in SWEEPS.items():
+        instances = sweep.instances()
+        keys = [key for key, _ in instances]
+        assert len(set(keys)) == len(keys), f"{name}: duplicate keys"
+    structure = build_structure(("undirected-cycle", (5,)))
+    assert structure.size() == 5
+    graph = build_graph(("grid", (2, 3)))
+    assert len(graph.vertices) == 6
+    with pytest.raises(ValidationError):
+        build_structure(("no-such-kind", ()))
+    with pytest.raises(ValidationError):
+        build_graph(("no-such-kind", ()))
+    record = treewidth_task(("grid", (2, 3)), limit=40)
+    assert record["width"] == 2 and record["exact"]
