@@ -21,13 +21,19 @@ JSON-serialized structures (see :mod:`repro.structures.io`):
     Decide the existential k-pebble game on (A, B).
 ``chandra-merlin A.json B.json``
     Report the three equivalent statements of Theorem 2.1.
-``stats [--pair A.json B.json --repeat N] [--no-cache] [--no-kernel]``
+``stats [--pair A.json B.json --repeat N] [--no-cache] [--no-kernel]
+[--journal PATH]``
     Dump the hom-engine's solver/cache counters as JSON (optionally
-    after exercising a homomorphism query ``N`` times first).
+    after exercising a homomorphism query ``N`` times first); with
+    ``--journal`` also reports a sweep journal's integrity stats
+    (records, legacy lines, corrupt lines, torn-tail recoveries).
 ``sweep {hom,cores,treewidth} [--workers N] [--deadline S] ...``
-    Run a registered instance sweep through the parallel governed
-    executor (:mod:`repro.parallel`): per-instance deadlines/budgets,
-    journaled kill-resume (``--journal``), deterministic JSON report.
+    Run a registered instance sweep through the supervised parallel
+    governed executor (:mod:`repro.parallel`): per-instance
+    deadlines/budgets, retries with backoff (``--retries``), hard
+    wall-clock kills (``--grace``), poison quarantine, journaled
+    kill-resume (``--journal``) with a journal-integrity verdict in
+    the report, deterministic JSON output.
 """
 
 from __future__ import annotations
@@ -178,17 +184,25 @@ def _cmd_chandra_merlin(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import functools
 
-    from .parallel import get_sweep, run_sweep
+    from .parallel import RetryPolicy, get_sweep, run_sweep
+    from .parallel.sweeps import filter_instances
     from .resources import SweepJournal
 
     sweep = get_sweep(args.name)
     task = sweep.task
     if args.name == "treewidth":
         task = functools.partial(task, limit=args.limit)
+    instances = sweep.instances()
+    if args.only:
+        instances = filter_instances(instances, args.only)
     journal = SweepJournal(args.journal) if args.journal else None
+    retry_policy = (
+        RetryPolicy(max_attempts=args.retries)
+        if args.retries is not None else None
+    )
     outcome = run_sweep(
         task,
-        sweep.instances(),
+        instances,
         workers=args.workers,
         deadline_s=args.deadline,
         budget=args.budget,
@@ -196,6 +210,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fresh=args.fresh,
         chunksize=args.chunksize,
         mode=f"sweep-{args.name}",
+        retry_policy=retry_policy,
+        grace_factor=args.grace,
+        hard_timeout_s=args.hard_timeout,
     )
     print(json.dumps(outcome.to_dict(), indent=2))
     return 0 if outcome.failed == 0 else 1
@@ -215,7 +232,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         b = load_structure(args.pair[1])
         for _ in range(args.repeat):
             engine.exists_homomorphism(a, b)
-    print(json.dumps(engine.snapshot(), indent=2))
+    snapshot = engine.snapshot()
+    if args.journal:
+        from .resources import SweepJournal
+
+        snapshot["journal"] = SweepJournal(args.journal).journal_stats()
+    print(json.dumps(snapshot, indent=2))
     return 0
 
 
@@ -298,6 +320,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="instances per worker task")
     p.add_argument("--limit", type=int, default=40,
                    help="treewidth sweep: exact-solver vertex limit")
+    p.add_argument("--retries", type=int, default=None,
+                   help="attempts per instance before quarantine "
+                        "(default: 3)")
+    p.add_argument("--grace", type=float, default=4.0,
+                   help="hard-kill a worker after deadline*GRACE "
+                        "wall-clock seconds (non-cooperative hangs)")
+    p.add_argument("--hard-timeout", type=float, default=None,
+                   help="explicit per-instance hard wall-clock cap in "
+                        "seconds (overrides --grace)")
+    p.add_argument("--only", default=None,
+                   help="run only instances whose key contains this "
+                        "substring")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("stats",
@@ -311,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-kernel", action="store_true",
                    help="use a fresh engine on the reference solver "
                         "(compiled bitset kernel disabled)")
+    p.add_argument("--journal", default=None,
+                   help="also report this sweep journal's integrity "
+                        "stats (legacy/corrupt line counts, torn-tail "
+                        "recoveries)")
     p.set_defaults(func=_cmd_stats)
 
     return parser

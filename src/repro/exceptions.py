@@ -167,3 +167,86 @@ class OperationCancelledError(ResourceError):
         if message is None:
             message = f"operation cancelled at {site or '<unknown site>'}"
         super().__init__(message, site=site, consumed=consumed)
+
+
+class WorkerCrashError(ResourceError):
+    """A sweep worker process died without returning a result.
+
+    Raised (and recorded) by the :class:`~repro.parallel.SweepSupervisor`
+    in the *parent* when a pool worker is SIGKILLed, OOM-killed or
+    exits abruptly mid-task; the cause cannot be observed from inside
+    the dead worker, so this is an infrastructure fault, retryable by
+    default.
+
+    Attributes
+    ----------
+    keys:
+        Instance keys that were in flight when the pool broke (the
+        crasher is among them, but cannot be singled out).
+    """
+
+    def __init__(
+        self,
+        message: Optional[str] = None,
+        *,
+        keys: Optional[list] = None,
+        site: Optional[str] = None,
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if message is None:
+            message = (
+                "worker process died mid-task "
+                f"(in flight: {sorted(keys or [])})"
+            )
+        super().__init__(message, site=site, consumed=consumed)
+        self.keys = list(keys or [])
+
+
+class HardTimeoutError(ResourceError):
+    """A task exceeded its hard wall-clock cap and its worker was killed.
+
+    The cooperative deadline relies on the task reaching a
+    ``checkpoint()`` site; a non-cooperative hang (C-extension loop,
+    lost-wakeup sleep) never does.  The supervisor's watchdog SIGKILLs
+    the pool once a task runs past ``deadline * grace_factor`` and
+    records the overdue instance with this error.
+
+    Attributes
+    ----------
+    hard_timeout_s:
+        The enforced cap in seconds.
+    elapsed_s:
+        How long the task had been running when it was killed.
+    """
+
+    def __init__(
+        self,
+        message: Optional[str] = None,
+        *,
+        hard_timeout_s: Optional[float] = None,
+        elapsed_s: Optional[float] = None,
+        site: Optional[str] = None,
+        consumed: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"task exceeded its hard wall-clock cap of "
+                f"{hard_timeout_s}s after {elapsed_s}s; worker killed"
+            )
+        merged = dict(consumed or {})
+        if hard_timeout_s is not None:
+            merged.setdefault("hard_timeout_s", hard_timeout_s)
+        if elapsed_s is not None:
+            merged.setdefault("elapsed_s", elapsed_s)
+        super().__init__(message, site=site, consumed=merged)
+        self.hard_timeout_s = hard_timeout_s
+        self.elapsed_s = elapsed_s
+
+
+class JournalCorruptionError(ReproError):
+    """A sweep journal failed an integrity check that cannot be repaired.
+
+    Torn tails (a partial final line from a hard kill mid-write) are
+    recovered automatically by truncation; this error is reserved for
+    damage recovery cannot make safe, e.g. an unreadable journal file
+    or a failed atomic compaction."""

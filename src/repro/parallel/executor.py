@@ -15,10 +15,22 @@
   chunk;
 * **deterministic** — the report's ``results`` mapping is ordered by the
   original instance order regardless of completion order;
-* **graceful** — when process pools cannot be created (sandboxes,
-  missing ``/dev/shm``, pickling failures) or break mid-run, the
-  remaining instances fall back to the in-process serial path, which is
-  also the ``workers <= 1`` mode.
+* **supervised** — the parallel phase runs under a
+  :class:`~repro.parallel.supervisor.SweepSupervisor`: worker deaths
+  rebuild the pool and reschedule only the in-flight instances under a
+  :class:`~repro.parallel.retry.RetryPolicy` (exponential backoff +
+  jitter), poison instances are quarantined with a structured journal
+  verdict after their attempts are exhausted, and a watchdog SIGKILLs
+  workers whose task overruns ``deadline * grace_factor`` (catching
+  non-cooperative hangs that never reach a ``checkpoint()`` site);
+* **graceful** — when process pools cannot be created at all
+  (sandboxes, missing ``/dev/shm``), the task cannot be pickled, or the
+  pool keeps breaking without progress, the remaining instances fall
+  back to the in-process serial path, which is also the
+  ``workers <= 1`` mode.  The two degradation causes are distinguished
+  and logged on the ``repro.parallel`` logger: pool-*infrastructure*
+  failures degrade or rebuild; per-*instance* errors are recorded and
+  the sweep continues.
 
 Workers inherit the parent's engine configuration (memo cache, compiled
 bitset kernel) through ``fork``; on spawn-based platforms the task and
@@ -28,13 +40,22 @@ spec only need to be picklable top-level objects, which everything in
 
 from __future__ import annotations
 
+import logging
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ResourceError, ValidationError
 from ..resources.checkpointing import SweepJournal
 from ..resources.governor import governed
+from .retry import RetryPolicy
+from .supervisor import DEFAULT_GRACE_FACTOR, SweepSupervisor
+
+log = logging.getLogger("repro.parallel")
+
+#: Cap on the traceback text carried inside error/quarantine records.
+TRACEBACK_LIMIT = 2000
 
 #: A task maps one instance spec to a JSON-serializable result.
 Task = Callable[[Any], Any]
@@ -48,8 +69,12 @@ class SweepOutcome:
     """The aggregate outcome of one :func:`run_sweep` call.
 
     ``results`` maps every instance key (in instance order) to its
-    record: ``{"status": "ok" | "unknown" | "error", ...}`` with the
-    task's return value under ``"result"`` for ``ok`` records.
+    record: ``{"status": "ok" | "unknown" | "error" | "quarantined",
+    ...}`` with the task's return value under ``"result"`` for ``ok``
+    records.  The supervision counters (``retries``, ``quarantined``,
+    ``hard_kills``, ``pool_rebuilds``, ``worker_crashes``) cover the
+    parallel phase; ``journal`` carries the journal's integrity stats
+    when one was attached.
     """
 
     mode: str
@@ -59,8 +84,14 @@ class SweepOutcome:
     resumed: int = 0
     unknown: int = 0
     failed: int = 0
+    quarantined: int = 0
+    retries: int = 0
+    hard_kills: int = 0
+    pool_rebuilds: int = 0
+    worker_crashes: int = 0
     elapsed_s: float = 0.0
     results: Dict[str, Any] = field(default_factory=dict)
+    journal: Optional[Dict[str, Any]] = None
 
     @property
     def instances(self) -> int:
@@ -68,7 +99,7 @@ class SweepOutcome:
 
     def to_dict(self) -> Dict[str, Any]:
         """The JSON-serializable report."""
-        return {
+        report = {
             "mode": self.mode,
             "workers": self.workers,
             "parallel": self.parallel,
@@ -77,9 +108,17 @@ class SweepOutcome:
             "resumed": self.resumed,
             "unknown": self.unknown,
             "failed": self.failed,
+            "quarantined": self.quarantined,
+            "retries": self.retries,
+            "hard_kills": self.hard_kills,
+            "pool_rebuilds": self.pool_rebuilds,
+            "worker_crashes": self.worker_crashes,
             "elapsed_s": self.elapsed_s,
             "results": self.results,
         }
+        if self.journal is not None:
+            report["journal"] = self.journal
+        return report
 
 
 def _run_one(
@@ -109,6 +148,7 @@ def _run_one(
             "status": "error",
             "error": type(err).__name__,
             "detail": str(err),
+            "traceback": _traceback.format_exc()[-TRACEBACK_LIMIT:],
             "elapsed_s": time.perf_counter() - started,
         }
 
@@ -162,6 +202,10 @@ def run_sweep(
     fresh: bool = False,
     chunksize: int = 1,
     mode: str = "sweep",
+    retry_policy: Optional[RetryPolicy] = None,
+    grace_factor: float = DEFAULT_GRACE_FACTOR,
+    hard_timeout_s: Optional[float] = None,
+    supervised: bool = True,
 ) -> SweepOutcome:
     """Map ``task`` over ``instances``, parallel, governed and resumable.
 
@@ -186,6 +230,23 @@ def run_sweep(
         Reset the journal before sweeping.
     chunksize:
         Instances per worker task (order-preserving).
+    retry_policy:
+        Per-instance :class:`~repro.parallel.retry.RetryPolicy` for
+        infrastructure faults (worker crashes, hard timeouts); the
+        default allows three attempts with exponential backoff before
+        quarantining.
+    grace_factor:
+        Watchdog multiplier: a worker whose task runs past
+        ``deadline_s * grace_factor`` wall-clock seconds is SIGKILLed
+        (non-cooperative hang).  Only active with a deadline or an
+        explicit ``hard_timeout_s``.
+    hard_timeout_s:
+        Explicit per-instance hard wall-clock cap (overrides the
+        factor).
+    supervised:
+        ``False`` runs the legacy unsupervised pool map (no retries,
+        no watchdog, any pool failure degrades to serial) — kept as the
+        baseline the fault-overhead bench measures supervision against.
     """
     keys = [key for key, _ in instances]
     if len(set(keys)) != len(keys):
@@ -207,10 +268,36 @@ def run_sweep(
 
     completed: Dict[str, Dict[str, Any]] = {}
     if pending and workers > 1:
-        completed, leftover = _parallel_phase(
-            task, pending, workers, deadline_s, budget, journal, chunksize
-        )
+        if supervised:
+            supervisor = SweepSupervisor(
+                task,
+                workers=workers,
+                deadline_s=deadline_s,
+                budget=budget,
+                journal=journal,
+                retry_policy=retry_policy,
+                grace_factor=grace_factor,
+                hard_timeout_s=hard_timeout_s,
+            )
+            phase = supervisor.run(pending, chunksize=chunksize)
+            completed = phase.completed
+            leftover = phase.leftover
+            outcome.retries = phase.retries
+            outcome.quarantined = phase.quarantined
+            outcome.hard_kills = phase.hard_kills
+            outcome.pool_rebuilds = phase.pool_rebuilds
+            outcome.worker_crashes = phase.worker_crashes
+        else:
+            completed, leftover = _plain_parallel_phase(
+                task, pending, workers, deadline_s, budget, journal,
+                chunksize,
+            )
         outcome.parallel = bool(completed) or not leftover
+        if leftover:
+            log.warning(
+                "parallel phase degraded: running %d instance(s) on "
+                "the serial path", len(leftover),
+            )
         pending = leftover
     if pending:
         completed.update(
@@ -229,11 +316,22 @@ def run_sweep(
         else:
             record = journal.result(key) if journal is not None else None
         outcome.results[key] = record
+    if journal is not None:
+        # Capture stats *before* compacting — compaction rewrites the
+        # file clean, which would hide the recovery evidence (legacy,
+        # corrupt, torn-tail counts) the report exists to surface.
+        stats = journal.journal_stats()
+        stats["compacted"] = False
+        if journal.needs_compaction():
+            log.info("compacting journal %s", journal.path)
+            journal.compact()
+            stats["compacted"] = True
+        outcome.journal = stats
     outcome.elapsed_s = time.perf_counter() - started
     return outcome
 
 
-def _parallel_phase(
+def _plain_parallel_phase(
     task: Task,
     pending: Sequence[Instance],
     workers: int,
@@ -242,12 +340,12 @@ def _parallel_phase(
     journal: Optional[SweepJournal],
     chunksize: int,
 ) -> Tuple[Dict[str, Dict[str, Any]], List[Instance]]:
-    """Run as much of ``pending`` as possible on a process pool.
+    """The legacy unsupervised pool map (``supervised=False``).
 
-    Returns the completed records plus the instances still owed; any
-    pool-level failure (creation, pickling, worker death) degrades to
-    returning the unfinished remainder for the serial path instead of
-    raising.
+    No retries, no quarantine, no watchdog: any pool-level failure
+    (creation, pickling, worker death) degrades to returning the
+    unfinished remainder for the serial path instead of raising.  Kept
+    as the zero-overhead baseline supervision is benchmarked against.
     """
     completed: Dict[str, Dict[str, Any]] = {}
     chunks = _chunked(pending, chunksize)
@@ -264,7 +362,11 @@ def _parallel_phase(
                     if journal is not None:
                         journal.record(key, record)
                     completed[key] = record
-    except Exception:  # noqa: BLE001 - any pool failure degrades to serial
+    except Exception as err:  # noqa: BLE001 - degrade, never raise
+        log.warning(
+            "unsupervised pool failed (%s: %s); degrading to serial",
+            type(err).__name__, err,
+        )
         leftover = [
             (key, spec) for key, spec in pending if key not in completed
         ]

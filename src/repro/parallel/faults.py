@@ -1,0 +1,121 @@
+"""Picklable worker-fault tasks for chaos tests, benches and CI drills.
+
+The in-process fault injector (``tests/chaos.py``) exercises the
+*cooperative* seam — governor trips at ``checkpoint()`` sites.  The
+supervisor's fault model is about everything that seam cannot express:
+a worker that dies without raising, a task that hangs without
+checkpointing, a journal line torn mid-write.  This module provides the
+deterministic, picklable task functions those drills are built from;
+they must stay top-level so a ``ProcessPoolExecutor`` can ship them to
+workers under any start method.
+
+Each spec is a tuple ``(fault_kind, *params)``:
+
+``("ok", value)``
+    Return ``{"value": value}`` — a healthy instance.
+``("work", seconds, value)``
+    Sleep ``seconds`` (simulated compute) then return — the unit of
+    the supervision-overhead bench.
+``("error", message)``
+    Raise ``ValueError(message)`` — an in-task exception the worker
+    classifies itself (``status: "error"``; *not* an infra fault).
+``("crash-once", sentinel_path, value)``
+    SIGKILL the worker on the first attempt (claiming ``sentinel_path``
+    first, so later attempts can tell they are retries) and return
+    normally on any later attempt — the canonical transient-fault
+    instance.
+``("crash-always",)``
+    SIGKILL the worker on every attempt — the canonical poison
+    instance; only quarantine lets the sweep finish.
+``("oom", megabytes)``
+    Allocate ``megabytes`` of heap then die abruptly with exit status
+    137, the OOM-killer's signature, without returning a result.
+``("hang", seconds, value)``
+    Sleep non-cooperatively (no ``checkpoint()`` call) for ``seconds``
+    and then return — under a watchdog shorter than ``seconds`` this
+    can only end in a hard kill.
+``("flaky-error", sentinel_path, value)``
+    Raise ``ValueError`` on the first attempt, succeed afterwards —
+    exercises policies that opt in-task exceptions into retry.
+``("chaotic", seed, rate, sentinel_dir, value)``
+    Crash the worker with probability ``rate`` (seeded per instance,
+    at most once thanks to a sentinel file) — the fault-rate bench's
+    workload.
+
+The sentinel files make "fail once, then succeed" deterministic across
+process boundaries: attempts run in different worker processes, so the
+only shared state is the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+import zlib
+from typing import Any, Dict, Tuple
+
+from ..exceptions import ValidationError
+
+Spec = Tuple[Any, ...]
+
+
+def _die_sigkill() -> None:  # pragma: no cover - by construction
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _claim_sentinel(path: str) -> bool:
+    """Atomically create ``path``; True iff this call created it."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def faulty_task(spec: Spec) -> Dict[str, Any]:
+    """Dispatch one fault spec (see the module docstring)."""
+    kind = spec[0]
+    if kind == "ok":
+        return {"value": spec[1]}
+    if kind == "work":
+        _, seconds, value = spec
+        time.sleep(seconds)
+        return {"value": value}
+    if kind == "error":
+        raise ValueError(spec[1])
+    if kind == "crash-once":
+        _, sentinel, value = spec
+        if _claim_sentinel(sentinel):
+            _die_sigkill()  # pragma: no cover - kills this process
+        return {"value": value, "recovered": True}
+    if kind == "crash-always":
+        _die_sigkill()  # pragma: no cover - kills this process
+        raise AssertionError("unreachable")  # pragma: no cover
+    if kind == "oom":
+        _, megabytes = spec
+        hog = bytearray(int(megabytes) * 1024 * 1024)  # noqa: F841
+        os._exit(137)  # pragma: no cover - abrupt death, no cleanup
+    if kind == "hang":
+        _, seconds, value = spec
+        time.sleep(seconds)  # no checkpoint(): non-cooperative
+        return {"value": value, "hang_survived": True}
+    if kind == "flaky-error":
+        _, sentinel, value = spec
+        if _claim_sentinel(sentinel):
+            raise ValueError("flaky first attempt")
+        return {"value": value, "recovered": True}
+    if kind == "chaotic":
+        _, seed, rate, sentinel_dir, value = spec
+        rng = random.Random(seed)
+        if rng.random() < rate:
+            token = f"{seed}-{zlib.crc32(str(value).encode()):08x}"
+            if _claim_sentinel(os.path.join(sentinel_dir, token)):
+                _die_sigkill()  # pragma: no cover - kills this process
+        return {"value": value}
+    raise ValidationError(f"unknown fault spec kind {kind!r}")

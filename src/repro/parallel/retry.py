@@ -1,0 +1,148 @@
+"""Per-instance retry policy: exponential backoff, jitter, quarantine.
+
+The :class:`~repro.parallel.SweepSupervisor` consults one
+:class:`RetryPolicy` for every infrastructure fault (worker crash, hard
+timeout, pool break) it attributes to an instance:
+
+* :meth:`RetryPolicy.should_retry` decides whether an instance gets
+  another attempt — by attempt count and by fault kind (instance-level
+  task exceptions are *not* retried by default: a deterministic
+  ``ValueError`` will just raise again, and PR 2's contract is to
+  record it and continue);
+* :meth:`RetryPolicy.delay` computes the backoff before that attempt:
+  ``base_delay * 2**(attempt-1)`` capped at ``max_delay``, plus a
+  *deterministic* jitter derived from the instance key and attempt
+  number — sweeps stay reproducible under a pinned seed while
+  simultaneous retries still decorrelate.
+
+An instance that exhausts ``max_attempts`` is *quarantined*: the
+supervisor records a structured ``quarantined`` verdict (key, attempts,
+last traceback) in the journal and the sweep finishes without it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional, Union
+
+from ..exceptions import ValidationError
+
+#: Fault kinds the supervisor may ask a policy about.  ``WorkerCrashError``
+#: and ``HardTimeoutError`` are infrastructure faults (the instance may
+#: well be innocent); ``error`` is an in-task exception the worker caught
+#: and classified itself.
+INFRA_FAULTS = frozenset({"WorkerCrashError", "HardTimeoutError"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts an instance gets, and how they are spaced.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per instance (first run included); once the
+        count reaches this, the instance is quarantined.
+    base_delay:
+        Backoff before the second attempt, in seconds; doubles each
+        further attempt.
+    max_delay:
+        Cap on any single backoff.
+    jitter:
+        Fraction of the backoff added as deterministic jitter in
+        ``[0, jitter * backoff)`` (derived from the key + attempt, not
+        from a global RNG, so reruns reproduce the schedule exactly).
+    retryable:
+        Which fault kinds earn a retry — either a frozenset of
+        exception-type names or a predicate ``kind -> bool``.  Defaults
+        to the infrastructure faults only.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    retryable: Union[FrozenSet[str], Callable[[str], bool]] = INFRA_FAULTS
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("retry delays cannot be negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValidationError("jitter must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def is_retryable(self, kind: str) -> bool:
+        """Whether fault kind ``kind`` is eligible for retry at all."""
+        if callable(self.retryable):
+            return bool(self.retryable(kind))
+        return kind in self.retryable
+
+    def should_retry(self, attempts: int, kind: str) -> bool:
+        """Whether an instance with ``attempts`` failures of ``kind``
+        gets another attempt (``False`` means quarantine)."""
+        return attempts < self.max_attempts and self.is_retryable(kind)
+
+    def delay(self, attempts: int, key: str = "") -> float:
+        """Backoff in seconds before attempt ``attempts + 1``.
+
+        Exponential in the number of failures so far, capped at
+        ``max_delay``, with deterministic per-(key, attempt) jitter.
+        """
+        if attempts <= 0:
+            return 0.0
+        backoff = min(self.base_delay * (2 ** (attempts - 1)), self.max_delay)
+        if self.jitter and backoff > 0:
+            token = f"{key}#{attempts}".encode("utf-8")
+            unit = (zlib.crc32(token) & 0xFFFFFFFF) / 0xFFFFFFFF
+            backoff += backoff * self.jitter * unit
+        return min(backoff, self.max_delay * (1 + self.jitter))
+
+
+#: The default policy ``run_sweep`` supervises with: three attempts,
+#: fast backoff (sweeps measure in seconds, not minutes), infra faults
+#: only.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class InstanceAttempts:
+    """Mutable per-instance fault bookkeeping the supervisor keeps.
+
+    Tracks how many attempts an instance has consumed, the last fault
+    kind/detail/traceback observed, and the earliest time the next
+    attempt may start (monotonic clock).
+    """
+
+    key: str
+    spec: object
+    attempts: int = 0
+    last_kind: Optional[str] = None
+    last_detail: Optional[str] = None
+    last_traceback: Optional[str] = None
+    not_before: float = field(default=0.0)
+
+    def register_fault(
+        self,
+        kind: str,
+        detail: str,
+        traceback_text: Optional[str] = None,
+    ) -> None:
+        """Record one failed attempt."""
+        self.attempts += 1
+        self.last_kind = kind
+        self.last_detail = detail
+        self.last_traceback = traceback_text
+
+    def quarantine_record(self, elapsed_s: float = 0.0) -> dict:
+        """The structured journal verdict for a poisoned instance."""
+        return {
+            "status": "quarantined",
+            "error": self.last_kind,
+            "detail": self.last_detail,
+            "attempts": self.attempts,
+            "traceback": self.last_traceback,
+            "elapsed_s": elapsed_s,
+        }

@@ -252,3 +252,18 @@ def get_sweep(name: str) -> Sweep:
         raise ValidationError(
             f"unknown sweep {name!r}; registered: {sorted(SWEEPS)}"
         ) from None
+
+
+def filter_instances(
+    instances: List[Tuple[str, Any]], only: str
+) -> List[Tuple[str, Any]]:
+    """Keep instances whose key contains ``only`` (``repro sweep
+    --only``); raises when nothing matches, since an accidentally empty
+    sweep would journal nothing and look "complete"."""
+    kept = [(key, spec) for key, spec in instances if only in key]
+    if not kept:
+        raise ValidationError(
+            f"--only {only!r} matched none of "
+            f"{[key for key, _ in instances]}"
+        )
+    return kept

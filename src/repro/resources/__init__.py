@@ -11,14 +11,18 @@ service) down:
   TRUE/FALSE/UNKNOWN answer (with reason and consumption record) that
   governed deciders return instead of hanging or lying;
 * :mod:`repro.resources.checkpointing` — :class:`SweepJournal`,
-  append-only per-instance result journaling so interrupted benchmark
-  sweeps resume instead of restarting.
+  append-only *crash-safe* per-instance result journaling (CRC32
+  checksummed records, torn-tail truncation on recovery, atomic
+  tmp+rename compaction) so interrupted benchmark sweeps resume
+  losslessly instead of restarting.
 
 See DESIGN.md §"Resource governance" for the fallback ladder and the
-fault-injection harness (``tests/chaos.py``) that locks the contract in.
+fault-injection harness (``tests/chaos.py``) that locks the contract in;
+the supervised fault-tolerant parallel runtime built on top lives in
+:mod:`repro.parallel`.
 """
 
-from .checkpointing import SweepJournal
+from .checkpointing import JOURNAL_VERSION, SweepJournal
 from .governor import (
     GOVERNOR,
     PASSIVE_CONTEXT,
@@ -35,6 +39,7 @@ __all__ = [
     "Budget",
     "Deadline",
     "GOVERNOR",
+    "JOURNAL_VERSION",
     "GovernorStats",
     "PASSIVE_CONTEXT",
     "RunContext",

@@ -1,56 +1,151 @@
-"""Per-instance result journaling for interruptible benchmark sweeps.
+"""Crash-safe per-instance result journaling for interruptible sweeps.
 
 A sweep over dozens of exponential-decider instances must survive a
-deadline trip, a crash or a Ctrl-C without losing the instances it
-already finished.  :class:`SweepJournal` is the small append-only
-JSONL journal that makes sweeps resumable: each completed instance is
-written (and flushed) as one line keyed by a caller-chosen string, and
-re-opening the journal recovers every completed key so the sweep can
-skip straight to the remaining work.
+deadline trip, a crash, a SIGKILL mid-write or a Ctrl-C without losing
+the instances it already finished.  :class:`SweepJournal` is the small
+append-only JSONL journal that makes sweeps resumable: each completed
+instance is written (flushed and fsynced) as one line keyed by a
+caller-chosen string, and re-opening the journal recovers every
+completed key so the sweep can skip straight to the remaining work.
+
+Journal format v2 makes the store *crash-safe* rather than merely
+append-only:
+
+* every line carries a CRC32 checksum over its canonical payload, so a
+  bit-flipped or garbled record is *detected* instead of silently
+  accepted or silently dropped;
+* a **torn tail** — a partial final line, the signature of a hard kill
+  mid-write — is recognised, cleanly truncated off the file on
+  recovery, and reported, so the file returns to a well-formed state
+  (at worst the one in-flight instance is recomputed);
+* corrupt *interior* lines (checksum mismatch, undecodable JSON before
+  the tail) are skipped but **counted**, never silently ignored;
+* v1 lines written before checksums existed still load, counted as
+  ``legacy`` so operators can tell "old format" from "damage";
+* :meth:`compact` rewrites the journal atomically (tmp file + fsync +
+  ``os.replace``) keeping one checksummed record per key, purging
+  superseded, legacy and corrupt lines.
+
+:meth:`journal_stats` summarises all of this and :meth:`integrity`
+folds it into a one-word verdict (``ok`` / ``recovered`` /
+``corrupt``) surfaced by ``repro sweep`` and ``repro stats``.
 
 The journal lives under ``benchmarks/results/`` by convention (the same
 directory the paper-style tables are emitted to), but any path works.
-Corrupt or truncated trailing lines — the signature of a hard kill mid
-write — are ignored on load, so a resumed sweep at worst repeats the
-one instance whose record was cut off.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Any, Dict, Iterator, Optional
+
+#: Journal line format version written by :meth:`SweepJournal.record`.
+JOURNAL_VERSION = 2
+
+
+def _checksum(payload: str) -> str:
+    """CRC32 of the canonical payload, as 8 hex digits."""
+    return f"{zlib.crc32(payload.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def _canonical(entry: Dict[str, Any]) -> str:
+    """The canonical serialization the checksum covers."""
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
 
 
 class SweepJournal:
-    """Append-only JSONL journal of per-instance sweep results.
+    """Append-only, checksummed JSONL journal of per-instance results.
 
     Parameters
     ----------
     path:
         The journal file; created (with parent directories) on first
-        record.  Existing records are loaded eagerly.
+        record.  Existing records are loaded (and the file repaired if
+        it ends in a torn line) eagerly.
     """
 
     def __init__(self, path: str) -> None:
         self.path = path
         self._results: Dict[str, Any] = {}
+        self._lines = 0
+        self._legacy = 0
+        self._corrupt = 0
+        self._superseded = 0
+        self._torn_tail = 0
+        self._compactions = 0
         self._load()
 
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # truncated trailing line from a hard kill
-                if isinstance(entry, dict) and "key" in entry:
-                    self._results[str(entry["key"])] = entry.get("result")
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        good_end = 0  # byte offset just past the last well-formed line
+        offset = 0
+        text = raw.decode("utf-8", errors="replace")
+        lines = text.split("\n")
+        # A well-formed journal ends with "\n", so split() yields a
+        # final empty chunk; anything else in the last slot is a torn
+        # tail (partial write from a hard kill).
+        for index, line in enumerate(lines):
+            is_last = index == len(lines) - 1
+            if is_last:
+                if line.strip():
+                    # Partial final line: recoverable torn tail.
+                    self._torn_tail = 1
+                break
+            offset += len(line.encode("utf-8")) + 1
+            stripped = line.strip()
+            self._lines += 1
+            if not stripped:
+                good_end = offset
+                continue
+            if self._accept_line(stripped):
+                good_end = offset
+            else:
+                self._corrupt += 1
+                good_end = offset  # damaged but complete: keep in place
+        if self._torn_tail:
+            self._truncate_to(good_end)
+
+    def _accept_line(self, line: str) -> bool:
+        """Parse one complete line; return whether it was accepted."""
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        if not isinstance(entry, dict):
+            return False
+        if "crc" in entry and "entry" in entry:
+            inner = entry.get("entry")
+            if not isinstance(inner, dict) or "key" not in inner:
+                return False
+            if _checksum(_canonical(inner)) != entry.get("crc"):
+                return False  # bit rot / garbled write: reject
+            self._store(str(inner["key"]), inner.get("result"))
+            return True
+        if "key" in entry:
+            # v1 line from before checksums existed: accepted, counted.
+            self._legacy += 1
+            self._store(str(entry["key"]), entry.get("result"))
+            return True
+        return False
+
+    def _store(self, key: str, result: Any) -> None:
+        if key in self._results:
+            self._superseded += 1
+        self._results[key] = result
+
+    def _truncate_to(self, size: int) -> None:
+        with open(self.path, "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -71,25 +166,123 @@ class SweepJournal:
         return iter(self._results)
 
     # ------------------------------------------------------------------
+    # Integrity reporting
+    # ------------------------------------------------------------------
+    def journal_stats(self) -> Dict[str, Any]:
+        """A JSON-serializable summary of the journal's health.
+
+        ``legacy`` counts v1 lines without a checksum (old format, still
+        trusted); ``corrupt`` counts complete lines that failed their
+        checksum or could not be parsed — damage, never silently
+        dropped; ``torn_tail`` is 1 when recovery truncated a partial
+        final line off the file.
+        """
+        return {
+            "path": self.path,
+            "version": JOURNAL_VERSION,
+            "records": len(self._results),
+            "lines": self._lines,
+            "legacy": self._legacy,
+            "corrupt": self._corrupt,
+            "superseded": self._superseded,
+            "torn_tail": self._torn_tail,
+            "compactions": self._compactions,
+            "integrity": self.integrity(),
+        }
+
+    def integrity(self) -> str:
+        """One-word integrity verdict.
+
+        ``ok``
+            Every line was a well-formed checksummed (or legacy) record.
+        ``recovered``
+            A torn tail was truncated on load; the journal is now clean
+            and at most one in-flight instance will be recomputed.
+        ``corrupt``
+            At least one *complete* line failed its checksum or did not
+            parse — those records were lost to damage (not to a clean
+            kill) and are reported rather than silently skipped.
+        """
+        if self._corrupt:
+            return "corrupt"
+        if self._torn_tail:
+            return "recovered"
+        return "ok"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
     def record(self, key: str, result: Any) -> None:
-        """Journal one completed instance (written and flushed at once).
+        """Journal one completed instance (written, flushed, fsynced).
 
         ``result`` must be JSON-serializable.  Re-recording a key
         overwrites its in-memory result and appends a superseding line
-        (last record wins on reload).
+        (last record wins on reload; :meth:`compact` purges the old
+        ones).
         """
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        line = json.dumps({"key": key, "result": result}, sort_keys=True)
+        entry = {"key": key, "result": result}
+        payload = _canonical(entry)
+        line = json.dumps(
+            {"v": JOURNAL_VERSION, "crc": _checksum(payload), "entry": entry},
+            sort_keys=True,
+        )
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
-        self._results[key] = result
+        self._lines += 1
+        self._store(key, result)
+
+    def compact(self) -> Dict[str, Any]:
+        """Atomically rewrite the journal: one v2 record per key.
+
+        Superseded, legacy and corrupt lines are purged; the rewrite
+        goes through a tmp file that is fsynced and ``os.replace``d over
+        the journal, so a crash at any point leaves either the old file
+        or the new one — never a mix.  Returns :meth:`journal_stats` of
+        the compacted journal.
+        """
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for key, result in self._results.items():
+                entry = {"key": key, "result": result}
+                payload = _canonical(entry)
+                handle.write(json.dumps(
+                    {
+                        "v": JOURNAL_VERSION,
+                        "crc": _checksum(payload),
+                        "entry": entry,
+                    },
+                    sort_keys=True,
+                ) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        self._lines = len(self._results)
+        self._legacy = 0
+        self._corrupt = 0
+        self._superseded = 0
+        self._torn_tail = 0
+        self._compactions += 1
+        return self.journal_stats()
+
+    def needs_compaction(self) -> bool:
+        """Whether a compaction would change the on-disk file."""
+        return bool(self._legacy or self._corrupt or self._superseded)
 
     def reset(self) -> None:
         """Delete the journal file and forget every result."""
         self._results.clear()
+        self._lines = 0
+        self._legacy = 0
+        self._corrupt = 0
+        self._superseded = 0
+        self._torn_tail = 0
         if os.path.exists(self.path):
             os.remove(self.path)

@@ -71,6 +71,19 @@ class GovernorStats:
     unknown_verdicts:
         Trivalent verdicts downgraded to UNKNOWN because a governor
         trip interrupted the underlying decision procedure.
+    retries:
+        Sweep instances rescheduled by the
+        :class:`~repro.parallel.SweepSupervisor` after an
+        infrastructure fault (worker crash, hard timeout).
+    quarantines:
+        Poison instances the supervisor gave up on after exhausting
+        their retry attempts (recorded as ``quarantined``, the sweep
+        continues).
+    hard_kills:
+        Watchdog SIGKILLs of pool workers whose task overran its hard
+        wall-clock cap (a non-cooperative hang).
+    pool_rebuilds:
+        Process pools rebuilt after a worker death broke the executor.
     """
 
     checkpoints: int = 0
@@ -79,6 +92,10 @@ class GovernorStats:
     cancellations: int = 0
     fallbacks: int = 0
     unknown_verdicts: int = 0
+    retries: int = 0
+    quarantines: int = 0
+    hard_kills: int = 0
+    pool_rebuilds: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

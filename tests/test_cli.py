@@ -152,3 +152,39 @@ class TestStats:
             assert data["solver"]["calls"] == 0
         finally:
             self._fresh()
+
+    def test_stats_journal_health(self, tmp_path, capsys):
+        from repro.resources import SweepJournal
+
+        journal = tmp_path / "j.jsonl"
+        SweepJournal(str(journal)).record("a", 1)
+        self._fresh()
+        try:
+            assert main(["stats", "--journal", str(journal)]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["journal"]["records"] == 1
+            assert data["journal"]["integrity"] == "ok"
+        finally:
+            self._fresh()
+
+
+class TestSweep:
+    def test_sweep_only_filter_with_journal(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "cores", "--only", "rigid-cycle",
+                     "--journal", str(journal), "--retries", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["instances"] == 3
+        assert all(key.startswith("rigid-cycle") for key in data["results"])
+        assert data["journal"]["integrity"] == "ok"
+        # rerun resumes everything from the journal
+        assert main(["sweep", "cores", "--only", "rigid-cycle",
+                     "--journal", str(journal)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["resumed"] == 3 and data["computed"] == 0
+
+    def test_sweep_only_filter_rejects_no_match(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            main(["sweep", "cores", "--only", "no-such-instance"])

@@ -8,17 +8,29 @@ serial path when process pools break, and the real multi-process path
 the workers).
 """
 
+import logging
+import time
+
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.parallel import SWEEPS, get_sweep, run_sweep, serial_map
+from repro.parallel import (
+    SWEEPS,
+    RetryPolicy,
+    get_sweep,
+    run_sweep,
+    serial_map,
+)
+from repro.parallel.faults import faulty_task
+from repro.parallel.retry import INFRA_FAULTS, InstanceAttempts
 from repro.parallel.sweeps import (
     build_graph,
     build_structure,
+    filter_instances,
     hom_task,
     treewidth_task,
 )
-from repro.resources import SweepJournal
+from repro.resources import GOVERNOR, SweepJournal
 
 
 def _square(spec):
@@ -187,6 +199,295 @@ def test_multiprocess_governor_reinstalled_inside_workers():
         r["status"] == "ok" and r["result"]["verdict"] == "UNKNOWN"
         for r in outcome.results.values()
     )
+
+
+# ----------------------------------------------------------------------
+# The supervised runtime: retries, quarantine, hard kills
+# ----------------------------------------------------------------------
+FAST_POLICY = RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05)
+
+
+def test_crash_once_instance_recovers_via_retry(tmp_path):
+    """A worker SIGKILLed mid-task is retried on a rebuilt pool; the
+    healthy instances are not silently lost or double-charged."""
+    sentinel = str(tmp_path / "sentinel")
+    instances = [
+        ("a", ("ok", 1)),
+        ("crash", ("crash-once", sentinel, 42)),
+        ("b", ("ok", 2)),
+        ("c", ("ok", 3)),
+    ]
+    outcome = run_sweep(
+        faulty_task, instances, workers=2, retry_policy=FAST_POLICY
+    )
+    assert outcome.computed == 4 and outcome.failed == 0
+    crash = outcome.results["crash"]
+    assert crash["status"] == "ok"
+    assert crash["result"] == {"value": 42, "recovered": True}
+    assert outcome.results["a"]["result"]["value"] == 1
+    assert outcome.retries >= 1
+    assert outcome.worker_crashes >= 1
+    assert outcome.pool_rebuilds >= 1
+
+
+def test_poison_instance_is_quarantined_with_structured_verdict(tmp_path):
+    """An instance that kills its worker on every attempt must end as a
+    structured ``quarantined`` record — in the outcome AND the journal —
+    while the rest of the sweep completes normally."""
+    journal_path = str(tmp_path / "journal.jsonl")
+    instances = [
+        ("a", ("ok", 1)),
+        ("poison", ("crash-always",)),
+        ("b", ("ok", 2)),
+    ]
+    outcome = run_sweep(
+        faulty_task,
+        instances,
+        workers=2,
+        retry_policy=FAST_POLICY,
+        journal=SweepJournal(journal_path),
+    )
+    assert outcome.quarantined == 1
+    record = outcome.results["poison"]
+    assert record["status"] == "quarantined"
+    assert record["error"] == "WorkerCrashError"
+    assert record["attempts"] == FAST_POLICY.max_attempts
+    assert outcome.results["a"]["status"] == "ok"
+    assert outcome.results["b"]["status"] == "ok"
+    # the verdict is durable: a reloaded journal serves it on resume
+    replay = SweepJournal(journal_path)
+    assert replay.result("poison")["status"] == "quarantined"
+    resumed = run_sweep(
+        faulty_task, instances, workers=2, retry_policy=FAST_POLICY,
+        journal=replay,
+    )
+    assert resumed.resumed == 3 and resumed.computed == 0
+
+
+def test_noncooperative_hang_is_hard_killed_within_grace(tmp_path):
+    """A task that sleeps far past its deadline without ever reaching a
+    checkpoint is SIGKILLed by the watchdog at ``deadline * grace`` —
+    the sweep's wall clock is bounded by supervision, not by the hang."""
+    instances = [
+        ("a", ("ok", 1)),
+        ("hang", ("hang", 60.0, 0)),
+        ("b", ("ok", 2)),
+    ]
+    started = time.perf_counter()
+    outcome = run_sweep(
+        faulty_task,
+        instances,
+        workers=2,
+        deadline_s=0.05,
+        grace_factor=2.0,
+        retry_policy=FAST_POLICY,
+    )
+    elapsed = time.perf_counter() - started
+    assert elapsed < 20, f"hang was not hard-killed ({elapsed:.1f}s)"
+    record = outcome.results["hang"]
+    assert record["status"] == "quarantined"
+    assert record["error"] == "HardTimeoutError"
+    assert outcome.hard_kills >= 1
+    assert outcome.results["a"]["status"] == "ok"
+    assert outcome.results["b"]["status"] == "ok"
+
+
+def test_oom_style_abrupt_exit_is_survived():
+    outcome = run_sweep(
+        faulty_task,
+        [("a", ("ok", 1)), ("oom", ("oom", 4)), ("b", ("ok", 2))],
+        workers=2,
+        retry_policy=FAST_POLICY,
+    )
+    assert outcome.results["oom"]["status"] == "quarantined"
+    assert outcome.results["a"]["status"] == "ok"
+    assert outcome.results["b"]["status"] == "ok"
+
+
+def test_instance_errors_are_recorded_not_retried_by_default(tmp_path):
+    """PR 2's contract survives supervision: a deterministic in-task
+    exception is an instance failure — record and continue, no retry."""
+    sentinel = str(tmp_path / "sentinel")
+    outcome = run_sweep(
+        faulty_task,
+        [("flaky", ("flaky-error", sentinel, 9)), ("a", ("ok", 1))],
+        workers=2,
+        retry_policy=FAST_POLICY,
+    )
+    assert outcome.results["flaky"]["status"] == "error"
+    assert outcome.results["flaky"]["error"] == "ValueError"
+    assert outcome.retries == 0
+    assert outcome.failed == 1
+
+
+def test_opting_task_errors_into_retry_recovers_flaky_instances(tmp_path):
+    sentinel = str(tmp_path / "sentinel")
+    policy = RetryPolicy(
+        max_attempts=2, base_delay=0.01,
+        retryable=frozenset(INFRA_FAULTS | {"ValueError"}),
+    )
+    outcome = run_sweep(
+        faulty_task,
+        [("flaky", ("flaky-error", sentinel, 9)), ("a", ("ok", 1))],
+        workers=2,
+        retry_policy=policy,
+    )
+    assert outcome.results["flaky"]["status"] == "ok"
+    assert outcome.results["flaky"]["result"]["recovered"] is True
+    assert outcome.retries == 1 and outcome.failed == 0
+
+
+def test_supervision_counters_reach_the_governor(tmp_path):
+    GOVERNOR.reset()
+    run_sweep(
+        faulty_task,
+        [("a", ("ok", 1)), ("poison", ("crash-always",))],
+        workers=2,
+        retry_policy=FAST_POLICY,
+    )
+    snapshot = GOVERNOR.snapshot()
+    assert snapshot["retries"] >= 1
+    assert snapshot["quarantines"] == 1
+    assert snapshot["pool_rebuilds"] >= 1
+
+
+def test_unsupervised_baseline_still_degrades_to_serial(tmp_path, caplog):
+    """``supervised=False`` keeps the legacy behaviour: any pool fault
+    (here a worker SIGKILL) degrades the remainder to the serial path
+    (and says so).  A crash-*once* fault is used because the serial
+    rerun happens in this very process — its sentinel already exists, so
+    the in-parent attempt returns instead of killing the test runner."""
+    sentinel = str(tmp_path / "sentinel")
+    with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+        outcome = run_sweep(
+            faulty_task,
+            [
+                ("a", ("ok", 1)),
+                ("boom", ("crash-once", sentinel, 7)),
+                ("b", ("ok", 2)),
+            ],
+            workers=2,
+            supervised=False,
+        )
+    assert outcome.results["a"]["result"]["value"] == 1
+    assert outcome.results["b"]["result"]["value"] == 2
+    assert outcome.results["boom"]["result"]["recovered"] is True
+    assert outcome.retries == 0  # no supervision on the baseline path
+    assert any("degrad" in r.message for r in caplog.records)
+
+
+def test_degradation_paths_are_logged_distinctly(monkeypatch, caplog):
+    """Pool-infrastructure failure logs the degrade decision."""
+    import concurrent.futures
+
+    class _Broken:
+        def __init__(self, *args, **kwargs):
+            raise OSError("no process pool in this sandbox")
+
+    monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", _Broken)
+    with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+        outcome = run_sweep(_square, _instances(), workers=4)
+    assert outcome.computed == 5
+    messages = [r.message for r in caplog.records]
+    assert any("serial" in m for m in messages), messages
+
+
+def test_journal_stats_surfaced_on_outcome(tmp_path):
+    journal_path = str(tmp_path / "journal.jsonl")
+    outcome = run_sweep(
+        _square, _instances(3), journal=SweepJournal(journal_path)
+    )
+    assert outcome.journal is not None
+    assert outcome.journal["integrity"] == "ok"
+    assert outcome.journal["records"] == 3
+    assert outcome.journal["compacted"] is False
+    assert outcome.to_dict()["journal"]["integrity"] == "ok"
+
+
+def test_corrupt_journal_is_surfaced_then_compacted_clean(tmp_path):
+    journal_path = str(tmp_path / "journal.jsonl")
+    run_sweep(_square, _instances(4), journal=SweepJournal(journal_path))
+    with open(journal_path, "r+", encoding="utf-8") as handle:
+        lines = handle.readlines()
+        lines[1] = lines[1].replace('"', "'", 2)
+        handle.seek(0)
+        handle.writelines(lines)
+        handle.truncate()
+    outcome = run_sweep(
+        _square, _instances(4), journal=SweepJournal(journal_path)
+    )
+    # the damage is reported (stats captured before compaction) ...
+    assert outcome.journal["corrupt"] == 1
+    assert outcome.journal["integrity"] == "corrupt"
+    assert outcome.journal["compacted"] is True
+    # ... the damaged key was recomputed, nothing lost ...
+    assert outcome.resumed == 3 and outcome.computed == 1
+    assert [r["result"] for r in outcome.results.values()] == [0, 1, 4, 9]
+    # ... and the compacted file is clean on the next load.
+    assert SweepJournal(journal_path).journal_stats()["integrity"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / InstanceAttempts units
+# ----------------------------------------------------------------------
+def test_retry_policy_validation():
+    with pytest.raises(ValidationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValidationError):
+        RetryPolicy(base_delay=-1)
+    with pytest.raises(ValidationError):
+        RetryPolicy(jitter=2.0)
+
+
+def test_retry_policy_kind_filtering():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry(1, "WorkerCrashError")
+    assert policy.should_retry(2, "HardTimeoutError")
+    assert not policy.should_retry(3, "WorkerCrashError")  # exhausted
+    assert not policy.should_retry(1, "ValueError")  # not opted in
+    custom = RetryPolicy(retryable=lambda kind: kind.endswith("Error"))
+    assert custom.is_retryable("ValueError")
+    assert not custom.is_retryable("nonsense")
+
+
+def test_retry_delay_is_exponential_capped_and_deterministic():
+    policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.25)
+    assert policy.delay(0) == 0.0
+    d1, d2, d3, d10 = (policy.delay(n, "key") for n in (1, 2, 3, 10))
+    assert 0.1 <= d1 <= 0.1 * 1.25
+    assert 0.2 <= d2 <= 0.2 * 1.25
+    assert 0.4 <= d3 <= 0.5 * 1.25
+    assert d10 <= 0.5 * 1.25  # capped forever after
+    # deterministic: same key + attempt, same jitter
+    assert policy.delay(2, "key") == d2
+    # decorrelated: different keys jitter differently
+    assert policy.delay(2, "key") != policy.delay(2, "other-key")
+    # jitter-free policies are exact
+    exact = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.0)
+    assert exact.delay(3) == pytest.approx(0.4)
+
+
+def test_instance_attempts_quarantine_record_shape():
+    tracked = InstanceAttempts(key="k", spec=("ok", 1))
+    tracked.register_fault("WorkerCrashError", "worker died", "trace...")
+    tracked.register_fault("WorkerCrashError", "worker died again", "tb2")
+    record = tracked.quarantine_record(elapsed_s=1.5)
+    assert record == {
+        "status": "quarantined",
+        "error": "WorkerCrashError",
+        "detail": "worker died again",
+        "attempts": 2,
+        "traceback": "tb2",
+        "elapsed_s": 1.5,
+    }
+
+
+def test_filter_instances_by_substring():
+    instances = get_sweep("hom").instances()
+    kept = filter_instances(instances, "odd-cycle")
+    assert kept and all("odd-cycle" in key for key, _ in kept)
+    with pytest.raises(ValidationError):
+        filter_instances(instances, "no-such-instance")
 
 
 # ----------------------------------------------------------------------

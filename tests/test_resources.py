@@ -6,6 +6,7 @@ global governor counters into the hom engine's stats snapshot.
 """
 
 import json
+import os
 import threading
 import time
 
@@ -20,6 +21,7 @@ from repro.exceptions import (
 )
 from repro.resources import (
     GOVERNOR,
+    JOURNAL_VERSION,
     Budget,
     Deadline,
     PASSIVE_CONTEXT,
@@ -281,6 +283,116 @@ class TestSweepJournal:
         assert len(SweepJournal(path)) == 0
 
 
+class TestSweepJournalCrashSafety:
+    """Journal format v2: checksums, torn tails, recovery, compaction."""
+
+    def test_lines_are_checksummed_v2(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        SweepJournal(path).record("a", {"width": 3})
+        with open(path, encoding="utf-8") as handle:
+            entry = json.loads(handle.readline())
+        assert entry["v"] == JOURNAL_VERSION
+        assert len(entry["crc"]) == 8
+        assert entry["entry"] == {"key": "a", "result": {"width": 3}}
+
+    def test_legacy_v1_lines_load_and_are_counted(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"key": "old", "result": 7}\n')
+        journal = SweepJournal(path)
+        journal.record("new", 8)
+        assert journal.result("old") == 7
+        assert journal.result("new") == 8
+        stats = journal.journal_stats()
+        assert stats["legacy"] == 1
+        assert stats["corrupt"] == 0
+        assert stats["integrity"] == "ok"  # old format is not damage
+
+    def test_garbled_interior_line_is_counted_not_silently_dropped(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        journal.record("a", 1)
+        journal.record("b", 2)
+        journal.record("c", 3)
+        with open(path, "r+", encoding="utf-8") as handle:
+            lines = handle.readlines()
+            lines[1] = lines[1].replace('"', "'", 2)  # bit rot
+            handle.seek(0)
+            handle.writelines(lines)
+            handle.truncate()
+        reloaded = SweepJournal(path)
+        assert reloaded.is_done("a") and reloaded.is_done("c")
+        assert not reloaded.is_done("b")
+        stats = reloaded.journal_stats()
+        assert stats["corrupt"] == 1
+        assert stats["integrity"] == "corrupt"
+
+    def test_checksum_mismatch_rejects_a_tampered_record(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        journal.record("a", 1)
+        with open(path, encoding="utf-8") as handle:
+            entry = json.loads(handle.readline())
+        entry["entry"]["result"] = 999  # tamper without refreshing crc
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+        reloaded = SweepJournal(path)
+        assert not reloaded.is_done("a")
+        assert reloaded.journal_stats()["corrupt"] == 1
+
+    def test_torn_tail_is_truncated_off_the_file(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        journal.record("a", 1)
+        journal.record("b", 2)
+        intact_size = os.path.getsize(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 2, "crc": "0000')  # SIGKILL mid-write
+        reloaded = SweepJournal(path)
+        assert reloaded.is_done("a") and reloaded.is_done("b")
+        stats = reloaded.journal_stats()
+        assert stats["torn_tail"] == 1
+        assert stats["integrity"] == "recovered"
+        # the file itself was repaired, not just skipped-over
+        assert os.path.getsize(path) == intact_size
+        assert SweepJournal(path).journal_stats()["integrity"] == "ok"
+
+    def test_compaction_is_atomic_and_purges_damage(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        journal.record("a", 1)
+        journal.record("a", 2)  # supersedes
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "legacy-k", "result": 5}\n')  # v1
+            handle.write("not json at all\n")  # damage
+        journal = SweepJournal(path)
+        assert journal.needs_compaction()
+        stats = journal.compact()
+        assert stats["integrity"] == "ok"
+        assert stats["legacy"] == stats["corrupt"] == 0
+        assert stats["superseded"] == 0
+        assert stats["compactions"] == 1
+        assert not os.path.exists(path + ".tmp")
+        reloaded = SweepJournal(path)
+        assert reloaded.result("a") == 2  # last record won
+        assert reloaded.result("legacy-k") == 5  # upgraded to v2
+        assert reloaded.journal_stats()["lines"] == 2
+        assert not reloaded.needs_compaction()
+
+    def test_journal_stats_shape_is_json_serializable(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        journal = SweepJournal(path)
+        journal.record("a", 1)
+        stats = journal.journal_stats()
+        json.dumps(stats)
+        assert set(stats) == {
+            "path", "version", "records", "lines", "legacy", "corrupt",
+            "superseded", "torn_tail", "compactions", "integrity",
+        }
+
+
 # ----------------------------------------------------------------------
 # Governor counters and the engine snapshot
 # ----------------------------------------------------------------------
@@ -312,6 +424,7 @@ class TestGovernorStats:
         assert set(snap) == {
             "checkpoints", "deadline_hits", "budget_trips",
             "cancellations", "fallbacks", "unknown_verdicts",
+            "retries", "quarantines", "hard_kills", "pool_rebuilds",
         }
         json.dumps(snap)
 

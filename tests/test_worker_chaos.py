@@ -1,0 +1,151 @@
+"""Worker-level chaos campaign: the supervised sweep runtime under fire.
+
+Drives the worker-fault half of :mod:`tests.chaos` — SIGKILLed workers,
+OOM-style abrupt exits, non-cooperative hangs, poison instances, torn
+and garbled journal files — for hundreds of seeded trials and asserts
+the fault-tolerance contract of the supervised runtime:
+
+* **no hung processes** — every trial returns (a ``signal.alarm``
+  watchdog converts a hang into a loud failure) and no worker process
+  outlives its campaign;
+* **no silent result loss** — every healthy instance of every trial
+  carries its exact expected value, every fault instance ends in an
+  explicit terminal state (recovered ``ok`` or structured
+  ``quarantined``), and journals agree with in-memory outcomes;
+* **correctness under faults** — engine homomorphism verdicts computed
+  next to crashing workers still match ground truth;
+* the campaign is **reproducible** given the seed, and a quarantine
+  report is emitted for CI artifact collection when
+  ``REPRO_CHAOS_REPORT`` is set.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+from collections import Counter
+
+import pytest
+
+from .chaos import WORKER_SCENARIOS, run_worker_campaign, run_worker_trial
+
+#: Seed for the campaign; CI pins it via the environment.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20260806"))
+
+#: Trial count — the acceptance bar is >= 200 seeded trials.
+CHAOS_TRIALS = int(os.environ.get("REPRO_WORKER_CHAOS_TRIALS", "200"))
+
+#: Whole-campaign hang cap (seconds); the observed campaign runtime is
+#: single-digit seconds, so this only fires on a genuine hang.
+WATCHDOG_S = 300
+
+
+@pytest.fixture(autouse=True)
+def watchdog():
+    """Convert a hang into a loud failure (POSIX main thread only)."""
+    if sys.platform == "win32":  # pragma: no cover
+        yield
+        return
+
+    def on_alarm(signum, frame):  # pragma: no cover - only fires on a hang
+        raise AssertionError(
+            f"worker chaos watchdog: exceeded {WATCHDOG_S}s — the "
+            "supervised runtime hung instead of recovering"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(WATCHDOG_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class TestWorkerChaosCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("worker-chaos")
+        return run_worker_campaign(CHAOS_TRIALS, CHAOS_SEED, str(base))
+
+    def test_no_invalid_outcomes(self, campaign):
+        invalid = [t for t in campaign if t.outcome != "ok"]
+        assert not invalid, (
+            f"{len(invalid)}/{len(campaign)} trials violated the "
+            f"fault-tolerance contract; first: "
+            f"{invalid[0].scenario}: {invalid[0].detail}"
+        )
+
+    def test_campaign_size_meets_bar(self, campaign):
+        assert len(campaign) >= 200 or CHAOS_TRIALS < 200
+
+    def test_every_scenario_fired(self, campaign):
+        fired = Counter(t.scenario for t in campaign)
+        missing = [
+            name for name, _ in WORKER_SCENARIOS if not fired.get(name)
+        ]
+        assert not missing, (
+            f"scenarios never exercised: {missing} ({dict(fired)})"
+        )
+
+    def test_faults_actually_perturbed_the_runtime(self, campaign):
+        # The supervision machinery must have actually engaged: the
+        # campaign saw retries, quarantines, hard kills and rebuilds.
+        totals = Counter()
+        for trial in campaign:
+            totals.update(trial.counters)
+        for counter in ("retries", "quarantined", "hard_kills",
+                        "pool_rebuilds", "worker_crashes"):
+            assert totals[counter] > 0, (
+                f"{counter} never incremented across the campaign: "
+                f"{dict(totals)}"
+            )
+
+    def test_no_orphan_worker_processes(self, campaign):
+        # Every pool (including hard-killed and rebuilt ones) must have
+        # been reaped; a lingering child is a leak the supervisor made.
+        orphans = multiprocessing.active_children()
+        assert not orphans, f"worker processes leaked: {orphans}"
+
+    def test_quarantine_report_for_ci(self, campaign, tmp_path):
+        """Emit the campaign report CI uploads as an artifact."""
+        report_path = os.environ.get(
+            "REPRO_CHAOS_REPORT", str(tmp_path / "worker_chaos_report.json")
+        )
+        report = {
+            "seed": CHAOS_SEED,
+            "trials": len(campaign),
+            "scenarios": dict(Counter(t.scenario for t in campaign)),
+            "invalid": [
+                {"scenario": t.scenario, "detail": t.detail}
+                for t in campaign if t.outcome != "ok"
+            ],
+            "quarantined": sorted(
+                {key for t in campaign for key in t.quarantined_keys}
+            ),
+            "counters": dict(sum(
+                (Counter(t.counters) for t in campaign), Counter()
+            )),
+        }
+        directory = os.path.dirname(report_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        with open(report_path, encoding="utf-8") as handle:
+            assert json.load(handle)["trials"] == len(campaign)
+
+
+class TestWorkerChaosDeterminism:
+    def test_same_seed_same_outcomes(self, tmp_path):
+        first = run_worker_campaign(20, CHAOS_SEED, str(tmp_path / "a"))
+        second = run_worker_campaign(20, CHAOS_SEED, str(tmp_path / "b"))
+        assert [(t.scenario, t.outcome) for t in first] == [
+            (t.scenario, t.outcome) for t in second
+        ]
+
+    def test_single_trial_reproducible(self, tmp_path):
+        a = run_worker_trial(CHAOS_SEED + 7, str(tmp_path / "a"))
+        b = run_worker_trial(CHAOS_SEED + 7, str(tmp_path / "b"))
+        assert (a.scenario, a.outcome) == (b.scenario, b.outcome)
