@@ -22,12 +22,14 @@ JSON-serialized structures (see :mod:`repro.structures.io`):
 ``chandra-merlin A.json B.json``
     Report the three equivalent statements of Theorem 2.1.
 ``stats [--pair A.json B.json --repeat N] [--no-cache] [--no-kernel]
-[--journal PATH]``
+[--reset] [--journal PATH]``
     Dump the hom-engine's solver/cache counters as JSON (optionally
-    after exercising a homomorphism query ``N`` times first); with
+    after exercising a homomorphism query ``N`` times first);
+    ``--reset`` zeroes every counter — solver, memo cache,
+    compiled-target cache, governor — before the run; with
     ``--journal`` also reports a sweep journal's integrity stats
     (records, legacy lines, corrupt lines, torn-tail recoveries).
-``sweep {hom,cores,treewidth} [--workers N] [--deadline S] ...``
+``sweep {hom,hom-batch,cores,treewidth} [--workers N] [--deadline S] ...``
     Run a registered instance sweep through the supervised parallel
     governed executor (:mod:`repro.parallel`): per-instance
     deadlines/budgets, retries with backoff (``--retries``), hard
@@ -188,13 +190,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .parallel.sweeps import filter_instances
     from .resources import SweepJournal
 
+    from .exceptions import UnknownInstanceError
+
     sweep = get_sweep(args.name)
     task = sweep.task
     if args.name == "treewidth":
         task = functools.partial(task, limit=args.limit)
     instances = sweep.instances()
     if args.only:
-        instances = filter_instances(instances, args.only)
+        try:
+            instances = filter_instances(instances, args.only)
+        except UnknownInstanceError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
     journal = SweepJournal(args.journal) if args.journal else None
     retry_policy = (
         RetryPolicy(max_attempts=args.retries)
@@ -227,6 +235,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             use_kernel=not args.no_kernel,
         ))
     engine = get_engine()
+    if args.reset:
+        engine.reset_stats()
     if args.pair:
         a = load_structure(args.pair[0])
         b = load_structure(args.pair[1])
@@ -304,7 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep",
                        help="run a registered instance sweep "
                             "(parallel, governed, resumable)")
-    p.add_argument("name", choices=("hom", "cores", "treewidth"),
+    from .parallel.sweeps import SWEEPS as _SWEEPS
+
+    p.add_argument("name", choices=tuple(sorted(_SWEEPS)),
                    help="which registered sweep to run")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (1 = serial in-process)")
@@ -345,6 +357,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-kernel", action="store_true",
                    help="use a fresh engine on the reference solver "
                         "(compiled bitset kernel disabled)")
+    p.add_argument("--reset", action="store_true",
+                   help="zero all engine counters (including the "
+                        "compiled-target cache's hit/miss counters and "
+                        "the governor) before running/reporting")
     p.add_argument("--journal", default=None,
                    help="also report this sweep journal's integrity "
                         "stats (legacy/corrupt line counts, torn-tail "

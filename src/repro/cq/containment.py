@@ -136,6 +136,25 @@ def are_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
     return is_contained_in(q1, q2) and is_contained_in(q2, q1)
 
 
+def _contained_via_batch(
+    q: ConjunctiveQuery, p: ConjunctiveQuery, batch
+) -> bool:
+    """``q ⊆ p`` through an engine batch targeting ``canonical(q)``.
+
+    Same validation and verdict as :func:`is_contained_in`; the batch
+    amortizes the compilation of ``q``'s canonical structure across
+    every candidate ``p``.
+    """
+    if q.arity() != p.arity():
+        raise ValidationError(
+            "containment requires queries of the same arity"
+        )
+    source = p.frozen_structure()
+    if source.vocabulary.relations != batch.target.vocabulary.relations:
+        raise ValidationError("queries must share a vocabulary")
+    return batch.find(source) is not None
+
+
 def ucq_is_contained_in(
     union1: Sequence[ConjunctiveQuery], union2: Sequence[ConjunctiveQuery]
 ) -> bool:
@@ -143,10 +162,19 @@ def ucq_is_contained_in(
     ``union1`` is contained in some disjunct of ``union2``.
 
     The empty union is the always-false query, contained in everything.
+    Every candidate check for one left-hand disjunct ``q`` maps *into*
+    ``canonical(q)``, so the scan over ``union2`` runs as one engine
+    batch per disjunct (the target compiles once), with the usual early
+    exit on the first containing disjunct.
     """
-    return all(
-        any(is_contained_in(q, p) for p in union2) for q in union1
-    )
+    from ..engine import get_engine
+
+    engine = get_engine()
+    for q in union1:
+        batch = engine.batch(q.frozen_structure())
+        if not any(_contained_via_batch(q, p, batch) for p in union2):
+            return False
+    return True
 
 
 def ucq_are_equivalent(
@@ -164,11 +192,18 @@ def remove_redundant_disjuncts(
     """Drop disjuncts contained in another disjunct (UCQ minimization).
 
     Keeps the first representative of each mutual-containment class, in
-    input order; the result is equivalent to the input union.
+    input order; the result is equivalent to the input union.  The
+    ``q ⊆ p`` direction for one candidate ``q`` always targets
+    ``canonical(q)``, so it runs as one engine batch per candidate; the
+    reverse direction varies the target and stays per-call.
     """
+    from ..engine import get_engine
+
+    engine = get_engine()
     kept: List[ConjunctiveQuery] = []
     for q in union:
-        subsumed = any(is_contained_in(q, p) for p in kept)
+        batch = engine.batch(q.frozen_structure())
+        subsumed = any(_contained_via_batch(q, p, batch) for p in kept)
         if subsumed:
             continue
         kept = [p for p in kept if not is_contained_in(p, q)]

@@ -9,6 +9,12 @@ Minimization is *governed* through the core computation it delegates to:
 under an ambient deadline/budget (``with governed(...)``) the retraction
 search raises a typed :class:`~repro.exceptions.ResourceError` instead
 of hanging on adversarial queries.
+
+The retraction scan inside the core computation is *batched*
+(:meth:`~repro.engine.engine.HomEngine.batch`): every avoidance query
+is an endomorphism search on the same canonical structure, so the
+kernel compiles that structure once per retraction round instead of
+once per avoided element.
 """
 
 from __future__ import annotations

@@ -66,6 +66,17 @@ class HomEngine:
         the differential oracle path).
     compiled_cache_size:
         Compiled targets retained by the kernel's per-engine cache.
+    use_dp:
+        When ``True`` (default) kernel solves are routed through
+        :func:`repro.kernel.dp.plan_dp`: sources with enough variables
+        and small Gaifman-graph treewidth are solved by dynamic
+        programming over a nice decomposition instead of backtracking.
+        Plans the gate rejects (large/UNKNOWN width, injective queries,
+        unaffordable table bound) fall back to backtracking silently.
+        ``REPRO_NO_DP=1`` disables the path on the global engine.
+    dp_min_vars / dp_max_width / dp_cost_cap:
+        Overrides for the DP gate thresholds (defaults are the
+        :mod:`repro.kernel.dp` module constants).
     """
 
     def __init__(
@@ -74,15 +85,30 @@ class HomEngine:
         cache_enabled: bool = True,
         use_kernel: bool = True,
         compiled_cache_size: Optional[int] = None,
+        use_dp: bool = True,
+        dp_min_vars: Optional[int] = None,
+        dp_max_width: Optional[int] = None,
+        dp_cost_cap: Optional[int] = None,
     ) -> None:
         from ..kernel.compile import (
             DEFAULT_COMPILED_CACHE_SIZE,
             CompiledTargetCache,
         )
+        from ..kernel.dp import DP_COST_CAP, DP_MAX_WIDTH, DP_MIN_VARS
 
         self.cache = HomCache(cache_size)
         self.cache_enabled = cache_enabled
         self.use_kernel = use_kernel
+        self.use_dp = use_dp
+        self.dp_min_vars = (
+            dp_min_vars if dp_min_vars is not None else DP_MIN_VARS
+        )
+        self.dp_max_width = (
+            dp_max_width if dp_max_width is not None else DP_MAX_WIDTH
+        )
+        self.dp_cost_cap = (
+            dp_cost_cap if dp_cost_cap is not None else DP_COST_CAP
+        )
         self.compiled_targets = CompiledTargetCache(
             compiled_cache_size
             if compiled_cache_size is not None
@@ -133,6 +159,47 @@ class HomEngine:
                 key, witnesses, dict(result) if result is not None else None
             )
         return result
+
+    def batch(self, target: Structure) -> "_EngineBatch":
+        """A batched solve handle for many queries against ``target``.
+
+        The returned handle's :meth:`_EngineBatch.find` answers queries
+        with the same memoization, instrumentation and option semantics
+        as :meth:`find_homomorphism`, but all kernel solves share one
+        :class:`~repro.kernel.batch.BatchSolveSession` — the target is
+        compiled once and its support tables and propagation scratch
+        are reused across the whole batch.  This is the fast path for
+        the containment / disjunct-pruning / core-retraction loops
+        (many sources, one target).  Handles are single-threaded.
+        """
+        return _EngineBatch(self, target)
+
+    def solve_batch(
+        self,
+        sources: Iterable[Structure],
+        target: Structure,
+        *,
+        injective: bool = False,
+        pinned: Optional[Mapping[Element, Element]] = None,
+        forbidden_images: Iterable[Element] = (),
+        propagate: bool = True,
+    ) -> list:
+        """One witness-or-``None`` per source, via a shared batch.
+
+        Convenience wrapper over :meth:`batch` applying the same
+        options to every query.
+        """
+        handle = self.batch(target)
+        return [
+            handle.find(
+                source,
+                injective=injective,
+                pinned=pinned,
+                forbidden_images=forbidden_images,
+                propagate=propagate,
+            )
+            for source in sources
+        ]
 
     def exists_homomorphism(self, source: Structure, target: Structure) -> bool:
         """Whether a homomorphism ``source → target`` exists (memoized).
@@ -211,16 +278,42 @@ class HomEngine:
 
                 self.stats.kernel_solves += 1
                 compiled = self.compiled_targets.get(target, stats=self.stats)
-                solver = BitsetHomomorphismSolver(
-                    source,
-                    compiled,
-                    injective=injective,
-                    pinned=pinned,
-                    forbidden_images=forbidden,
-                    propagate=propagate,
-                    stats=self.stats,
-                )
-                result = solver.first()
+                plan = None
+                if self.use_dp:
+                    from ..kernel.dp import plan_dp
+
+                    plan = plan_dp(
+                        source,
+                        compiled.size(),
+                        injective=injective,
+                        min_vars=self.dp_min_vars,
+                        max_width=self.dp_max_width,
+                        cost_cap=self.dp_cost_cap,
+                    )
+                if plan is not None:
+                    from ..kernel.dp import TreewidthDPSolver
+
+                    dp = TreewidthDPSolver(
+                        source,
+                        compiled,
+                        plan.nice,
+                        pinned=pinned,
+                        forbidden_images=forbidden,
+                        propagate=propagate,
+                        stats=self.stats,
+                    )
+                    result = dp.first()
+                else:
+                    solver = BitsetHomomorphismSolver(
+                        source,
+                        compiled,
+                        injective=injective,
+                        pinned=pinned,
+                        forbidden_images=forbidden,
+                        propagate=propagate,
+                        stats=self.stats,
+                    )
+                    result = solver.first()
             else:
                 from ..homomorphism.search import HomomorphismSearch
 
@@ -280,15 +373,15 @@ class HomEngine:
         self.compiled_targets.clear()
 
     def reset_stats(self) -> None:
-        """Zero the solver counters, the cache's counters, and the
-        process-global governor counters."""
+        """Zero the solver counters, the cache's counters, the compiled-
+        target cache's counters, and the process-global governor
+        counters."""
         self.stats.reset()
         self.cache.hits = 0
         self.cache.misses = 0
         self.cache.evictions = 0
         self.cache.invalidations = 0
-        self.compiled_targets.hits = 0
-        self.compiled_targets.misses = 0
+        self.compiled_targets.reset_counters()
         GOVERNOR.reset()
 
     def snapshot(self) -> Dict[str, object]:
@@ -302,11 +395,108 @@ class HomEngine:
         return {
             "cache_enabled": self.cache_enabled,
             "kernel_enabled": self.use_kernel,
+            "dp_enabled": self.use_dp,
             "solver": self.stats.snapshot(),
             "cache": self.cache.snapshot(),
             "compiled_targets": self.compiled_targets.snapshot(),
             "governor": GOVERNOR.snapshot(),
         }
+
+
+class _EngineBatch:
+    """One engine-mediated batch of queries against a fixed target.
+
+    Created by :meth:`HomEngine.batch`.  Each :meth:`find` participates
+    in the engine's memo cache and counters exactly like
+    :meth:`HomEngine.find_homomorphism`; cache misses are solved
+    through one lazily-created
+    :class:`~repro.kernel.batch.BatchSolveSession`, so the target is
+    compiled once for the whole batch and every solve shares its
+    support tables and propagation scratch.  When the engine runs the
+    reference solver (``use_kernel=False``) the handle degrades to
+    plain per-query calls — the differential oracle stays exact.
+
+    Not thread-safe (the underlying session shares scratch buffers).
+    """
+
+    __slots__ = ("engine", "target", "_session")
+
+    def __init__(self, engine: HomEngine, target: Structure) -> None:
+        self.engine = engine
+        self.target = target
+        self._session = None
+
+    def _get_session(self):
+        if self._session is None:
+            from ..kernel.batch import BatchSolveSession
+
+            self._session = BatchSolveSession(
+                self.target,
+                cache=self.engine.compiled_targets,
+                stats=self.engine.stats,
+            )
+        return self._session
+
+    def find(
+        self,
+        source: Structure,
+        *,
+        injective: bool = False,
+        pinned: Optional[Mapping[Element, Element]] = None,
+        forbidden_images: Iterable[Element] = (),
+        propagate: bool = True,
+    ) -> Optional[Homomorphism]:
+        """A homomorphism ``source → self.target``, or ``None``."""
+        engine = self.engine
+        if not engine.use_kernel:
+            return engine.find_homomorphism(
+                source,
+                self.target,
+                injective=injective,
+                pinned=pinned,
+                forbidden_images=forbidden_images,
+                propagate=propagate,
+            )
+        engine.stats.calls += 1
+        pinned_key = _freeze_mapping(pinned)
+        forbidden = frozenset(forbidden_images)
+        key = None
+        witnesses = (source, self.target)
+        if engine.cache_enabled:
+            key = (
+                "hom",
+                source.fingerprint(),
+                self.target.fingerprint(),
+                injective,
+                pinned_key,
+                forbidden,
+                propagate,
+            )
+            cached = engine.cache.get(key, witnesses)
+            if cached is not MISS:
+                engine.stats.cache_hits += 1
+                return dict(cached) if cached is not None else None
+            engine.stats.cache_misses += 1
+        engine.stats.solves += 1
+        engine.stats.kernel_solves += 1
+        with Timer() as timer:
+            result = self._get_session().solve(
+                source,
+                injective=injective,
+                pinned=pinned,
+                forbidden_images=forbidden,
+                propagate=propagate,
+            )
+        engine.stats.solve_time_s += timer.elapsed_s
+        if key is not None:
+            engine.cache.put(
+                key, witnesses, dict(result) if result is not None else None
+            )
+        return result
+
+    def exists(self, source: Structure) -> bool:
+        """Whether a homomorphism ``source → self.target`` exists."""
+        return self.find(source) is not None
 
 
 # ----------------------------------------------------------------------
@@ -318,11 +508,13 @@ _GLOBAL_ENGINE: Optional[HomEngine] = None
 def _default_engine() -> HomEngine:
     disabled = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
     no_kernel = os.environ.get("REPRO_NO_KERNEL", "") not in ("", "0")
+    no_dp = os.environ.get("REPRO_NO_DP", "") not in ("", "0")
     size = int(os.environ.get("REPRO_HOM_CACHE_SIZE", DEFAULT_CACHE_SIZE))
     return HomEngine(
         cache_size=size,
         cache_enabled=not disabled,
         use_kernel=not no_kernel,
+        use_dp=not no_dp,
     )
 
 

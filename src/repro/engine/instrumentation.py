@@ -47,6 +47,20 @@ class SolverStats:
         misses).
     kernel_compile_hits:
         Kernel solves that reused an already-compiled target.
+    batch_calls:
+        Batch sessions opened (one per shared-target solve batch).
+    batch_queries:
+        Individual queries answered through batch sessions.
+    batch_dedup_hits:
+        Batch queries answered from a session's own memo (identical
+        source + options seen earlier in the same session).
+    dp_solves:
+        Solves routed to the treewidth-guided DP path (the remainder of
+        ``kernel_solves`` ran the backtracking kernel).
+    dp_bags:
+        Decomposition nodes processed by DP solves.
+    dp_entries:
+        Partial-homomorphism table entries materialized by DP solves.
     """
 
     calls: int = 0
@@ -61,6 +75,12 @@ class SolverStats:
     kernel_solves: int = 0
     kernel_compilations: int = 0
     kernel_compile_hits: int = 0
+    batch_calls: int = 0
+    batch_queries: int = 0
+    batch_dedup_hits: int = 0
+    dp_solves: int = 0
+    dp_bags: int = 0
+    dp_entries: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

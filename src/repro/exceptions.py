@@ -28,6 +28,33 @@ class ValidationError(ReproError):
     """An input object is malformed (wrong arity, unknown symbol, ...)."""
 
 
+class UnknownInstanceError(ValidationError):
+    """A name filter matched no registered instance.
+
+    Raised by instance-selection surfaces (``repro sweep --only``,
+    ``bench_p01 --only``) instead of silently running an empty
+    selection or dumping a bare traceback.  Structured: carries what
+    was asked for and the names that would have been accepted, so CLI
+    layers can print an actionable message and exit nonzero.
+
+    Attributes
+    ----------
+    requested:
+        The filter string that matched nothing.
+    valid:
+        Sorted instance names that were available.
+    """
+
+    def __init__(self, requested: str, valid) -> None:
+        self.requested = requested
+        self.valid = sorted(valid)
+        names = ", ".join(self.valid)
+        super().__init__(
+            f"unknown instance filter {requested!r}; "
+            f"valid names: {names}"
+        )
+
+
 class UnsupportedFragmentError(ReproError):
     """A formula or query lies outside the fragment an algorithm supports.
 

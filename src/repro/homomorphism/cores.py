@@ -47,19 +47,22 @@ def find_proper_retraction(
     """An endomorphism avoiding at least one element, or ``None``.
 
     Constant-named elements can never be avoided (homomorphisms fix
-    constants), so they are skipped.  Each avoidance search runs through
-    the (given or global) memoized engine.
+    constants), so they are skipped.  The avoidance searches all target
+    the same structure, so they run through one engine batch (the
+    target is compiled once for the whole scan) while keeping full
+    memoization and the early exit on the first retraction found.
     """
     if engine is None:
         from ..engine import get_engine
 
         engine = get_engine()
     protected = set(structure.constants.values())
+    batch = engine.batch(structure)
     for element in structure.universe:
         if element in protected:
             continue
-        endo = engine.find_homomorphism(
-            structure, structure, forbidden_images=frozenset([element])
+        endo = batch.find(
+            structure, forbidden_images=frozenset([element])
         )
         if endo is not None:
             return endo

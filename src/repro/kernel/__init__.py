@@ -20,6 +20,21 @@ default:
   shrunk variable are revisited, replacing the reference's full AC-3
   re-sweeps), forward-checking fallback for the ``propagate=False``
   ablation.
+* :mod:`repro.kernel.batch` — the v2 batched entry point
+  (:class:`~repro.kernel.batch.BatchSolveSession` /
+  :meth:`~repro.kernel.solver.BitsetHomomorphismSolver.solve_batch`):
+  many sources against one target compile the target once, share its
+  memoized support tables and one propagation scratch pair, and dedup
+  repeated (source, options) queries within the session.
+* :mod:`repro.kernel.dp` — the v2 treewidth-guided DP solve path:
+  when :func:`~repro.kernel.dp.plan_dp` accepts a source (enough
+  variables, small Gaifman-graph width, affordable table bound),
+  :class:`~repro.kernel.dp.TreewidthDPSolver` decides existence by
+  join/introduce/forget tables of partial homomorphisms over a nice
+  decomposition instead of backtracking, checkpointing ``hom.dp`` at
+  every bag.  Large or UNKNOWN width falls back to the backtracking
+  kernel; ``REPRO_NO_DP=1`` or ``HomEngine(use_dp=False)`` disables
+  the path entirely.
 
 The kernel preserves the cooperative governance contract: every node
 expansion checkpoints ``hom.search`` and every fact revision checkpoints
@@ -31,12 +46,31 @@ reference solver remains the differential oracle and is selectable via
 ``--no-kernel`` flags.
 """
 
+from .batch import BatchSolveSession
 from .compile import CompiledRelation, CompiledTarget, CompiledTargetCache
-from .solver import BitsetHomomorphismSolver
+from .dp import (
+    DP_COST_CAP,
+    DP_EXACT_LIMIT,
+    DP_MAX_WIDTH,
+    DP_MIN_VARS,
+    DPPlan,
+    TreewidthDPSolver,
+    plan_dp,
+)
+from .solver import BitsetHomomorphismSolver, PropagationScratch
 
 __all__ = [
+    "BatchSolveSession",
     "BitsetHomomorphismSolver",
     "CompiledRelation",
     "CompiledTarget",
     "CompiledTargetCache",
+    "DP_COST_CAP",
+    "DP_EXACT_LIMIT",
+    "DP_MAX_WIDTH",
+    "DP_MIN_VARS",
+    "DPPlan",
+    "PropagationScratch",
+    "TreewidthDPSolver",
+    "plan_dp",
 ]

@@ -207,6 +207,17 @@ class CompiledTargetCache:
         with self._lock:
             self._entries.clear()
 
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (entries survive).
+
+        The engine's ``reset_stats`` path calls this so ``repro stats``
+        baselines really start from zero — compiled targets stay warm,
+        only the observability state resets.
+        """
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-serializable counters."""
         return {

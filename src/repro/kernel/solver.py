@@ -39,6 +39,25 @@ Homomorphism = Dict[Element, Element]
 _CompiledFact = Tuple[int, Tuple[Tuple[int, Dict[int, int]], ...]]
 
 
+class PropagationScratch:
+    """Reusable propagation work buffers (worklist deque + membership set).
+
+    A solver allocates one pair per instance by default; a batch
+    (:mod:`repro.kernel.batch`) allocates one pair per *session* and
+    threads it through every query, so back-to-back solves against one
+    compiled target stop churning fresh containers.  The buffers are
+    cleared at the start of every propagation pass, so sharing is safe
+    as long as solves do not interleave mid-propagation (they cannot:
+    ``_propagate`` is not a generator and runs to completion).
+    """
+
+    __slots__ = ("queue", "queued")
+
+    def __init__(self) -> None:
+        self.queue: deque = deque()
+        self.queued: set = set()
+
+
 class BitsetHomomorphismSolver:
     """Backtracking MAC search from ``source`` into a compiled target.
 
@@ -59,6 +78,7 @@ class BitsetHomomorphismSolver:
         propagate: bool = True,
         stats=None,
         context: Optional[RunContext] = None,
+        scratch: Optional[PropagationScratch] = None,
     ) -> None:
         if source.vocabulary.relations != target.structure.vocabulary.relations:
             raise ValidationError(
@@ -70,6 +90,7 @@ class BitsetHomomorphismSolver:
         self.propagate = propagate
         self.stats = stats
         self.context = context if context is not None else current_context()
+        self.scratch = scratch if scratch is not None else PropagationScratch()
 
         self.vars: Tuple[Element, ...] = source.universe
         self.nvars = len(self.vars)
@@ -144,8 +165,12 @@ class BitsetHomomorphismSolver:
         facts_of = self.facts_of
         context = self.context
         stats = self.stats
-        queue = deque(seed_facts)
-        queued = set(queue)
+        queue = self.scratch.queue
+        queued = self.scratch.queued
+        queue.clear()
+        queued.clear()
+        queue.extend(seed_facts)
+        queued.update(queue)
         while queue:
             context.checkpoint("hom.propagate")
             f = queue.popleft()
@@ -216,6 +241,49 @@ class BitsetHomomorphismSolver:
     def first(self) -> Optional[Homomorphism]:
         """The first homomorphism found, or ``None``."""
         return next(self.solutions(), None)
+
+    @classmethod
+    def solve_batch(
+        cls,
+        sources,
+        target,
+        *,
+        injective: bool = False,
+        pinned: Optional[Mapping[Element, Element]] = None,
+        forbidden_images: Iterable[Element] = (),
+        propagate: bool = True,
+        stats=None,
+        context: Optional[RunContext] = None,
+        cache=None,
+    ) -> List[Optional[Homomorphism]]:
+        """Solve many ``source → target`` queries against one target.
+
+        The batched entry point: the target is compiled exactly once
+        (through ``cache``, a
+        :class:`~repro.kernel.compile.CompiledTargetCache`, when given;
+        ``target`` may also already be a
+        :class:`~repro.kernel.compile.CompiledTarget`), its per-position
+        support tables are shared by every query, and one propagation
+        scratch pair is reused across the whole batch.  Returns one
+        witness-or-``None`` per source, in order.  Options apply to
+        every query; for per-query options use
+        :class:`~repro.kernel.batch.BatchSolveSession` directly.
+        """
+        from .batch import BatchSolveSession
+
+        session = BatchSolveSession(
+            target, cache=cache, stats=stats, context=context
+        )
+        return [
+            session.solve(
+                source,
+                injective=injective,
+                pinned=pinned,
+                forbidden_images=forbidden_images,
+                propagate=propagate,
+            )
+            for source in sources
+        ]
 
     def _search(
         self,

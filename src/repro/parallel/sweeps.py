@@ -14,6 +14,11 @@ The registered sweeps:
     embeddings, chorded-path refutations, random pairs) decided through
     the governed engine; records carry the trivalent verdict plus the
     solver counters consumed by the instance.
+``hom-batch``
+    Containment-shaped instances — one target, many sources — decided
+    through the engine's batched solve path
+    (:meth:`~repro.engine.engine.HomEngine.batch`), so each instance
+    compiles its target once and shares it across every query.
 ``cores``
     Core computations over the collapsing/rigid families of
     ``bench_p02``.
@@ -27,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
-from ..exceptions import ValidationError
+from ..exceptions import UnknownInstanceError, ValidationError
 from ..structures.structure import Structure
 
 Spec = Tuple[str, Tuple[Any, ...]]
@@ -115,6 +120,47 @@ def hom_task(spec: Tuple[Spec, Spec]) -> Dict[str, Any]:
     }
 
 
+def hom_batch_task(spec: Tuple[Spec, List[Spec]]) -> Dict[str, Any]:
+    """Decide one target's whole query batch through the batched engine
+    path.
+
+    ``spec`` is ``(target_spec, [source_spec, ...])``.  The queries run
+    through one :meth:`~repro.engine.engine.HomEngine.batch` handle, so
+    the target compiles once; each query is individually governed — a
+    deadline/budget trip turns that query's verdict UNKNOWN without
+    poisoning the rest of the batch.
+    """
+    from ..engine import get_engine
+    from ..engine.instrumentation import GOVERNOR
+    from ..exceptions import ResourceError
+
+    target_spec, source_specs = spec
+    target = build_structure(target_spec)
+    engine = get_engine()
+    batch = engine.batch(target)
+    verdicts: List[str] = []
+    found = 0
+    for source_spec in source_specs:
+        source = build_structure(source_spec)
+        try:
+            witness = batch.find(source)
+        except ResourceError:
+            GOVERNOR.unknown_verdicts += 1
+            verdicts.append("UNKNOWN")
+            continue
+        if witness is not None:
+            found += 1
+            verdicts.append("TRUE")
+        else:
+            verdicts.append("FALSE")
+    return {
+        "target": list(target_spec),
+        "queries": len(source_specs),
+        "found": found,
+        "verdicts": verdicts,
+    }
+
+
 def core_task(spec: Spec) -> Dict[str, Any]:
     """Compute one core through the governed engine."""
     from ..engine import get_engine
@@ -181,6 +227,35 @@ def hom_instances() -> List[Tuple[str, Tuple[Spec, Spec]]]:
     return instances
 
 
+def hom_batch_instances() -> List[Tuple[str, Tuple[Spec, List[Spec]]]]:
+    """Containment-shaped batches: one target, many sources each."""
+    instances: List[Tuple[str, Tuple[Spec, List[Spec]]]] = []
+    instances.append((
+        "k2-colorability",
+        (
+            ("undirected-path", (2,)),
+            [("undirected-cycle", (n,)) for n in (3, 5, 7, 9, 11)],
+        ),
+    ))
+    instances.append((
+        "c7-windings",
+        (
+            ("undirected-cycle", (7,)),
+            [("undirected-cycle", (n,)) for n in (7, 9, 14, 21)]
+            + [("chorded-path", (20, 4, 1))],
+        ),
+    ))
+    instances.append((
+        "random-16-embeddings",
+        (
+            ("random-digraph", (16, 0.3, 16)),
+            [("directed-path", (k,)) for k in (2, 3, 4, 5, 6)]
+            + [("random-digraph", (5, 0.25, 1))],
+        ),
+    ))
+    return instances
+
+
 def core_instances() -> List[Tuple[str, Spec]]:
     """The collapsing/rigid core families of ``bench_p02``."""
     instances: List[Tuple[str, Spec]] = []
@@ -229,6 +304,13 @@ SWEEPS: Dict[str, Sweep] = {
         hom_instances,
         hom_task,
     ),
+    "hom-batch": Sweep(
+        "hom-batch",
+        "batched multi-query homomorphism decisions (one target, many "
+        "sources per instance)",
+        hom_batch_instances,
+        hom_batch_task,
+    ),
     "cores": Sweep(
         "cores",
         "core computations over collapsing and rigid families",
@@ -258,12 +340,11 @@ def filter_instances(
     instances: List[Tuple[str, Any]], only: str
 ) -> List[Tuple[str, Any]]:
     """Keep instances whose key contains ``only`` (``repro sweep
-    --only``); raises when nothing matches, since an accidentally empty
-    sweep would journal nothing and look "complete"."""
+    --only``); raises a structured
+    :class:`~repro.exceptions.UnknownInstanceError` (listing the valid
+    keys) when nothing matches, since an accidentally empty sweep would
+    journal nothing and look "complete"."""
     kept = [(key, spec) for key, spec in instances if only in key]
     if not kept:
-        raise ValidationError(
-            f"--only {only!r} matched none of "
-            f"{[key for key, _ in instances]}"
-        )
+        raise UnknownInstanceError(only, [key for key, _ in instances])
     return kept

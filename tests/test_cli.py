@@ -153,6 +153,32 @@ class TestStats:
         finally:
             self._fresh()
 
+    def test_stats_reset_zeroes_compiled_cache_counters(
+        self, files, capsys
+    ):
+        self._fresh()
+        try:
+            # warm the engine (and the compiled-target cache counters)
+            assert main(["stats", "--pair", files["p4"], files["c3"],
+                         "--repeat", "2"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            warmed = data["compiled_targets"]
+            assert warmed["hits"] + warmed["misses"] > 0
+            # --reset zeroes everything before the (fresh) run
+            assert main(["stats", "--reset"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["solver"]["calls"] == 0
+            assert data["compiled_targets"]["hits"] == 0
+            assert data["compiled_targets"]["misses"] == 0
+            # --reset composes with --pair: counters reflect only the
+            # post-reset queries
+            assert main(["stats", "--reset", "--pair", files["p4"],
+                         files["c3"], "--repeat", "3"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["solver"]["calls"] == 3
+        finally:
+            self._fresh()
+
     def test_stats_journal_health(self, tmp_path, capsys):
         from repro.resources import SweepJournal
 
@@ -183,8 +209,78 @@ class TestSweep:
         data = json.loads(capsys.readouterr().out)
         assert data["resumed"] == 3 and data["computed"] == 0
 
-    def test_sweep_only_filter_rejects_no_match(self):
-        from repro.exceptions import ReproError
+    def test_sweep_only_filter_rejects_no_match(self, capsys):
+        # a structured error, not a traceback: exit 2 with the valid
+        # instance names listed on stderr
+        assert main(["sweep", "cores", "--only", "no-such-instance"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-instance" in err
+        assert "rigid-cycle-5" in err
 
-        with pytest.raises(ReproError):
-            main(["sweep", "cores", "--only", "no-such-instance"])
+    def test_unknown_instance_error_carries_structure(self):
+        from repro.exceptions import UnknownInstanceError, ValidationError
+
+        err = UnknownInstanceError("nope", ["b", "a"])
+        assert isinstance(err, ValidationError)
+        assert err.requested == "nope"
+        assert err.valid == ["a", "b"]
+        assert "nope" in str(err) and "a, b" in str(err)
+
+    def test_hom_batch_sweep_runs(self, capsys):
+        from repro.engine import reset_engine
+
+        reset_engine()
+        try:
+            assert main(["sweep", "hom-batch",
+                         "--only", "k2-colorability"]) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["instances"] == 1
+            record = data["results"]["k2-colorability"]["result"]
+            # odd cycles are not 2-colorable: all five queries refuted
+            assert record["queries"] == 5 and record["found"] == 0
+            assert record["verdicts"] == ["FALSE"] * 5
+        finally:
+            # don't leave the global engine's memo cache warm with
+            # odd-cycle answers: later forked sweep workers would
+            # inherit it and short-circuit governor tests
+            reset_engine()
+
+
+class TestBenchOnlyFilter:
+    """The bench script's --only filter fails structurally, like sweep's."""
+
+    def _bench_module(self):
+        import importlib
+        import os
+        import sys
+
+        bench_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks",
+        )
+        sys.path.insert(0, bench_dir)
+        try:
+            return importlib.import_module("bench_p01_hom_search")
+        finally:
+            sys.path.remove(bench_dir)
+
+    def test_unknown_instance_exits_2_with_valid_names(self, capsys):
+        bench = self._bench_module()
+        code = bench.main(["--kernel-compare", "--only", "no-such-bench"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no-such-bench" in err
+        assert "odd-cycle-7-vs-k2" in err
+
+    def test_filter_workload_matches_substrings(self):
+        from repro.exceptions import UnknownInstanceError
+
+        bench = self._bench_module()
+        pairs = bench.kernel_compare_workload("tiny")
+        matched = bench.filter_workload(pairs, "odd-cycle")
+        assert [name for name, _, _ in matched] == [
+            "odd-cycle-7-vs-k2", "odd-cycle-9-vs-k2",
+        ]
+        with pytest.raises(UnknownInstanceError) as excinfo:
+            bench.filter_workload(pairs, "zzz")
+        assert "odd-cycle-7-vs-k2" in excinfo.value.valid

@@ -154,6 +154,44 @@ class TestSnapshotAndGlobalEngine:
         assert engine.stats.calls == 0
         assert engine.cache.snapshot()["hits"] == 0
 
+    def test_reset_stats_zeroes_compiled_cache_counters(self, engine):
+        # regression: the compiled-target LRU's hit/miss counters must
+        # reset with the rest of the stats (and with the governor), not
+        # leak across `repro stats --reset` baselines
+        engine.exists_homomorphism(directed_path(3), directed_cycle(3))
+        engine.exists_homomorphism(directed_path(4), directed_cycle(3))
+        compiled = engine.compiled_targets.snapshot()
+        assert compiled["hits"] + compiled["misses"] > 0
+        entries_before = compiled["entries"]
+        engine.reset_stats()
+        compiled = engine.compiled_targets.snapshot()
+        assert compiled["hits"] == 0 and compiled["misses"] == 0
+        # the compiled targets themselves stay warm — only counters reset
+        assert compiled["entries"] == entries_before
+        assert engine.stats.kernel_compilations == 0
+        assert engine.stats.kernel_compile_hits == 0
+        from repro.engine.instrumentation import GOVERNOR
+
+        assert GOVERNOR.snapshot()["unknown_verdicts"] == 0
+
+    def test_reset_stats_zeroes_v2_counters(self, engine):
+        import repro.structures as st
+
+        engine.solve_batch(
+            [st.directed_path(2), st.directed_path(3)], directed_cycle(3)
+        )
+        engine.exists_homomorphism(
+            st.undirected_cycle(16), st.undirected_path(2)
+        )
+        assert engine.stats.batch_calls == 1
+        assert engine.stats.batch_queries == 2
+        assert engine.stats.dp_solves == 1
+        engine.reset_stats()
+        snap = engine.stats.snapshot()
+        for field in ("batch_calls", "batch_queries", "batch_dedup_hits",
+                      "dp_solves", "dp_bags", "dp_entries"):
+            assert snap[field] == 0
+
     def test_set_and_reset_global_engine(self):
         original = get_engine()
         try:

@@ -494,7 +494,7 @@ def test_filter_instances_by_substring():
 # The registry
 # ----------------------------------------------------------------------
 def test_registry_names_and_unknown_lookup():
-    assert set(SWEEPS) == {"hom", "cores", "treewidth"}
+    assert set(SWEEPS) == {"hom", "hom-batch", "cores", "treewidth"}
     with pytest.raises(ValidationError):
         get_sweep("nope")
 

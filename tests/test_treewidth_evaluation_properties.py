@@ -1,0 +1,207 @@
+"""Property-based tests for the tree-decomposition CQ evaluator.
+
+Randomized differential testing of ``evaluate_by_tree_decomposition``
+against the join-based evaluators in :mod:`repro.cq.evaluation` and the
+homomorphism-based :meth:`ConjunctiveQuery.evaluate`:
+
+* random *acyclic* (tree-shaped, hence width-1 and GYO-acyclic) queries,
+  where Yannakakis is also applicable and must agree;
+* random *width-2* queries (variable cycles, optionally chorded), where
+  only the naive join and the treewidth engine apply;
+* empty-result edge cases (an atom over an empty relation must zero out
+  every engine, including mid-semijoin);
+* constants in the query body (terms interpreted by the structure, not
+  joined as variables).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cq import (
+    ConjunctiveQuery,
+    evaluate_by_tree_decomposition,
+    evaluate_naive,
+    evaluate_yannakakis,
+    is_acyclic_cq,
+    query_treewidth,
+)
+from repro.logic.syntax import Atom, Const, Var
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    random_structure,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _edge(a: str, b: str) -> Atom:
+    return Atom("E", (Var(a), Var(b)))
+
+
+@st.composite
+def tree_queries(draw, max_atoms=5):
+    """Tree-shaped binary queries: atom ``i`` attaches a fresh variable
+    to one already-introduced variable, so the variable graph is a tree
+    (treewidth 1) and the hypergraph is GYO-acyclic."""
+    n_atoms = draw(st.integers(min_value=1, max_value=max_atoms))
+    variables = ["v0", "v1"]
+    flipped = draw(st.booleans())
+    atoms = [_edge("v1", "v0") if flipped else _edge("v0", "v1")]
+    for i in range(1, n_atoms):
+        anchor = draw(st.sampled_from(variables))
+        fresh = f"v{i + 1}"
+        variables.append(fresh)
+        if draw(st.booleans()):
+            atoms.append(_edge(anchor, fresh))
+        else:
+            atoms.append(_edge(fresh, anchor))
+    n_head = draw(st.integers(min_value=0, max_value=min(2, len(variables))))
+    head = tuple(draw(st.permutations(variables))[:n_head])
+    return ConjunctiveQuery(GRAPH_VOCABULARY, head, tuple(atoms))
+
+
+@st.composite
+def width2_queries(draw):
+    """Variable-cycle queries (optionally chorded): treewidth exactly 2,
+    and cyclic as hypergraphs, so Yannakakis does not apply."""
+    k = draw(st.integers(min_value=3, max_value=5))
+    variables = [f"v{i}" for i in range(k)]
+    atoms = [
+        _edge(variables[i], variables[(i + 1) % k]) for i in range(k)
+    ]
+    if k >= 4 and draw(st.booleans()):
+        atoms.append(_edge(variables[0], variables[2]))
+    n_head = draw(st.integers(min_value=0, max_value=1))
+    head = tuple(variables[:n_head])
+    return ConjunctiveQuery(GRAPH_VOCABULARY, head, tuple(atoms))
+
+
+@st.composite
+def digraph_structures(draw, max_size=4):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    density = draw(st.sampled_from([0.0, 0.2, 0.4, 0.7]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_structure(GRAPH_VOCABULARY, size, density, seed=seed)
+
+
+class TestAcyclicAgreement:
+    @SETTINGS
+    @given(query=tree_queries(), structure=digraph_structures())
+    def test_all_four_engines_agree_on_acyclic(self, query, structure):
+        assert query_treewidth(query) <= 1
+        assert is_acyclic_cq(query)
+        reference = query.evaluate(structure)
+        assert evaluate_naive(query, structure) == reference
+        assert evaluate_yannakakis(query, structure) == reference
+        assert evaluate_by_tree_decomposition(query, structure) == reference
+
+    @SETTINGS
+    @given(query=tree_queries(max_atoms=3), structure=digraph_structures())
+    def test_boolean_projection_of_acyclic(self, query, structure):
+        boolean = ConjunctiveQuery(query.vocabulary, (), query.body)
+        answers = evaluate_by_tree_decomposition(boolean, structure)
+        assert answers in ({()}, set())
+        # a non-empty answer set for the open query forces truth of the
+        # Boolean projection, and vice versa
+        open_answers = evaluate_by_tree_decomposition(query, structure)
+        if query.head:
+            assert bool(open_answers) == (answers == {()})
+
+
+class TestWidthTwoAgreement:
+    @SETTINGS
+    @given(query=width2_queries(), structure=digraph_structures())
+    def test_treewidth_engine_matches_naive_on_width2(
+        self, query, structure
+    ):
+        assert query_treewidth(query) == 2
+        reference = evaluate_naive(query, structure)
+        assert evaluate_by_tree_decomposition(query, structure) == reference
+        assert query.evaluate(structure) == reference
+
+
+class TestEmptyResultEdgeCases:
+    @SETTINGS
+    @given(query=tree_queries(), size=st.integers(min_value=1, max_value=4))
+    def test_empty_relation_zeroes_every_engine(self, query, size):
+        empty = Structure(GRAPH_VOCABULARY, range(size))
+        assert evaluate_by_tree_decomposition(query, empty) == set()
+        assert evaluate_naive(query, empty) == set()
+        assert evaluate_yannakakis(query, empty) == set()
+
+    def test_semijoin_wipeout_mid_tree(self):
+        # E has edges but no 2-path: the root bag is non-empty until the
+        # bottom-up semijoin pass empties it
+        query = ConjunctiveQuery(
+            GRAPH_VOCABULARY,
+            (),
+            (_edge("x", "y"), _edge("y", "z")),
+        )
+        structure = Structure(
+            GRAPH_VOCABULARY, range(4),
+            {"E": [(0, 1), (2, 3)]},
+        )
+        assert evaluate_by_tree_decomposition(query, structure) == set()
+        assert evaluate_yannakakis(query, structure) == set()
+
+    def test_boolean_empty_body(self):
+        query = ConjunctiveQuery(GRAPH_VOCABULARY, (), ())
+        structure = Structure(GRAPH_VOCABULARY, range(2))
+        assert evaluate_by_tree_decomposition(query, structure) == {()}
+
+
+class TestConstantsInQuery:
+    VOCAB = Vocabulary({"E": 2}, constants=("c",))
+
+    @st.composite
+    def constant_queries(draw):  # noqa: N805 - hypothesis composite
+        vocab = TestConstantsInQuery.VOCAB
+        pattern = draw(st.sampled_from([
+            # edges into / out of the constant
+            (Atom("E", (Var("x"), Const("c"))),),
+            (Atom("E", (Const("c"), Var("x"))),),
+            # a path through the constant
+            (Atom("E", (Var("x"), Const("c"))),
+             Atom("E", (Const("c"), Var("y")))),
+            # constant on both sides (a loop check plus a free edge)
+            (Atom("E", (Const("c"), Const("c"))),
+             Atom("E", (Var("x"), Var("y")))),
+        ]))
+        body_vars = sorted(
+            {t.name for a in pattern for t in a.terms if isinstance(t, Var)}
+        )
+        n_head = draw(st.integers(min_value=0, max_value=len(body_vars)))
+        return ConjunctiveQuery(vocab, tuple(body_vars[:n_head]), pattern)
+
+    @SETTINGS
+    @given(
+        query=constant_queries(),
+        size=st.integers(min_value=1, max_value=4),
+        density=st.sampled_from([0.0, 0.3, 0.6]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_constants_agree_across_engines(
+        self, query, size, density, seed
+    ):
+        structure = random_structure(self.VOCAB, size, density, seed=seed)
+        reference = evaluate_naive(query, structure)
+        assert evaluate_by_tree_decomposition(query, structure) == reference
+        assert query.evaluate(structure) == reference
+
+    def test_constant_pins_the_answer(self):
+        structure = Structure(
+            self.VOCAB, range(3), {"E": [(0, 1), (1, 2)]}, {"c": 1}
+        )
+        into = ConjunctiveQuery(
+            self.VOCAB, ("x",), (Atom("E", (Var("x"), Const("c"))),)
+        )
+        assert evaluate_by_tree_decomposition(into, structure) == {(0,)}
+        out = ConjunctiveQuery(
+            self.VOCAB, ("x",), (Atom("E", (Const("c"), Var("x"))),)
+        )
+        assert evaluate_by_tree_decomposition(out, structure) == {(2,)}
