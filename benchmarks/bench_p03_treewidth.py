@@ -266,6 +266,96 @@ def run_fault_bench(fault_rate: float, workers: int, instances: int = 24,
     }
 
 
+def run_shard_bench(shards: int, workers: int, instances: int = 48,
+                    work_s: float = 0.15, repeats: int = 3,
+                    hard_timeout_s: float = 30.0) -> dict:
+    """Measure the sharded runtime's fault-free overhead at ``shards``.
+
+    The same sleep-task workload runs twice, best of ``repeats`` each:
+
+    * **baseline** — one :func:`repro.parallel.run_sweep` over the full
+      grid with ``workers`` processes (the single-host path);
+    * **sharded** — one runner working a fresh shard directory through
+      :func:`repro.distributed.run_sharded_sweep`: ``shards`` leases
+      claimed in turn, each shard swept with the same pool width, every
+      record landing in a fenced per-shard journal.
+
+    The lease protocol, heartbeats, fencing stamps, and per-shard pool
+    turnover must cost < 10% wall clock when nothing goes wrong, and
+    the merged journals must equal the baseline modulo timing fields.
+    """
+    import tempfile
+    import time as _time
+
+    from repro.distributed import (
+        merge_journals,
+        run_sharded_sweep,
+        shard_journal_paths,
+    )
+    from repro.distributed.merge import normalize_results
+    from repro.parallel import run_sweep as parallel_sweep
+    from repro.parallel.faults import faulty_task
+
+    workload = [
+        (f"work-{i:03d}", ("work", work_s, i)) for i in range(instances)
+    ]
+
+    baseline_s = float("inf")
+    baseline_results = None
+    for _ in range(repeats):
+        started = _time.perf_counter()
+        outcome = parallel_sweep(
+            faulty_task, workload, workers=workers,
+            hard_timeout_s=hard_timeout_s, mode="shard-bench-baseline",
+        )
+        baseline_s = min(baseline_s, _time.perf_counter() - started)
+        assert outcome.computed == instances
+        baseline_results = outcome.results
+
+    sharded_s = float("inf")
+    merged = None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as shard_dir:
+            started = _time.perf_counter()
+            outcome = run_sharded_sweep(
+                faulty_task, workload, shard_dir=shard_dir, shards=shards,
+                runner_id="bench", workers=workers,
+                hard_timeout_s=hard_timeout_s,
+            )
+            sharded_s = min(sharded_s, _time.perf_counter() - started)
+            assert outcome.complete
+            merged = merge_journals(
+                shard_journal_paths(shard_dir, shards),
+                expected_keys=[key for key, _ in workload],
+            )
+            assert merged.clean
+
+    overhead_pct = (
+        (sharded_s - baseline_s) / baseline_s * 100
+        if baseline_s > 0 else 0.0
+    )
+    equivalent = (
+        normalize_results(merged.results)
+        == normalize_results(baseline_results)
+    )
+    return {
+        "mode": "treewidth-shard-bench",
+        "shards": shards,
+        "workers": workers,
+        "instances": instances,
+        "work_s": work_s,
+        "repeats": repeats,
+        "baseline_elapsed_s": baseline_s,
+        "sharded_elapsed_s": sharded_s,
+        "sharding_overhead_pct": overhead_pct,
+        "overhead_budget_pct": 10.0,
+        "overhead_within_budget": overhead_pct < 10.0,
+        "merged_equals_baseline": equivalent,
+        "merged_fenced_out": merged.fenced_out,
+        "merged_findings": merged.findings,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="governed, resumable treewidth sweep (JSON output)"
@@ -289,11 +379,21 @@ def main(argv=None) -> int:
                              "overhead (fault-free) and recovery under "
                              "per-instance crash probability P; emits "
                              "BENCH_faults.json")
+    parser.add_argument("--shards", type=int, default=None, metavar="K",
+                        help="sharded-runtime mode: measure the lease/"
+                             "fencing/journal overhead of one runner "
+                             "working K shards vs the single-host sweep "
+                             "(fault-free); emits BENCH_shards.json")
     args = parser.parse_args(argv)
 
     from _json import write_bench_json
 
-    if args.fault_rate is not None:
+    if args.shards is not None:
+        report = run_shard_bench(
+            args.shards, workers=max(args.workers, 2)
+        )
+        report["json_path"] = write_bench_json("shards", report)
+    elif args.fault_rate is not None:
         report = run_fault_bench(
             args.fault_rate, workers=max(args.workers, 2)
         )

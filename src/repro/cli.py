@@ -35,7 +35,19 @@ JSON-serialized structures (see :mod:`repro.structures.io`):
     deadlines/budgets, retries with backoff (``--retries``), hard
     wall-clock kills (``--grace``), poison quarantine, journaled
     kill-resume (``--journal``) with a journal-integrity verdict in
-    the report, deterministic JSON output.
+    the report, deterministic JSON output.  With ``--shard-dir D
+    --shards K`` the sweep instead joins a *sharded* run as one of N
+    independent runners (:mod:`repro.distributed`): shards are claimed
+    under heartbeat leases with fencing tokens, expired leases are
+    work-stolen, and each shard journals to its own fenced file under
+    ``D`` — exit 0 when every shard finished, 1 otherwise.
+``merge-journals [J.jsonl ...|--shard-dir D --shards K] [--sweep NAME]``
+    Validate and merge the shard journals of a sharded sweep: per-shard
+    checksum/torn-tail integrity, duplicate keys resolved by fencing
+    token (last valid writer wins), missing/unexpected keys against the
+    ``--sweep`` grid, optional compaction to one combined journal
+    (``--output``) a single-host run would resume from.  Exit 0 clean,
+    2 with integrity findings.
 """
 
 from __future__ import annotations
@@ -203,11 +215,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except UnknownInstanceError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2
-    journal = SweepJournal(args.journal) if args.journal else None
     retry_policy = (
         RetryPolicy(max_attempts=args.retries)
         if args.retries is not None else None
     )
+    if args.shard_dir:
+        import os as _os
+        import socket as _socket
+
+        from .distributed import run_sharded_sweep
+
+        if args.journal:
+            print("error: --journal conflicts with --shard-dir "
+                  "(each shard journals to its own fenced file)",
+                  file=sys.stderr)
+            return 2
+        runner_id = args.runner_id or (
+            f"{_socket.gethostname()}-{_os.getpid()}"
+        )
+        sharded = run_sharded_sweep(
+            task,
+            instances,
+            shard_dir=args.shard_dir,
+            shards=args.shards,
+            runner_id=runner_id,
+            workers=args.workers,
+            deadline_s=args.deadline,
+            budget=args.budget,
+            chunksize=args.chunksize,
+            mode=f"sweep-{args.name}",
+            retry_policy=retry_policy,
+            grace_factor=args.grace,
+            hard_timeout_s=args.hard_timeout,
+            lease_ttl_s=args.lease_ttl,
+            heartbeat_interval_s=args.heartbeat,
+            steal=not args.no_steal,
+            max_wait_s=args.max_wait,
+        )
+        print(json.dumps(sharded.to_dict(), indent=2))
+        return 0 if sharded.complete else 1
+    journal = SweepJournal(args.journal) if args.journal else None
     outcome = run_sweep(
         task,
         instances,
@@ -224,6 +271,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(json.dumps(outcome.to_dict(), indent=2))
     return 0 if outcome.failed == 0 else 1
+
+
+def _cmd_merge_journals(args: argparse.Namespace) -> int:
+    from .distributed import (
+        merge_journals,
+        normalize_results,
+        shard_journal_paths,
+        write_combined_journal,
+    )
+    from .exceptions import UnknownInstanceError
+    from .parallel import get_sweep
+    from .parallel.sweeps import filter_instances
+
+    paths = list(args.journals)
+    if args.shard_dir:
+        if not args.shards:
+            print("error: --shard-dir needs --shards K to enumerate "
+                  "the journals", file=sys.stderr)
+            return 2
+        paths = shard_journal_paths(args.shard_dir, args.shards) + paths
+    if not paths:
+        print("error: nothing to merge; pass journal paths or "
+              "--shard-dir D --shards K", file=sys.stderr)
+        return 2
+    expected = None
+    if args.sweep:
+        instances = get_sweep(args.sweep).instances()
+        if args.only:
+            try:
+                instances = filter_instances(instances, args.only)
+            except UnknownInstanceError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 2
+        expected = [key for key, _ in instances]
+    report = merge_journals(paths, expected_keys=expected)
+    if args.output:
+        write_combined_journal(args.output, report)
+    payload = report.to_dict()
+    if args.normalize:
+        payload["results"] = normalize_results(report.results)
+    print(json.dumps(payload, indent=2))
+    return 0 if report.clean else 2
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -344,7 +433,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--only", default=None,
                    help="run only instances whose key contains this "
                         "substring")
+    p.add_argument("--shard-dir", default=None,
+                   help="join a sharded sweep over this shared "
+                        "directory (leases + per-shard journals)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="shard count K of the sharded sweep "
+                        "(must match across runners)")
+    p.add_argument("--runner-id", default=None,
+                   help="this runner's id (default: hostname-pid)")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="seconds a shard lease survives without a "
+                        "heartbeat before it can be stolen")
+    p.add_argument("--heartbeat", type=float, default=None,
+                   help="heartbeat renewal interval in seconds "
+                        "(default: lease TTL / 3)")
+    p.add_argument("--no-steal", action="store_true",
+                   help="never take over expired leases (claim only "
+                        "free/released shards)")
+    p.add_argument("--max-wait", type=float, default=600.0,
+                   help="seconds to keep polling for steal "
+                        "opportunities after the last progress")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("merge-journals",
+                       help="validate and merge sharded sweep journals "
+                            "(exit 0 clean, 2 with findings)")
+    p.add_argument("journals", nargs="*",
+                   help="shard journal paths (alternative to "
+                        "--shard-dir)")
+    p.add_argument("--shard-dir", default=None,
+                   help="merge the journals of this sharded sweep "
+                        "directory")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count K of the --shard-dir layout")
+    p.add_argument("--sweep", choices=tuple(sorted(_SWEEPS)),
+                   default=None,
+                   help="check coverage against this registered "
+                        "sweep's instance grid")
+    p.add_argument("--only", default=None,
+                   help="with --sweep: restrict the expected grid to "
+                        "keys containing this substring")
+    p.add_argument("--output", default=None,
+                   help="also compact the merged winners into this "
+                        "combined journal file")
+    p.add_argument("--normalize", action="store_true",
+                   help="strip volatile fields (elapsed_s, "
+                        "nodes/backtracks) from the reported results "
+                        "for run-to-run comparison")
+    p.set_defaults(func=_cmd_merge_journals)
 
     p = sub.add_parser("stats",
                        help="hom-engine solver/cache counters as JSON")

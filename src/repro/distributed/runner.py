@@ -1,0 +1,313 @@
+"""The shard runner: claim, heartbeat, run, release — and steal.
+
+:func:`run_sharded_sweep` is what ``repro sweep --shard-dir D
+--shards K`` executes.  N independent runner processes (any mix of
+hosts sharing ``shard_dir``) each loop over the K shards in a
+runner-specific rotation, claim whatever is claimable, and run each
+claimed shard with the ordinary supervised
+:func:`~repro.parallel.run_sweep` — retries, quarantine, watchdog and
+journal resume all work unchanged inside a shard; the only additions
+are a lease heartbeat threaded through the sweep as a cooperative
+side effect and a :class:`~repro.distributed.journal.FencedShardJournal`
+stamping every record with the lease's fencing token.
+
+Work-stealing: a runner that finds an *expired* lease (heartbeat older
+than its TTL — the owner died or hung) claims it at the next fencing
+token and resumes from the victim's journal.  The victim, if merely
+slow rather than dead, learns of the theft at its next heartbeat
+(:class:`~repro.exceptions.LeaseLostError`), abandons the shard and
+moves on; any records it managed to append in the window carry its old
+token and are fenced out on merge.
+
+Hangs cannot pin a lease: when neither a deadline nor a hard timeout is
+configured, shard mode defaults ``hard_timeout_s`` to
+:data:`DEFAULT_SHARD_HARD_TIMEOUT_S` so the supervisor's watchdog is
+always armed (a hung task would otherwise block heartbeats until the
+lease expired, got stolen — and the thief's task hung the same way).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import LeaseLostError, ValidationError
+from ..parallel.executor import Task, run_sweep
+from ..parallel.retry import RetryPolicy
+from ..parallel.supervisor import DEFAULT_GRACE_FACTOR
+from .journal import FencedShardJournal
+from .leases import (
+    CLAIMED,
+    DEFAULT_LEASE_TTL_S,
+    EXPIRED,
+    RUNNING,
+    Lease,
+    LeaseManager,
+)
+from .merge import read_done_keys
+from .sharding import journal_dir, journal_path, partition
+
+log = logging.getLogger("repro.distributed")
+
+#: Absolute watchdog default for shard mode.  Outside shard mode the
+#: hard cap is opt-in (``deadline * grace_factor`` needs a deadline to
+#: multiply); a shard runner cannot afford that gap — a hang with no
+#: cap would stall heartbeats and cycle the lease through endless
+#: steals — so hangs are killed after this many wall-clock seconds
+#: unless the caller configured something explicit.
+DEFAULT_SHARD_HARD_TIMEOUT_S = 30.0
+
+#: How long a runner keeps polling for steal opportunities after its
+#: last progress before giving up and reporting incomplete.
+DEFAULT_STEAL_MAX_WAIT_S = 600.0
+
+#: Backoff schedule for claim-race losers and steal polling (crc32
+#: jitter keyed by runner id, so colliding runners desynchronise).
+STEAL_RETRY_POLICY = RetryPolicy(
+    max_attempts=1_000_000, base_delay=0.05, max_delay=1.0, jitter=0.5
+)
+
+
+class LeaseHeartbeat:
+    """A rate-limited lease renewal, callable from hot paths.
+
+    Passed to :func:`~repro.parallel.run_sweep` as its ``heartbeat``
+    and to :class:`~repro.distributed.journal.FencedShardJournal` as
+    its ``guard``: every call renews the lease at most once per
+    ``interval_s`` (TTL/3 by default), so checkpoint-dense tasks do not
+    hammer the lease file while sparse ones still renew in time.
+    Raises :class:`~repro.exceptions.LeaseLostError` the moment the
+    on-disk fencing token has moved past ours.
+    """
+
+    def __init__(
+        self,
+        manager: LeaseManager,
+        lease: Lease,
+        interval_s: Optional[float] = None,
+    ) -> None:
+        self.manager = manager
+        self.lease = lease
+        self.interval_s = (
+            float(interval_s) if interval_s else lease.ttl_s / 3.0
+        )
+        self.renewals = 0
+        self._last = time.monotonic()
+
+    def __call__(self) -> None:
+        now = time.monotonic()
+        if now - self._last < self.interval_s:
+            return
+        self.lease = self.manager.renew(self.lease)
+        self.renewals += 1
+        self._last = now
+
+
+@dataclass
+class ShardedSweepOutcome:
+    """What one runner's participation in a sharded sweep produced."""
+
+    runner: str
+    shards: int
+    owned: List[Dict[str, Any]] = field(default_factory=list)
+    lost: List[Dict[str, Any]] = field(default_factory=list)
+    complete: bool = False
+    waited_s: float = 0.0
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "runner": self.runner,
+            "shards": self.shards,
+            "owned": self.owned,
+            "lost": self.lost,
+            "complete": self.complete,
+            "waited_s": self.waited_s,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _shard_complete(
+    shard_dir: str, shard: int, keys: Sequence[str]
+) -> bool:
+    """Whether every instance of ``shard`` has a journaled record —
+    checked *read-only* (:func:`~repro.distributed.merge.read_done_keys`),
+    never by opening a :class:`~repro.resources.SweepJournal`, whose
+    load would truncate the torn tail of a file another live runner is
+    mid-append on."""
+    done = read_done_keys(journal_path(shard_dir, shard))
+    return all(key in done for key in keys)
+
+
+def run_sharded_sweep(
+    task: Task,
+    instances: Sequence[Tuple[str, Any]],
+    *,
+    shard_dir: str,
+    shards: int,
+    runner_id: str,
+    workers: int = 1,
+    deadline_s: Optional[float] = None,
+    budget: Optional[int] = None,
+    chunksize: int = 1,
+    mode: str = "sweep",
+    retry_policy: Optional[RetryPolicy] = None,
+    grace_factor: float = DEFAULT_GRACE_FACTOR,
+    hard_timeout_s: Optional[float] = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    heartbeat_interval_s: Optional[float] = None,
+    steal: bool = True,
+    max_wait_s: float = DEFAULT_STEAL_MAX_WAIT_S,
+    clock: Callable[[], float] = time.time,
+) -> ShardedSweepOutcome:
+    """Participate in a sharded sweep as one runner.
+
+    Every runner receives the *whole* grid; the ``crc32(key) % shards``
+    partition (see :mod:`repro.distributed.sharding`) decides which
+    instances belong to which shard, identically for all runners.  The
+    claim rotation starts at ``crc32(runner_id) % shards`` so N runners
+    launched together fan out over different shards instead of
+    stampeding shard 0.
+
+    Returns this runner's :class:`ShardedSweepOutcome`;
+    ``complete`` is ``True`` when every shard of the sweep had a full
+    journal by the time this runner stopped (regardless of who ran it).
+    """
+    if shards < 1:
+        raise ValidationError("shard count must be >= 1")
+    if not runner_id:
+        raise ValidationError("a runner needs a non-empty runner_id")
+    if hard_timeout_s is None and deadline_s is None:
+        hard_timeout_s = DEFAULT_SHARD_HARD_TIMEOUT_S
+
+    parts = partition(instances, shards)
+    manager = LeaseManager(
+        shard_dir, runner_id, ttl_s=lease_ttl_s, clock=clock
+    )
+    os.makedirs(journal_dir(shard_dir), exist_ok=True)
+
+    outcome = ShardedSweepOutcome(runner=runner_id, shards=shards)
+    started = time.perf_counter()
+    start_rotation = zlib.crc32(runner_id.encode("utf-8")) % shards
+    order = [(start_rotation + i) % shards for i in range(shards)]
+    remaining = {
+        shard for shard in order
+        if parts[shard] and not _shard_complete(
+            shard_dir, shard, [k for k, _ in parts[shard]]
+        )
+    }
+
+    attempt = 0
+    wait_started = time.monotonic()
+    while remaining:
+        progressed = False
+        for shard in order:
+            if shard not in remaining:
+                continue
+            keys = [k for k, _ in parts[shard]]
+            if _shard_complete(shard_dir, shard, keys):
+                remaining.discard(shard)
+                progressed = True
+                continue
+            observed = manager.observe(shard)
+            state = observed.get("state")
+            if state in (CLAIMED, RUNNING):
+                continue  # validly held by a live runner
+            if state == EXPIRED and not steal:
+                continue
+            lease = manager.claim(shard)
+            if lease is None:
+                continue  # raced another claimant and lost
+            progressed = True
+            if _run_shard(
+                task, parts[shard], shard_dir, shard, manager, lease,
+                outcome,
+                workers=workers, deadline_s=deadline_s, budget=budget,
+                chunksize=chunksize, mode=mode,
+                retry_policy=retry_policy, grace_factor=grace_factor,
+                hard_timeout_s=hard_timeout_s,
+                heartbeat_interval_s=heartbeat_interval_s,
+            ):
+                remaining.discard(shard)
+        if not remaining:
+            break
+        if progressed:
+            attempt = 0
+            wait_started = time.monotonic()
+            continue
+        waited = time.monotonic() - wait_started
+        if waited >= max_wait_s:
+            log.warning(
+                "runner %s giving up after %.1fs with shard(s) %s "
+                "still incomplete", runner_id, waited, sorted(remaining),
+            )
+            break
+        delay = STEAL_RETRY_POLICY.delay(attempt, runner_id)
+        attempt += 1
+        outcome.waited_s += delay
+        time.sleep(delay)
+
+    outcome.complete = not remaining
+    outcome.elapsed_s = time.perf_counter() - started
+    return outcome
+
+
+def _run_shard(
+    task: Task,
+    shard_instances: Sequence[Tuple[str, Any]],
+    shard_dir: str,
+    shard: int,
+    manager: LeaseManager,
+    lease: Lease,
+    outcome: ShardedSweepOutcome,
+    **sweep_kwargs: Any,
+) -> bool:
+    """Run one claimed shard under its lease; ``True`` when the shard
+    finished and was released cleanly, ``False`` when the lease was
+    lost mid-run (the thief finishes it)."""
+    heartbeat_interval_s = sweep_kwargs.pop("heartbeat_interval_s", None)
+    log.info(
+        "runner %s %s shard %d at fence %d",
+        manager.owner, "stole" if lease.stolen else "claimed",
+        shard, lease.fence,
+    )
+    try:
+        lease = manager.start(lease)
+        heartbeat = LeaseHeartbeat(
+            manager, lease, interval_s=heartbeat_interval_s
+        )
+        journal = FencedShardJournal(
+            journal_path(shard_dir, shard),
+            fence=lease.fence,
+            owner=manager.owner,
+            guard=heartbeat,
+        )
+        sweep = run_sweep(
+            task, shard_instances,
+            journal=journal, heartbeat=heartbeat, **sweep_kwargs,
+        )
+        manager.release(heartbeat.lease)
+    except LeaseLostError as err:
+        log.warning(
+            "runner %s lost shard %d at fence %d to %r (fence %s); "
+            "abandoning it", manager.owner, shard, lease.fence,
+            err.holder, err.holder_fence,
+        )
+        outcome.lost.append({
+            "shard": shard,
+            "fence": lease.fence,
+            "holder": err.holder,
+            "holder_fence": err.holder_fence,
+        })
+        return False
+    outcome.owned.append({
+        "shard": shard,
+        "fence": lease.fence,
+        "stolen": lease.stolen,
+        "sweep": sweep.to_dict(),
+    })
+    return True

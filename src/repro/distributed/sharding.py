@@ -1,0 +1,93 @@
+"""Deterministic shard assignment and the shard-directory layout.
+
+A sharded sweep partitions one instance grid into ``K`` shards that are
+a pure function of the instance *keys* — never of runner count, claim
+order or timing — so every runner, the merge tool and the single-host
+baseline all agree on which instance belongs to which shard without
+coordinating.  The assignment is ``crc32(key) % K`` (the same stable
+hash the retry jitter uses), so adding instances to a grid never moves
+existing ones between shards of the same ``K``.
+
+The on-disk layout under one shared ``shard_dir`` (a directory all
+runners can reach — NFS mount, shared volume, CI cache)::
+
+    <shard_dir>/
+      leases/
+        shard-0007.lease        # current lease (atomic tmp+rename)
+        shard-0007.fence-0001   # fence marker: token 1 was issued
+        shard-0007.fence-0002   # token 2 (a takeover happened)
+      journals/
+        shard-0007.jsonl        # that shard's crash-safe journal v2
+
+Fence markers are append-only history: one ``O_CREAT | O_EXCL`` file
+per issued token, which is what makes token issuance an atomic
+compare-and-swap on any POSIX filesystem (see
+:mod:`repro.distributed.leases`).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Any, List, Sequence, Tuple
+
+from ..exceptions import ValidationError
+
+Instance = Tuple[str, Any]
+
+#: Zero-padded width of shard indices in file names (sorts correctly
+#: up to 10,000 shards).
+SHARD_DIGITS = 4
+
+
+def assign_shard(key: str, shards: int) -> int:
+    """The shard a given instance key deterministically belongs to."""
+    if shards < 1:
+        raise ValidationError("shard count must be >= 1")
+    return (zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF) % shards
+
+
+def partition(
+    instances: Sequence[Instance], shards: int
+) -> List[List[Instance]]:
+    """Split a grid into ``shards`` key-hashed sublists (grid order is
+    preserved inside each shard)."""
+    if shards < 1:
+        raise ValidationError("shard count must be >= 1")
+    parts: List[List[Instance]] = [[] for _ in range(shards)]
+    for key, spec in instances:
+        parts[assign_shard(key, shards)].append((key, spec))
+    return parts
+
+
+def lease_dir(shard_dir: str) -> str:
+    return os.path.join(shard_dir, "leases")
+
+
+def journal_dir(shard_dir: str) -> str:
+    return os.path.join(shard_dir, "journals")
+
+
+def lease_path(shard_dir: str, shard: int) -> str:
+    return os.path.join(
+        lease_dir(shard_dir), f"shard-{shard:0{SHARD_DIGITS}d}.lease"
+    )
+
+
+def fence_marker_path(shard_dir: str, shard: int, fence: int) -> str:
+    return os.path.join(
+        lease_dir(shard_dir),
+        f"shard-{shard:0{SHARD_DIGITS}d}.fence-{fence:0{SHARD_DIGITS}d}",
+    )
+
+
+def journal_path(shard_dir: str, shard: int) -> str:
+    return os.path.join(
+        journal_dir(shard_dir), f"shard-{shard:0{SHARD_DIGITS}d}.jsonl"
+    )
+
+
+def shard_journal_paths(shard_dir: str, shards: int) -> List[str]:
+    """Every shard journal path of a ``K``-way layout, in shard order
+    (existing or not — the merge tool reports absent journals)."""
+    return [journal_path(shard_dir, k) for k in range(shards)]

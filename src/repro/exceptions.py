@@ -270,6 +270,65 @@ class HardTimeoutError(ResourceError):
         self.elapsed_s = elapsed_s
 
 
+class LeaseError(ReproError):
+    """Base class for shard-lease protocol failures.
+
+    Raised by :mod:`repro.distributed.leases` when the on-disk lease
+    state contradicts what an operation requires (claiming a held
+    shard, renewing a lease that was stolen, releasing a lease the
+    caller no longer owns).
+    """
+
+
+class LeaseLostError(LeaseError):
+    """A runner's shard lease was stolen (or expired) out from under it.
+
+    Raised by heartbeat renewal — threaded through the sweep loop as a
+    cooperative checkpoint side effect — the moment the on-disk lease
+    no longer carries this runner's owner id and fencing token.  The
+    runner must stop writing to the shard journal immediately: any
+    record it already wrote under the old fencing token is discarded by
+    ``repro merge-journals`` (the thief's higher token wins), so a
+    stale former owner cannot corrupt the merged result.
+
+    Attributes
+    ----------
+    shard:
+        The shard index whose lease was lost.
+    owner:
+        The runner id that held (and lost) the lease.
+    fence:
+        The fencing token the loser held.
+    holder:
+        The owner id found on disk (the thief), when readable.
+    holder_fence:
+        The fencing token found on disk, when readable.
+    """
+
+    def __init__(
+        self,
+        message: Optional[str] = None,
+        *,
+        shard: Optional[int] = None,
+        owner: Optional[str] = None,
+        fence: Optional[int] = None,
+        holder: Optional[str] = None,
+        holder_fence: Optional[int] = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"lease on shard {shard} lost by {owner!r} "
+                f"(fence {fence}); now held by {holder!r} "
+                f"(fence {holder_fence})"
+            )
+        super().__init__(message)
+        self.shard = shard
+        self.owner = owner
+        self.fence = fence
+        self.holder = holder
+        self.holder_fence = holder_fence
+
+
 class JournalCorruptionError(ReproError):
     """A sweep journal failed an integrity check that cannot be repaired.
 

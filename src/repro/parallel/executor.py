@@ -46,7 +46,7 @@ import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import ResourceError, ValidationError
+from ..exceptions import LeaseLostError, ResourceError, ValidationError
 from ..resources.checkpointing import SweepJournal
 from ..resources.governor import governed
 from .retry import RetryPolicy
@@ -122,19 +122,39 @@ class SweepOutcome:
 
 
 def _run_one(
-    task: Task, spec: Any, deadline_s: Optional[float], budget: Optional[int]
+    task: Task,
+    spec: Any,
+    deadline_s: Optional[float],
+    budget: Optional[int],
+    heartbeat: Optional[Callable[[], None]] = None,
 ) -> Dict[str, Any]:
     """Run one instance under its own governed context; classify the
-    outcome instead of letting a governor trip poison the whole sweep."""
+    outcome instead of letting a governor trip poison the whole sweep.
+
+    ``heartbeat`` (serial shard runs) is called before the instance and
+    again at every cooperative governor checkpoint, so a long-running
+    task keeps its shard lease alive without knowing leases exist.
+    """
     started = time.perf_counter()
+    injector = None
+    if heartbeat is not None:
+        heartbeat()
+        injector = lambda context, site: heartbeat()  # noqa: E731
     try:
-        with governed(deadline=deadline_s, budget=budget):
+        with governed(deadline=deadline_s, budget=budget,
+                      injector=injector):
             value = task(spec)
         return {
             "status": "ok",
             "result": value,
             "elapsed_s": time.perf_counter() - started,
         }
+    except LeaseLostError:
+        # Not an instance outcome: this runner no longer owns the
+        # shard.  Propagate so the shard runner abandons the shard
+        # instead of journaling a bogus "error" record under a stale
+        # fence.
+        raise
     except ResourceError as err:
         return {
             "status": "unknown",
@@ -171,11 +191,12 @@ def serial_map(
     deadline_s: Optional[float] = None,
     budget: Optional[int] = None,
     journal: Optional[SweepJournal] = None,
+    heartbeat: Optional[Callable[[], None]] = None,
 ) -> List[Tuple[str, Dict[str, Any]]]:
     """The in-process fallback path: governed, journaled, in order."""
     out: List[Tuple[str, Dict[str, Any]]] = []
     for key, spec in instances:
-        record = _run_one(task, spec, deadline_s, budget)
+        record = _run_one(task, spec, deadline_s, budget, heartbeat)
         if journal is not None:
             journal.record(key, record)
         out.append((key, record))
@@ -206,6 +227,7 @@ def run_sweep(
     grace_factor: float = DEFAULT_GRACE_FACTOR,
     hard_timeout_s: Optional[float] = None,
     supervised: bool = True,
+    heartbeat: Optional[Callable[[], None]] = None,
 ) -> SweepOutcome:
     """Map ``task`` over ``instances``, parallel, governed and resumable.
 
@@ -247,6 +269,15 @@ def run_sweep(
         ``False`` runs the legacy unsupervised pool map (no retries,
         no watchdog, any pool failure degrades to serial) — kept as the
         baseline the fault-overhead bench measures supervision against.
+    heartbeat:
+        Optional zero-argument callable invoked regularly while the
+        sweep makes progress: before each serial instance and at every
+        cooperative governor checkpoint (serial path), and once per
+        supervisor loop iteration (parallel path).  The sharded runtime
+        passes its lease-renewal heartbeat here; a
+        :class:`~repro.exceptions.LeaseLostError` it raises aborts the
+        sweep immediately rather than being misfiled as an instance
+        error.
     """
     keys = [key for key, _ in instances]
     if len(set(keys)) != len(keys):
@@ -267,7 +298,14 @@ def run_sweep(
             pending.append((key, spec))
 
     completed: Dict[str, Dict[str, Any]] = {}
-    if pending and workers > 1:
+    # A supervised run with an explicit hard cap goes through the pool
+    # even at workers=1: the watchdog can only SIGKILL *worker*
+    # processes, and a sharded runner needs hangs killable so a hung
+    # task cannot pin a shard lease forever.
+    use_pool = workers > 1 or (
+        supervised and hard_timeout_s is not None
+    )
+    if pending and use_pool:
         if supervised:
             supervisor = SweepSupervisor(
                 task,
@@ -278,6 +316,7 @@ def run_sweep(
                 retry_policy=retry_policy,
                 grace_factor=grace_factor,
                 hard_timeout_s=hard_timeout_s,
+                tick=heartbeat,
             )
             phase = supervisor.run(pending, chunksize=chunksize)
             completed = phase.completed
@@ -301,7 +340,8 @@ def run_sweep(
         pending = leftover
     if pending:
         completed.update(
-            dict(serial_map(task, pending, deadline_s, budget, journal))
+            dict(serial_map(task, pending, deadline_s, budget, journal,
+                            heartbeat))
         )
 
     for key, _ in instances:

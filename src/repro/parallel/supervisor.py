@@ -125,6 +125,14 @@ class SweepSupervisor:
     pool_rebuild_limit:
         Consecutive pool rebuilds without any completed record before
         the supervisor gives up and degrades to serial.
+    tick:
+        Optional zero-argument callable invoked once per supervision
+        loop iteration — the sharded runtime's lease heartbeat.  If the
+        callable exposes an ``interval_s`` attribute, the supervisor
+        caps its future-wait timeout at half that interval so the tick
+        is never starved by a long quiet stretch.  An exception from
+        ``tick`` (a :class:`~repro.exceptions.LeaseLostError`) aborts
+        the phase; the pool is torn down on the way out.
     """
 
     def __init__(
@@ -139,6 +147,7 @@ class SweepSupervisor:
         grace_factor: float = DEFAULT_GRACE_FACTOR,
         hard_timeout_s: Optional[float] = None,
         pool_rebuild_limit: int = 5,
+        tick: Optional[Callable[[], None]] = None,
     ) -> None:
         self.task = task
         self.workers = max(1, workers)
@@ -150,6 +159,7 @@ class SweepSupervisor:
             hard_timeout_s = max(deadline_s * grace_factor, MIN_HARD_TIMEOUT_S)
         self.hard_timeout_s = hard_timeout_s
         self.pool_rebuild_limit = pool_rebuild_limit
+        self.tick = tick
         self._pool = None
         self._blamed: set = set()
         self._kill_in_progress = False
@@ -225,6 +235,8 @@ class SweepSupervisor:
 
         try:
             while ready or waiting or in_flight:
+                if self.tick is not None:
+                    self.tick()
                 now = time.monotonic()
                 still_waiting = []
                 for unit in waiting:
@@ -278,7 +290,13 @@ class SweepSupervisor:
                     if waiting:
                         pause = min(u.not_before for u in waiting) - now
                         if pause > 0:
-                            time.sleep(min(pause, 1.0))
+                            cap = 1.0
+                            tick_interval = getattr(
+                                self.tick, "interval_s", None
+                            )
+                            if tick_interval:
+                                cap = min(cap, float(tick_interval) / 2.0)
+                            time.sleep(min(pause, cap))
                     continue
 
                 done, _ = wait(
@@ -521,6 +539,9 @@ class SweepSupervisor:
                 candidates.append(started + cap - now)
         for unit in waiting:
             candidates.append(unit.not_before - now)
+        tick_interval = getattr(self.tick, "interval_s", None)
+        if tick_interval:
+            candidates.append(float(tick_interval) / 2.0)
         if not candidates:
             return None
         return max(0.0, min(candidates)) + 0.005

@@ -55,6 +55,41 @@ def _canonical(entry: Dict[str, Any]) -> str:
     return json.dumps(entry, sort_keys=True, separators=(",", ":"))
 
 
+def _fsync_dir(directory: str) -> None:
+    """fsync a directory so a just-created / just-renamed entry is
+    durable against power loss, not merely against a process crash.
+
+    An fsync on the *file* persists its blocks; the directory entry
+    pointing at them lives in the directory's own metadata and needs
+    its own fsync (POSIX leaves renames and creations volatile until
+    then).  Platforms whose directories cannot be opened or fsynced
+    (some network filesystems, Windows) degrade silently — the atomic
+    rename still protects against process crashes there.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _journal_line(entry: Dict[str, Any]) -> str:
+    """One serialized v2 journal line (checksum over the entry)."""
+    return json.dumps(
+        {
+            "v": JOURNAL_VERSION,
+            "crc": _checksum(_canonical(entry)),
+            "entry": entry,
+        },
+        sort_keys=True,
+    )
+
+
 class SweepJournal:
     """Append-only, checksummed JSONL journal of per-instance results.
 
@@ -127,16 +162,23 @@ class SweepJournal:
                 return False
             if _checksum(_canonical(inner)) != entry.get("crc"):
                 return False  # bit rot / garbled write: reject
-            self._store(str(inner["key"]), inner.get("result"))
+            self._store(str(inner["key"]), inner.get("result"), inner)
             return True
         if "key" in entry:
             # v1 line from before checksums existed: accepted, counted.
             self._legacy += 1
-            self._store(str(entry["key"]), entry.get("result"))
+            self._store(str(entry["key"]), entry.get("result"), entry)
             return True
         return False
 
-    def _store(self, key: str, result: Any) -> None:
+    def _store(
+        self, key: str, result: Any, entry: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Fold one accepted entry into the in-memory state.
+
+        ``entry`` is the full decoded record; subclasses (the fenced
+        shard journal) use it to track writer metadata the base class
+        ignores."""
         if key in self._results:
             self._superseded += 1
         self._results[key] = result
@@ -212,29 +254,37 @@ class SweepJournal:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
+    def _record_entry(self, key: str, result: Any) -> Dict[str, Any]:
+        """The inner entry dict one :meth:`record` call journals
+        (subclasses stamp writer metadata — fencing token, owner —
+        onto it)."""
+        return {"key": key, "result": result}
+
     def record(self, key: str, result: Any) -> None:
         """Journal one completed instance (written, flushed, fsynced).
 
         ``result`` must be JSON-serializable.  Re-recording a key
         overwrites its in-memory result and appends a superseding line
         (last record wins on reload; :meth:`compact` purges the old
-        ones).
+        ones).  The *first* record additionally fsyncs the parent
+        directory, so the journal's creation itself survives power
+        loss — an fsynced file whose directory entry was never
+        persisted is as lost as an unwritten one.
         """
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        entry = {"key": key, "result": result}
-        payload = _canonical(entry)
-        line = json.dumps(
-            {"v": JOURNAL_VERSION, "crc": _checksum(payload), "entry": entry},
-            sort_keys=True,
-        )
+        created = not os.path.exists(self.path)
+        entry = self._record_entry(key, result)
+        line = _journal_line(entry)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if created:
+            _fsync_dir(directory)
         self._lines += 1
-        self._store(key, result)
+        self._store(key, result, entry)
 
     def compact(self) -> Dict[str, Any]:
         """Atomically rewrite the journal: one v2 record per key.
@@ -242,8 +292,10 @@ class SweepJournal:
         Superseded, legacy and corrupt lines are purged; the rewrite
         goes through a tmp file that is fsynced and ``os.replace``d over
         the journal, so a crash at any point leaves either the old file
-        or the new one — never a mix.  Returns :meth:`journal_stats` of
-        the compacted journal.
+        or the new one — never a mix.  The parent directory is fsynced
+        after the rename: without it the rename itself may be lost to
+        power loss and the "compacted" journal silently revert.
+        Returns :meth:`journal_stats` of the compacted journal.
         """
         directory = os.path.dirname(self.path)
         if directory:
@@ -251,19 +303,13 @@ class SweepJournal:
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             for key, result in self._results.items():
-                entry = {"key": key, "result": result}
-                payload = _canonical(entry)
-                handle.write(json.dumps(
-                    {
-                        "v": JOURNAL_VERSION,
-                        "crc": _checksum(payload),
-                        "entry": entry,
-                    },
-                    sort_keys=True,
-                ) + "\n")
+                handle.write(
+                    _journal_line(self._record_entry(key, result)) + "\n"
+                )
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)
+        _fsync_dir(directory)
         self._lines = len(self._results)
         self._legacy = 0
         self._corrupt = 0
@@ -286,3 +332,4 @@ class SweepJournal:
         self._torn_tail = 0
         if os.path.exists(self.path):
             os.remove(self.path)
+            _fsync_dir(os.path.dirname(self.path))

@@ -1,0 +1,46 @@
+"""Subprocess entry point for the shard-chaos tests.
+
+Runs one shard runner over the shared sleepy-instance grid and prints
+its :class:`~repro.distributed.ShardedSweepOutcome` as JSON.  Kept as a
+real script (not a pytest fixture) so the chaos tests can SIGKILL it
+like the genuine article.
+
+Usage: ``python tests/_shard_runner.py '<json config>'`` with keys
+``shard_dir``, ``shards``, ``runner_id``, ``instances``, ``work_s``,
+``ttl``, ``heartbeat``, ``max_wait``.
+"""
+
+import json
+import sys
+
+
+def chaos_grid(instances, work_s):
+    """The grid every runner and the baseline must agree on."""
+    return [
+        (f"w{index:02d}", ("work", work_s, index))
+        for index in range(instances)
+    ]
+
+
+def main(argv):
+    from repro.distributed import run_sharded_sweep
+    from repro.parallel.faults import faulty_task
+
+    config = json.loads(argv[1])
+    outcome = run_sharded_sweep(
+        faulty_task,
+        chaos_grid(config["instances"], config["work_s"]),
+        shard_dir=config["shard_dir"],
+        shards=config["shards"],
+        runner_id=config["runner_id"],
+        lease_ttl_s=config["ttl"],
+        heartbeat_interval_s=config["heartbeat"],
+        max_wait_s=config["max_wait"],
+        hard_timeout_s=config.get("hard_timeout", 15.0),
+    )
+    print(json.dumps(outcome.to_dict()))
+    return 0 if outcome.complete else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

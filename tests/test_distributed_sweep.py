@@ -1,0 +1,313 @@
+"""The sharded sweep runtime end to end, in-process.
+
+Covers deterministic sharding, the runner loop (claim → run → release),
+journal resume across runners, work-stealing from an expired lease, the
+heartbeat threaded through the sweep, LeaseLostError propagation (a
+lost lease aborts the shard instead of journaling bogus records), and
+the shard-mode watchdog default that keeps hangs from pinning leases.
+"""
+
+import time
+
+import pytest
+
+from repro.distributed import (
+    DEFAULT_SHARD_HARD_TIMEOUT_S,
+    FencedShardJournal,
+    LeaseManager,
+    assign_shard,
+    merge_journals,
+    partition,
+    run_sharded_sweep,
+    shard_journal_paths,
+)
+from repro.distributed.journal import FencedShardJournal as _FSJ
+from repro.distributed.runner import LeaseHeartbeat
+from repro.distributed.sharding import journal_path
+from repro.exceptions import LeaseLostError, ValidationError
+from repro.parallel.executor import run_sweep
+from repro.parallel.faults import faulty_task
+
+GRID = [(f"i{n:02d}", ("ok", n)) for n in range(12)]
+GRID_KEYS = [key for key, _ in GRID]
+
+
+class FakeClock:
+    def __init__(self, now=1_000_000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+def test_assignment_is_deterministic_and_total():
+    parts = partition(GRID, 4)
+    assert sum(len(p) for p in parts) == len(GRID)
+    for shard, part in enumerate(parts):
+        for key, _ in part:
+            assert assign_shard(key, 4) == shard
+    # Pure function of the key: stable across calls and instances.
+    assert partition(GRID, 4) == parts
+    with pytest.raises(ValidationError):
+        assign_shard("x", 0)
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+def test_single_runner_completes_and_merges_clean(tmp_path):
+    outcome = run_sharded_sweep(
+        faulty_task, GRID, shard_dir=str(tmp_path), shards=3,
+        runner_id="solo", lease_ttl_s=10.0,
+    )
+    assert outcome.complete
+    assert not outcome.lost
+    assert sorted(o["shard"] for o in outcome.owned) == [0, 1, 2]
+    assert all(o["fence"] == 1 for o in outcome.owned)
+    report = merge_journals(
+        shard_journal_paths(str(tmp_path), 3), expected_keys=GRID_KEYS
+    )
+    assert report.clean
+    assert {k: r["result"]["value"] for k, r in report.results.items()} == {
+        key: int(key[1:]) for key in GRID_KEYS
+    }
+
+
+def test_second_runner_sees_complete_shards_and_runs_nothing(tmp_path):
+    first = run_sharded_sweep(
+        faulty_task, GRID, shard_dir=str(tmp_path), shards=3,
+        runner_id="first", lease_ttl_s=10.0,
+    )
+    assert first.complete
+    second = run_sharded_sweep(
+        faulty_task, GRID, shard_dir=str(tmp_path), shards=3,
+        runner_id="second", lease_ttl_s=10.0,
+    )
+    assert second.complete
+    assert second.owned == []  # nothing left to claim
+
+
+def test_runner_resumes_a_partially_journaled_shard(tmp_path):
+    # A previous owner journaled part of shard 0 and released cleanly.
+    parts = partition(GRID, 3)
+    manager = LeaseManager(str(tmp_path), "earlier", ttl_s=10.0)
+    lease = manager.start(manager.claim(0))
+    journal = FencedShardJournal(
+        journal_path(str(tmp_path), 0), fence=lease.fence, owner="earlier"
+    )
+    done_key, done_spec = parts[0][0]
+    journal.record(done_key, {"status": "ok",
+                              "result": {"value": done_spec[1]}})
+    manager.release(lease)
+
+    outcome = run_sharded_sweep(
+        faulty_task, GRID, shard_dir=str(tmp_path), shards=3,
+        runner_id="resumer", lease_ttl_s=10.0,
+    )
+    assert outcome.complete
+    shard0 = next(o for o in outcome.owned if o["shard"] == 0)
+    assert shard0["fence"] == 2
+    assert shard0["sweep"]["resumed"] == 1
+    report = merge_journals(
+        shard_journal_paths(str(tmp_path), 3), expected_keys=GRID_KEYS
+    )
+    assert report.clean
+    assert report.fences[done_key] == (1, "earlier")  # kept, not redone
+
+
+def test_runner_steals_expired_lease_and_victim_is_fenced(tmp_path):
+    clock = FakeClock()
+    victim_mgr = LeaseManager(str(tmp_path), "victim", ttl_s=2.0,
+                              clock=clock)
+    held = victim_mgr.start(victim_mgr.claim(1))
+    clock.advance(3.0)  # victim "dies": heartbeat goes stale
+
+    outcome = run_sharded_sweep(
+        faulty_task, GRID, shard_dir=str(tmp_path), shards=3,
+        runner_id="thief", lease_ttl_s=2.0, clock=clock, max_wait_s=10.0,
+    )
+    assert outcome.complete
+    stolen = next(o for o in outcome.owned if o["shard"] == 1)
+    assert stolen["stolen"]
+    assert stolen["fence"] == 2
+    with pytest.raises(LeaseLostError):
+        victim_mgr.renew(held)
+
+
+def test_no_steal_leaves_expired_shards_alone(tmp_path):
+    clock = FakeClock()
+    victim_mgr = LeaseManager(str(tmp_path), "victim", ttl_s=2.0,
+                              clock=clock)
+    victim_mgr.start(victim_mgr.claim(1))
+    clock.advance(3.0)
+    outcome = run_sharded_sweep(
+        faulty_task, GRID, shard_dir=str(tmp_path), shards=3,
+        runner_id="polite", lease_ttl_s=2.0, clock=clock,
+        steal=False, max_wait_s=0.5,
+    )
+    assert not outcome.complete
+    assert all(o["shard"] != 1 for o in outcome.owned)
+
+
+def test_stale_writer_line_is_fenced_out_on_merge(tmp_path):
+    """The belt-and-braces end state: a stale pre-steal owner lands a
+    record after the thief; merge keeps the thief's."""
+    path = journal_path(str(tmp_path), 0)
+    thief = _FSJ(path, fence=2, owner="thief")
+    thief.record("x", {"status": "ok", "result": 1})
+    stale = _FSJ.__new__(_FSJ)  # bypass load: simulate the old handle
+    stale.path = path
+    stale.fence = 1
+    stale.owner = "victim"
+    stale.guard = None
+    stale._fences = {}
+    stale._fenced_out = 0
+    stale._results = {}
+    stale._lines = 0
+    stale._legacy = 0
+    stale._corrupt = 0
+    stale._superseded = 0
+    stale._torn_tail = 0
+    stale._compactions = 0
+    stale.record("x", {"status": "ok", "result": 0})
+
+    report = merge_journals([path])
+    assert report.results["x"]["result"] == 1
+    assert report.fenced_out == 1
+
+
+# ---------------------------------------------------------------------------
+# Heartbeats
+# ---------------------------------------------------------------------------
+def test_heartbeat_called_on_serial_path():
+    calls = []
+    outcome = run_sweep(
+        faulty_task, GRID[:4], workers=1, heartbeat=lambda: calls.append(1)
+    )
+    assert outcome.computed == 4
+    assert len(calls) >= 4  # at least once per instance
+
+
+def test_lease_lost_during_sweep_aborts_without_bogus_records(tmp_path):
+    journal_file = str(tmp_path / "j.jsonl")
+
+    class Bomb:
+        interval_s = 0.0
+
+        def __init__(self):
+            self.calls = 0
+
+        def __call__(self):
+            self.calls += 1
+            if self.calls >= 3:
+                raise LeaseLostError(shard=0, owner="me", fence=1,
+                                     holder="them", holder_fence=2)
+
+    bomb = Bomb()
+    journal = _FSJ(journal_file, fence=1, owner="me", guard=bomb)
+    with pytest.raises(LeaseLostError):
+        run_sweep(faulty_task, GRID, workers=1, journal=journal,
+                  heartbeat=bomb)
+    # Whatever was journaled before the loss is ok-status, never an
+    # "error" record fabricated from the lease failure.
+    reloaded = _FSJ(journal_file, fence=2, owner="check")
+    assert 0 < len(reloaded) < len(GRID)
+    assert all(
+        reloaded.result(key)["status"] == "ok" for key in reloaded.keys()
+    )
+
+
+def test_heartbeat_rate_limiting(tmp_path):
+    manager = LeaseManager(str(tmp_path), "r1", ttl_s=9.0)
+    lease = manager.start(manager.claim(0))
+    heartbeat = LeaseHeartbeat(manager, lease, interval_s=10.0)
+    assert heartbeat.interval_s == 10.0
+    for _ in range(50):
+        heartbeat()
+    assert heartbeat.renewals == 0  # interval not reached
+    fast = LeaseHeartbeat(manager, heartbeat.lease, interval_s=0.01)
+    time.sleep(0.02)
+    fast()
+    assert fast.renewals == 1
+    # Default interval is TTL/3.
+    assert LeaseHeartbeat(manager, fast.lease).interval_s == pytest.approx(3.0)
+
+
+def test_lost_shard_is_recorded_and_runner_moves_on(tmp_path):
+    """A heartbeat that discovers a theft mid-shard marks the shard
+    lost; the runner's outcome reports it and completes the rest."""
+    # The saboteur's clock runs far ahead, so every lease it inspects
+    # looks expired and is instantly stealable.
+    sabotage_mgr = LeaseManager(str(tmp_path), "saboteur", ttl_s=60.0,
+                                clock=lambda: time.time() + 1e6)
+    grid = [(f"k{n}", ("ok", n)) for n in range(6)]
+
+    from repro.distributed import runner as runner_mod
+
+    original = runner_mod.LeaseHeartbeat
+
+    class SabotagedHeartbeat(original):
+        """Steal the lease out from under the runner at first renewal."""
+
+        def __call__(self):
+            sabotage_mgr.claim(self.lease.shard)  # force fence past ours
+            self._last = -1e9  # defeat rate limiting
+            original.__call__(self)
+
+    import unittest.mock as mock
+
+    with mock.patch.object(runner_mod, "LeaseHeartbeat",
+                           SabotagedHeartbeat):
+        outcome = run_sharded_sweep(
+            faulty_task, grid, shard_dir=str(tmp_path), shards=1,
+            runner_id="target", lease_ttl_s=30.0,
+            max_wait_s=0.2, steal=False,
+        )
+    assert outcome.lost
+    assert outcome.lost[0]["holder"] == "saboteur"
+    assert not outcome.owned
+
+
+# ---------------------------------------------------------------------------
+# The watchdog gap fix
+# ---------------------------------------------------------------------------
+def test_shard_mode_defaults_a_hard_timeout(tmp_path, monkeypatch):
+    """Without a deadline, plain sweeps leave the watchdog off; shard
+    mode must not — a hang would pin the lease.  With the default hard
+    timeout patched small, a hanging instance is killed and quarantined
+    and the sweep still completes."""
+    monkeypatch.setattr(
+        "repro.distributed.runner.DEFAULT_SHARD_HARD_TIMEOUT_S", 0.4
+    )
+    from repro.parallel.retry import RetryPolicy
+
+    grid = [("fast", ("ok", 1)), ("hang", ("hang", 30.0, 2))]
+    outcome = run_sharded_sweep(
+        faulty_task, grid, shard_dir=str(tmp_path), shards=1,
+        runner_id="r1", lease_ttl_s=30.0,
+        retry_policy=RetryPolicy(max_attempts=1, base_delay=0.01),
+    )
+    assert outcome.complete, "the hang pinned the shard"
+    sweep = outcome.owned[0]["sweep"]
+    assert sweep["hard_kills"] >= 1
+    assert sweep["quarantined"] == 1
+    assert sweep["results"]["fast"]["status"] == "ok"
+    assert sweep["results"]["hang"]["status"] == "quarantined"
+    assert DEFAULT_SHARD_HARD_TIMEOUT_S == 30.0  # the real default
+
+
+def test_explicit_deadline_disables_the_shard_default(tmp_path):
+    """A configured deadline keeps the normal grace-factor behaviour;
+    an explicitly governed quick sweep runs serial in-process."""
+    outcome = run_sharded_sweep(
+        faulty_task, GRID[:4], shard_dir=str(tmp_path), shards=1,
+        runner_id="r1", lease_ttl_s=10.0, deadline_s=10.0,
+    )
+    assert outcome.complete
+    assert outcome.owned[0]["sweep"]["results"]

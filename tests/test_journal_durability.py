@@ -1,0 +1,131 @@
+"""Power-loss durability of the sweep journal: directory fsyncs and
+crash-atomic compaction.
+
+An fsync on the journal *file* is not enough: the directory entry
+created by the first ``open`` and the ``os.replace`` that lands a
+compaction both live in the parent directory's metadata, which POSIX
+leaves volatile until the directory itself is fsynced.  These tests spy
+on the exact syscall order and inject a crash into the rename to pin
+the contract down.
+"""
+
+import os
+
+import pytest
+
+from repro.resources import SweepJournal
+from repro.resources import checkpointing as cp
+
+
+class SyscallSpy:
+    """Record the order of file-fsync / rename / dir-fsync calls."""
+
+    def __init__(self, monkeypatch, tmp_path):
+        self.events = []
+        self.tmp_path = str(tmp_path)
+        real_fsync, real_replace, real_fsync_dir = (
+            os.fsync, os.replace, cp._fsync_dir
+        )
+
+        self._inside_dir_fsync = False
+
+        def spy_fsync(fd):
+            # _fsync_dir's own internal os.fsync is part of the
+            # fsync_dir event, not a separate file fsync.
+            if not self._inside_dir_fsync:
+                self.events.append(("fsync", fd))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            self.events.append(("replace", src, dst))
+            return real_replace(src, dst)
+
+        def spy_fsync_dir(directory):
+            self.events.append(("fsync_dir", directory))
+            self._inside_dir_fsync = True
+            try:
+                return real_fsync_dir(directory)
+            finally:
+                self._inside_dir_fsync = False
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        monkeypatch.setattr(cp, "_fsync_dir", spy_fsync_dir)
+
+    def kinds(self):
+        return [event[0] for event in self.events]
+
+
+def test_first_record_fsyncs_the_parent_directory(monkeypatch, tmp_path):
+    journal = SweepJournal(str(tmp_path / "sweep.jsonl"))
+    spy = SyscallSpy(monkeypatch, tmp_path)
+    journal.record("a", {"status": "ok"})
+    # File first (the blocks), then the directory (the entry).
+    assert spy.kinds() == ["fsync", "fsync_dir"]
+    assert spy.events[-1][1] == str(tmp_path)
+
+    spy.events.clear()
+    journal.record("b", {"status": "ok"})
+    # The journal already exists: no directory fsync on later appends.
+    assert spy.kinds() == ["fsync"]
+
+
+def test_compact_orders_fsync_replace_dirfsync(monkeypatch, tmp_path):
+    path = str(tmp_path / "sweep.jsonl")
+    journal = SweepJournal(path)
+    journal.record("a", {"status": "ok", "result": 1})
+    journal.record("a", {"status": "ok", "result": 2})  # superseding line
+    assert journal.needs_compaction()
+
+    spy = SyscallSpy(monkeypatch, tmp_path)
+    journal.compact()
+    assert spy.kinds() == ["fsync", "replace", "fsync_dir"], (
+        "compaction must fsync the tmp file BEFORE renaming it over the "
+        "journal and fsync the directory AFTER — any other order can "
+        "lose the compaction (or worse, the journal) to power loss"
+    )
+    _, src, dst = spy.events[1]
+    assert src == path + ".tmp"
+    assert dst == path
+    assert spy.events[2][1] == str(tmp_path)
+
+
+def test_reset_fsyncs_the_directory_after_unlink(monkeypatch, tmp_path):
+    journal = SweepJournal(str(tmp_path / "sweep.jsonl"))
+    journal.record("a", {"status": "ok"})
+    spy = SyscallSpy(monkeypatch, tmp_path)
+    journal.reset()
+    assert "fsync_dir" in spy.kinds()
+    assert not os.path.exists(journal.path)
+
+
+def test_crash_during_compaction_rename_keeps_old_journal(
+    monkeypatch, tmp_path
+):
+    """A crash injected into ``os.replace`` must leave the *old*
+    journal intact and loadable — atomic compaction means old file or
+    new file, never a mix, never neither."""
+    path = str(tmp_path / "sweep.jsonl")
+    journal = SweepJournal(path)
+    journal.record("a", {"status": "ok", "result": 1})
+    journal.record("a", {"status": "ok", "result": 2})
+    journal.record("b", {"status": "ok", "result": 3})
+    with open(path, "rb") as fh:
+        before = fh.read()
+
+    def crashing_replace(src, dst):
+        raise OSError("injected crash at the rename")
+
+    monkeypatch.setattr(os, "replace", crashing_replace)
+    with pytest.raises(OSError, match="injected crash"):
+        journal.compact()
+    monkeypatch.undo()
+
+    with open(path, "rb") as fh:
+        assert fh.read() == before, "old journal modified by failed compact"
+    recovered = SweepJournal(path)
+    assert recovered.integrity() == "ok"
+    assert recovered.result("a") == {"status": "ok", "result": 2}
+    assert recovered.result("b") == {"status": "ok", "result": 3}
+    # The orphaned tmp file is harmless and overwritten next time.
+    assert os.path.exists(path + ".tmp")
