@@ -24,11 +24,15 @@ JSON-serialized structures (see :mod:`repro.structures.io`):
 ``stats [--pair A.json B.json --repeat N] [--no-cache] [--no-kernel]
 [--reset] [--journal PATH]``
     Dump the hom-engine's solver/cache counters as JSON (optionally
-    after exercising a homomorphism query ``N`` times first);
+    after exercising a homomorphism query ``N`` times first), including
+    the ``incremental`` section (delta-fingerprint hits/fallbacks,
+    fine-grained invalidations, warm starts, DRed maintenance) and the
+    ``distributed`` section (lease claims/renewals/steals);
     ``--reset`` zeroes every counter — solver, memo cache,
-    compiled-target cache, governor — before the run; with
-    ``--journal`` also reports a sweep journal's integrity stats
-    (records, legacy lines, corrupt lines, torn-tail recoveries).
+    compiled-target cache, governor, incremental, distributed — before
+    the run; with ``--journal`` also reports a sweep journal's
+    integrity stats (records, legacy lines, corrupt lines, torn-tail
+    recoveries).
 ``sweep {hom,hom-batch,cores,treewidth} [--workers N] [--deadline S] ...``
     Run a registered instance sweep through the supervised parallel
     governed executor (:mod:`repro.parallel`): per-instance

@@ -54,6 +54,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..exceptions import LeaseError, LeaseLostError, ValidationError
 from ..resources.checkpointing import _fsync_dir
+from ..resources.governor import DISTRIBUTED
 from .sharding import fence_marker_path, lease_dir, lease_path
 
 #: Default seconds a lease stays valid past its last heartbeat.  Three
@@ -250,6 +251,9 @@ class LeaseManager:
             stolen=stolen,
         )
         self._write(lease)
+        DISTRIBUTED.lease_claims += 1
+        if stolen:
+            DISTRIBUTED.lease_steals += 1
         return lease
 
     def start(self, lease: Lease) -> Lease:
@@ -260,11 +264,15 @@ class LeaseManager:
         """Refresh the heartbeat; raise
         :class:`~repro.exceptions.LeaseLostError` when the lease was
         stolen out from under this owner."""
-        return self._advance(lease, lease.state)
+        renewed = self._advance(lease, lease.state)
+        DISTRIBUTED.lease_renewals += 1
+        return renewed
 
     def release(self, lease: Lease) -> Lease:
         """RUNNING/CLAIMED → RELEASED (the clean-finish terminal state)."""
-        return self._advance(lease, RELEASED)
+        released = self._advance(lease, RELEASED)
+        DISTRIBUTED.lease_releases += 1
+        return released
 
     def _advance(self, lease: Lease, state: str) -> Lease:
         self._verify_owned(lease)
@@ -280,6 +288,7 @@ class LeaseManager:
             # Damaged/missing lease file: the markers are authoritative.
             # A marker above ours means a thief already claimed past us.
             if self.highest_fence(lease.shard) > lease.fence:
+                DISTRIBUTED.lease_losses += 1
                 raise LeaseLostError(
                     shard=lease.shard, owner=lease.owner,
                     fence=lease.fence, holder=None,
@@ -288,6 +297,7 @@ class LeaseManager:
             return
         disk_fence = int(payload.get("fence", 0))
         if disk_fence > lease.fence:
+            DISTRIBUTED.lease_losses += 1
             raise LeaseLostError(
                 shard=lease.shard, owner=lease.owner, fence=lease.fence,
                 holder=payload.get("owner"), holder_fence=disk_fence,

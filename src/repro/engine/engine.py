@@ -34,7 +34,7 @@ from ..exceptions import (
 )
 from ..structures.structure import Element, Structure
 from .cache import MISS, HomCache
-from .instrumentation import GOVERNOR, SolverStats, Timer
+from .instrumentation import DISTRIBUTED, GOVERNOR, INCREMENTAL, SolverStats, Timer
 
 Homomorphism = Dict[Element, Element]
 
@@ -55,6 +55,10 @@ class HomEngine:
     ----------
     cache_size:
         LRU capacity in keys (see :class:`~repro.engine.cache.HomCache`).
+    cache_entries:
+        LRU capacity in total entries across collision buckets
+        (defaults to ``2 * cache_size``; see
+        :class:`~repro.engine.cache.HomCache`).
     cache_enabled:
         When ``False`` every query is solved from scratch; counters and
         timers still accumulate (used by the ``--no-cache`` ablations).
@@ -82,6 +86,7 @@ class HomEngine:
     def __init__(
         self,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_entries: Optional[int] = None,
         cache_enabled: bool = True,
         use_kernel: bool = True,
         compiled_cache_size: Optional[int] = None,
@@ -96,7 +101,7 @@ class HomEngine:
         )
         from ..kernel.dp import DP_COST_CAP, DP_MAX_WIDTH, DP_MIN_VARS
 
-        self.cache = HomCache(cache_size)
+        self.cache = HomCache(cache_size, max_entries=cache_entries)
         self.cache_enabled = cache_enabled
         self.use_kernel = use_kernel
         self.use_dp = use_dp
@@ -367,6 +372,28 @@ class HomEngine:
         number of keys removed."""
         return self.cache.invalidate(structure.fingerprint())
 
+    def invalidate_edit(self, record) -> int:
+        """Fine-grained invalidation after one structure edit.
+
+        ``record`` is the :class:`~repro.incremental.delta.EditRecord`
+        of an :func:`~repro.incremental.delta.apply_delta` call.  Only
+        entries whose key mentions the *old* fingerprint of the edited
+        side are evicted (memo entries and the compiled target); every
+        entry involving untouched structures stays warm.  An edit whose
+        fingerprint did not change (e.g. applying a delta and its
+        inverse) evicts nothing.  Returns the number of evicted
+        entries; the keep/evict split is counted on the process-global
+        :data:`~repro.engine.instrumentation.INCREMENTAL` stats.
+        """
+        if record.unchanged():
+            INCREMENTAL.incr_kept += len(self.cache)
+            return 0
+        dropped = self.cache.invalidate(record.old_fingerprint)
+        dropped += self.compiled_targets.invalidate(record.old_fingerprint)
+        INCREMENTAL.incr_evictions += dropped
+        INCREMENTAL.incr_kept += len(self.cache)
+        return dropped
+
     def clear_cache(self) -> None:
         """Empty the memo and compiled-target caches (counters survive)."""
         self.cache.clear()
@@ -374,8 +401,8 @@ class HomEngine:
 
     def reset_stats(self) -> None:
         """Zero the solver counters, the cache's counters, the compiled-
-        target cache's counters, and the process-global governor
-        counters."""
+        target cache's counters, and every process-global counter
+        family (governor, incremental, distributed/lease/journal)."""
         self.stats.reset()
         self.cache.hits = 0
         self.cache.misses = 0
@@ -383,6 +410,8 @@ class HomEngine:
         self.cache.invalidations = 0
         self.compiled_targets.reset_counters()
         GOVERNOR.reset()
+        INCREMENTAL.reset()
+        DISTRIBUTED.reset()
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-serializable view of engine configuration + counters.
@@ -400,6 +429,8 @@ class HomEngine:
             "cache": self.cache.snapshot(),
             "compiled_targets": self.compiled_targets.snapshot(),
             "governor": GOVERNOR.snapshot(),
+            "incremental": INCREMENTAL.snapshot(),
+            "distributed": DISTRIBUTED.snapshot(),
         }
 
 
@@ -510,8 +541,11 @@ def _default_engine() -> HomEngine:
     no_kernel = os.environ.get("REPRO_NO_KERNEL", "") not in ("", "0")
     no_dp = os.environ.get("REPRO_NO_DP", "") not in ("", "0")
     size = int(os.environ.get("REPRO_HOM_CACHE_SIZE", DEFAULT_CACHE_SIZE))
+    entries_env = os.environ.get("REPRO_HOM_CACHE_ENTRIES", "")
+    entries = int(entries_env) if entries_env else None
     return HomEngine(
         cache_size=size,
+        cache_entries=entries,
         cache_enabled=not disabled,
         use_kernel=not no_kernel,
         use_dp=not no_dp,

@@ -84,23 +84,45 @@ def _refine(structure: "Structure", colors: Dict[Hashable, str]) -> Dict[Hashabl
     }
 
 
-def structure_fingerprint(structure: "Structure") -> str:
-    """The canonical 128-bit hex fingerprint of ``structure``.
+def refinement_history(structure: "Structure") -> List[Dict[Hashable, str]]:
+    """The full color-refinement run as a per-round list of colorings.
 
-    Runs color refinement to a stable partition (at most ``|A|`` rounds)
-    and hashes the vocabulary signature together with the final color
-    multisets of elements, facts and constants.
+    ``history[0]`` is the seed coloring, ``history[k]`` the coloring
+    after ``k`` refinement rounds; ``history[-1]`` is the stable
+    coloring the fingerprint hashes.  The stopping rule is the one
+    :func:`structure_fingerprint` has always used: refine until the
+    number of color classes stops growing (at most ``|A|`` rounds).
+
+    The incremental engine (:mod:`repro.incremental.fingerprint`)
+    retains this history on edited structures so a later edit can
+    re-hash only the elements inside its refinement radius — a clean
+    element's round-``k`` color is read from ``history[k]`` instead of
+    being recomputed.
     """
     colors = _initial_colors(structure)
+    history = [colors]
     num_classes = len(set(colors.values()))
     for _ in range(len(structure.universe)):
         refined = _refine(structure, colors)
         refined_classes = len(set(refined.values()))
         colors = refined
+        history.append(colors)
         if refined_classes == num_classes:
             break
         num_classes = refined_classes
+    return history
 
+
+def fingerprint_payload(
+    structure: "Structure", colors: Dict[Hashable, str]
+) -> str:
+    """The canonical payload hashed into the fingerprint digest.
+
+    ``colors`` must be a stable coloring of the structure (the last
+    entry of :func:`refinement_history`).  Exposed so the incremental
+    path can assemble the identical payload from a delta-maintained
+    coloring.
+    """
     vocabulary = structure.vocabulary
     vocab_sig = (
         tuple(sorted(vocabulary.relations.items())),
@@ -114,11 +136,29 @@ def structure_fingerprint(structure: "Structure") -> str:
     constant_colors = tuple(sorted(
         (cname, colors[value]) for cname, value in structure.constants.items()
     ))
-    payload = repr((
+    return repr((
         vocab_sig,
         structure.size(),
         element_colors,
         fact_colors,
         constant_colors,
     ))
-    return _digest(payload)
+
+
+def fingerprint_from_colors(
+    structure: "Structure", colors: Dict[Hashable, str]
+) -> str:
+    """The digest of :func:`fingerprint_payload` for ``colors``."""
+    return _digest(fingerprint_payload(structure, colors))
+
+
+def structure_fingerprint(structure: "Structure") -> str:
+    """The canonical 128-bit hex fingerprint of ``structure``.
+
+    Runs color refinement to a stable partition (at most ``|A|`` rounds)
+    and hashes the vocabulary signature together with the final color
+    multisets of elements, facts and constants.
+    """
+    return fingerprint_from_colors(
+        structure, refinement_history(structure)[-1]
+    )

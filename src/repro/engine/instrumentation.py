@@ -101,11 +101,89 @@ class SolverStats:
         return out
 
 
+@dataclass
+class IncrementalStats:
+    """Cumulative counters for the incremental engine
+    (:mod:`repro.incremental`).
+
+    One process-global instance (:data:`INCREMENTAL`) is shared by the
+    edit API, the fine-grained invalidation paths and the warm-start
+    sessions; the hom engine folds it into its snapshot so ``python -m
+    repro stats`` reports incremental activity next to the solver
+    counters.
+
+    Attributes
+    ----------
+    fingerprint_delta_hits:
+        Edits whose WL fingerprint was recomputed incrementally (only
+        the dirty frontier re-hashed).
+    fingerprint_full_recomputes:
+        Edits that fell back to a full fingerprint recompute (no
+        retained history, frontier past the threshold, or more
+        refinement rounds needed than the old run recorded).
+    fingerprint_dirty_elements:
+        Total peak dirty-frontier sizes across delta hits (divide by
+        ``fingerprint_delta_hits`` for the mean refinement radius).
+    incr_evictions:
+        Memo/compiled entries evicted by fine-grained edit
+        invalidation (only entries whose side actually changed).
+    incr_kept:
+        Memo entries *retained* across those invalidations — what the
+        old clear-everything policy would have destroyed.
+    warm_hits:
+        Re-decisions answered by validating the previous witness (or
+        by the FALSE-preserving hardening rule) without any search.
+    warm_fallbacks:
+        Re-decisions where the previous certificate broke and a full
+        search ran.
+    dred_applies:
+        Datalog deltas absorbed incrementally (DRed overdelete /
+        rederive plus semi-naive addition propagation).
+    dred_overdeleted / dred_rederived:
+        IDB tuples overdeleted and rederived across those applies.
+    dred_full_recomputes:
+        Datalog deltas that recomputed the fixpoint from scratch
+        (ablation switch, or state invalidated by a governor trip).
+    """
+
+    fingerprint_delta_hits: int = 0
+    fingerprint_full_recomputes: int = 0
+    fingerprint_dirty_elements: int = 0
+    incr_evictions: int = 0
+    incr_kept: int = 0
+    warm_hits: int = 0
+    warm_fallbacks: int = 0
+    dred_applies: int = 0
+    dred_overdeleted: int = 0
+    dred_rederived: int = 0
+    dred_full_recomputes: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy of the counters."""
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+
+
+#: The process-global incremental-engine counters.
+INCREMENTAL = IncrementalStats()
+
+
 # The governor counters live in repro.resources.governor (the governance
 # layer is lower in the import graph than the engine); they are
 # re-exported here because this module is the package's observability
 # surface and ``repro stats`` reports both families of counters.
-from ..resources.governor import GOVERNOR, GovernorStats  # noqa: E402,F401
+from ..resources.governor import (  # noqa: E402,F401
+    DISTRIBUTED,
+    GOVERNOR,
+    DistributedStats,
+    GovernorStats,
+)
 
 
 @dataclass

@@ -202,6 +202,21 @@ class CompiledTargetCache:
                 self._entries.popitem(last=False)
         return compiled
 
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop the compiled target interned under ``fingerprint``.
+
+        The fine-grained edit-invalidation path calls this with the
+        *old* fingerprint of an edited structure, so only the stale
+        compilation is evicted — every other target stays warm (the
+        old clear-everything policy cost a recompilation per live
+        target after each edit).  Returns the number of entries
+        dropped (0 or 1).
+        """
+        with self._lock:
+            if self._entries.pop(fingerprint, None) is not None:
+                return 1
+            return 0
+
     def clear(self) -> None:
         """Drop every compiled target (counters survive)."""
         with self._lock:

@@ -41,6 +41,8 @@ import os
 import zlib
 from typing import Any, Dict, Iterator, Optional
 
+from .governor import DISTRIBUTED
+
 #: Journal line format version written by :meth:`SweepJournal.record`.
 JOURNAL_VERSION = 2
 
@@ -144,8 +146,10 @@ class SweepJournal:
                 good_end = offset
             else:
                 self._corrupt += 1
+                DISTRIBUTED.journal_corrupt_lines += 1
                 good_end = offset  # damaged but complete: keep in place
         if self._torn_tail:
+            DISTRIBUTED.journal_recoveries += 1
             self._truncate_to(good_end)
 
     def _accept_line(self, line: str) -> bool:
@@ -284,6 +288,7 @@ class SweepJournal:
         if created:
             _fsync_dir(directory)
         self._lines += 1
+        DISTRIBUTED.journal_records += 1
         self._store(key, result, entry)
 
     def compact(self) -> Dict[str, Any]:
@@ -316,6 +321,7 @@ class SweepJournal:
         self._superseded = 0
         self._torn_tail = 0
         self._compactions += 1
+        DISTRIBUTED.journal_compactions += 1
         return self.journal_stats()
 
     def needs_compaction(self) -> bool:

@@ -112,6 +112,68 @@ class GovernorStats:
 #: The process-global governor counters (see :class:`GovernorStats`).
 GOVERNOR = GovernorStats()
 
+
+@dataclass
+class DistributedStats:
+    """Cumulative counters for the distributed/lease and journal layers.
+
+    One process-global instance (:data:`DISTRIBUTED`) is shared by
+    :class:`~repro.distributed.leases.LeaseManager` and
+    :class:`~repro.resources.SweepJournal`; the hom engine folds it
+    into its snapshot so ``python -m repro stats`` reports (and
+    ``repro stats --reset`` zeroes) these counters next to the
+    engine/kernel ones — previously only the engine-side families
+    reset, leaving stale lease/journal numbers across baselines.
+
+    Attributes
+    ----------
+    lease_claims:
+        Shard leases successfully claimed (first claims and steals).
+    lease_steals:
+        The subset of claims that took over an expired/abandoned lease.
+    lease_renewals:
+        Heartbeat renewals written.
+    lease_releases:
+        Leases released cleanly after their shard finished.
+    lease_losses:
+        :class:`~repro.exceptions.LeaseLostError` observations — this
+        runner found its lease stolen out from under it.
+    journal_records:
+        Result lines appended (fsynced) to sweep journals.
+    journal_recoveries:
+        Torn tails truncated off journals on load (hard-kill
+        signatures, recovered cleanly).
+    journal_corrupt_lines:
+        Complete journal lines rejected by checksum/parse on load.
+    journal_compactions:
+        Atomic journal compactions performed.
+    """
+
+    lease_claims: int = 0
+    lease_steals: int = 0
+    lease_renewals: int = 0
+    lease_releases: int = 0
+    lease_losses: int = 0
+    journal_records: int = 0
+    journal_recoveries: int = 0
+    journal_corrupt_lines: int = 0
+    journal_compactions: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy of the counters."""
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+
+
+#: The process-global distributed/lease/journal counters.
+DISTRIBUTED = DistributedStats()
+
 #: An injector receives ``(context, site)`` at every checkpoint; it may
 #: raise a :class:`~repro.exceptions.ResourceError` to simulate a trip.
 Injector = Callable[["RunContext", str], None]

@@ -1,0 +1,229 @@
+"""The incremental-differential tier: edit streams vs from-scratch.
+
+Acceptance gate for the incremental engine — over 500 re-decisions
+across randomized edit streams, every verdict produced by the warm
+sessions / DRed fixpoints must agree with a from-scratch oracle on the
+current (edited) structures.  The tier includes chaos ``evict``
+interleavings (both engine caches cleared mid-stream) and governed
+streams under fault injection where UNKNOWN is allowed but definite
+verdicts must still match the oracle.  Zero disagreements, by
+assertion, on every stream.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.evaluation import evaluate_semi_naive
+from repro.datalog.program import parse_program
+from repro.engine.engine import HomEngine
+from repro.incremental import (
+    Delta,
+    IncrementalCoreSession,
+    IncrementalFixpoint,
+    IncrementalHomSession,
+)
+from repro.resources import governed
+from repro.structures import Structure, Vocabulary, random_structure
+
+from .chaos import FaultInjector, structure_pool
+
+GRAPH = Vocabulary({"E": 2})
+
+HOM_STREAMS = 30
+HOM_STEPS = 12
+GOVERNED_STREAMS = 10
+GOVERNED_STEPS = 8
+CORE_STREAMS = 10
+CORE_STEPS = 6
+DATALOG_STREAMS = 10
+DATALOG_STEPS = 12
+
+# 30*12 + 10*8 + 10*6 + 10*12 = 620 re-decisions >= the 500-case floor.
+assert (
+    HOM_STREAMS * HOM_STEPS
+    + GOVERNED_STREAMS * GOVERNED_STEPS
+    + CORE_STREAMS * CORE_STEPS
+    + DATALOG_STREAMS * DATALOG_STEPS
+    >= 500
+)
+
+
+def rebuilt(structure):
+    """A fresh instance equal to ``structure`` (no cached WL state)."""
+    return Structure(
+        structure.vocabulary,
+        structure.universe,
+        {
+            name: structure.relation(name)
+            for name in structure.vocabulary.relation_names
+        },
+        structure.constants,
+    )
+
+
+def random_delta(rng, structure):
+    """A small random valid edit of ``structure`` (never empty unless
+    the structure admits nothing)."""
+    universe = sorted(structure.universe)
+    facts = sorted(structure.facts())
+    roll = rng.random()
+    if roll < 0.10:
+        # Grow: a fresh element wired to an existing one.
+        new = max((e for e in universe if isinstance(e, int)), default=-1) + 1
+        anchor = rng.choice(universe)
+        return Delta(add_elements=(new,), add_facts=[("E", (anchor, new))])
+    if roll < 0.20:
+        # Shrink: drop an isolated element if one exists.
+        used = set()
+        for _, tup in facts:
+            used.update(tup)
+        isolated = [
+            e
+            for e in universe
+            if e not in used and e not in structure.constants.values()
+        ]
+        if isolated and len(universe) > 2:
+            return Delta(remove_elements=(rng.choice(isolated),))
+    if roll < 0.55 and len(facts) > 1:
+        name, tup = facts[rng.randrange(len(facts))]
+        return Delta(remove_facts=[(name, tup)])
+    for _ in range(20):
+        a, b = rng.choice(universe), rng.choice(universe)
+        if not structure.has_fact("E", (a, b)):
+            return Delta(add_facts=[("E", (a, b))])
+    if facts:
+        name, tup = facts[rng.randrange(len(facts))]
+        return Delta(remove_facts=[(name, tup)])
+    return Delta()
+
+
+def oracle_verdict(source, target):
+    """From-scratch governed decision on rebuilt structures: no shared
+    caches, no retained WL history, no warm state."""
+    return HomEngine(cache_enabled=False).decide_homomorphism(
+        rebuilt(source), rebuilt(target)
+    )
+
+
+# ----------------------------------------------------------------------
+# Homomorphism streams with evict interleavings
+# ----------------------------------------------------------------------
+def test_hom_streams_agree_with_oracle():
+    pool = structure_pool()
+    disagreements = []
+    for stream in range(HOM_STREAMS):
+        rng = random.Random(1000 + stream)
+        engine = HomEngine()
+        source = pool[rng.randrange(len(pool))]
+        target = pool[rng.randrange(len(pool))]
+        session = IncrementalHomSession(source, target, engine=engine)
+        session.decide()
+        for step in range(HOM_STEPS):
+            if rng.random() < 0.5:
+                delta = random_delta(rng, session.source)
+                verdict = session.edit_source(delta)
+            else:
+                delta = random_delta(rng, session.target)
+                verdict = session.edit_target(delta)
+            want = oracle_verdict(session.source, session.target)
+            if verdict.is_true != want.is_true or (
+                verdict.is_false != want.is_false
+            ):
+                disagreements.append((stream, step, verdict, want))
+            if verdict.is_true:
+                from repro.homomorphism.search import is_homomorphism
+
+                assert is_homomorphism(
+                    session.source, session.target, verdict.witness
+                ), (stream, step)
+            # Chaos interleaving: cold caches must not change verdicts.
+            if rng.random() < 0.25:
+                engine.cache.clear()
+                engine.compiled_targets.clear()
+    assert disagreements == []
+
+
+# ----------------------------------------------------------------------
+# Governed streams under fault injection (UNKNOWN allowed)
+# ----------------------------------------------------------------------
+def test_governed_streams_definite_verdicts_agree():
+    pool = structure_pool()
+    unknowns = 0
+    disagreements = []
+    for stream in range(GOVERNED_STREAMS):
+        rng = random.Random(2000 + stream)
+        engine = HomEngine()
+        injector = FaultInjector(seed=stream, rate=0.3, engine=engine)
+        source = pool[rng.randrange(len(pool))]
+        target = pool[rng.randrange(len(pool))]
+        session = IncrementalHomSession(source, target, engine=engine)
+        with governed(deadline=10.0, injector=injector):
+            session.decide()
+        for step in range(GOVERNED_STEPS):
+            if rng.random() < 0.5:
+                delta = random_delta(rng, session.source)
+                editor, side = session.edit_source, "source"
+            else:
+                delta = random_delta(rng, session.target)
+                editor, side = session.edit_target, "target"
+            with governed(deadline=10.0, injector=injector):
+                verdict = editor(delta)
+            if verdict.is_unknown:
+                unknowns += 1
+                # A trip poisons nothing: clear the stale UNKNOWN by
+                # re-deciding outside injection before the next step.
+                session.last_verdict = None
+                continue
+            want = oracle_verdict(session.source, session.target)
+            if verdict.is_true != want.is_true:
+                disagreements.append((stream, step, side, verdict, want))
+    assert disagreements == []
+    assert unknowns >= 1  # the tier genuinely exercised UNKNOWN paths
+
+
+# ----------------------------------------------------------------------
+# Core streams
+# ----------------------------------------------------------------------
+def test_core_streams_agree_with_oracle():
+    disagreements = []
+    for stream in range(CORE_STREAMS):
+        rng = random.Random(3000 + stream)
+        engine = HomEngine()
+        structure = random_structure(GRAPH, 4 + stream % 3, 0.4, seed=stream)
+        session = IncrementalCoreSession(structure, engine=engine)
+        session.core()
+        for step in range(CORE_STEPS):
+            delta = random_delta(rng, session.structure)
+            core = session.edit(delta)
+            oracle = HomEngine(cache_enabled=False).core(
+                rebuilt(session.structure)
+            )
+            if core.size() != oracle.size():
+                disagreements.append((stream, step, core, oracle))
+            assert core.is_substructure_of(session.structure), (stream, step)
+            if rng.random() < 0.25:
+                engine.cache.clear()
+                engine.compiled_targets.clear()
+    assert disagreements == []
+
+
+# ----------------------------------------------------------------------
+# Datalog streams (tuple-exact)
+# ----------------------------------------------------------------------
+TC = parse_program(
+    "T(x, y) <- E(x, y).\nT(x, z) <- E(x, y), T(y, z).", GRAPH
+)
+
+
+def test_datalog_streams_are_tuple_exact():
+    for stream in range(DATALOG_STREAMS):
+        rng = random.Random(4000 + stream)
+        structure = random_structure(GRAPH, 5 + stream % 3, 0.3, seed=stream)
+        fix = IncrementalFixpoint(TC, structure)
+        fix.relation("T")
+        for step in range(DATALOG_STEPS):
+            delta = random_delta(rng, fix.structure)
+            fix.apply(delta)
+            want = evaluate_semi_naive(TC, rebuilt(fix.structure)).relations
+            assert fix.relation("T") == set(want["T"]), (stream, step)
