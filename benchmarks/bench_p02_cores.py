@@ -16,10 +16,15 @@ the parallel governed executor instead (one core computation per
 instance, fanned out over ``--workers`` processes)::
 
     python benchmarks/bench_p02_cores.py --sweep --workers 4 --deadline 10
+
+``--only SUBSTRING`` restricts either mode to instances whose name
+contains the substring; an unmatched filter exits 2 with the valid
+names (:class:`~repro.exceptions.UnknownInstanceError`).
 """
 
 import argparse
 import json
+import sys
 import time
 
 import pytest
@@ -71,30 +76,36 @@ def bench_p02_rigid_core_no_collapse(benchmark, n):
 # Repeated-core mode (script entry point)
 # ----------------------------------------------------------------------
 def repeated_core_workload():
-    """Structures whose cores the experiment sweeps keep recomputing."""
-    structures = [undirected_path(n) for n in (6, 10)]
-    structures.append(grid_structure(2, 3))
-    structures.append(bicycle_structure(5))
-    structures.extend(undirected_cycle(n) for n in (5, 7))
-    return structures
+    """Named structures whose cores the experiment sweeps keep
+    recomputing, as deterministic ``(name, structure)`` pairs."""
+    pairs = [(f"path-{n:02d}", undirected_path(n)) for n in (6, 10)]
+    pairs.append(("grid-2x3", grid_structure(2, 3)))
+    pairs.append(("bicycle-5", bicycle_structure(5)))
+    pairs.extend((f"cycle-{n}", undirected_cycle(n)) for n in (5, 7))
+    return pairs
 
 
-def run_repeated_cores(repeat: int, use_cache: bool) -> dict:
+def run_repeated_cores(repeat: int, use_cache: bool, only=None) -> dict:
     """Recompute the workload's cores ``repeat`` times on a private engine."""
-    structures = repeated_core_workload()
+    from repro.parallel.sweeps import filter_instances
+
+    pairs = repeated_core_workload()
+    if only is not None:
+        pairs = filter_instances(pairs, only)
     engine = HomEngine(cache_enabled=use_cache)
     total_core_size = 0
     started = time.perf_counter()
     for _ in range(repeat):
-        for s in structures:
+        for _name, s in pairs:
             total_core_size += engine.core(s).size()
     elapsed = time.perf_counter() - started
     snapshot = engine.snapshot()
     return {
         "mode": "repeated-core",
-        "structures": len(structures),
+        "structures": len(pairs),
+        "instances": [name for name, _ in pairs],
         "repeat": repeat,
-        "queries": repeat * len(structures),
+        "queries": repeat * len(pairs),
         "total_core_size": total_core_size,
         "cache_enabled": use_cache,
         "elapsed_s": elapsed,
@@ -103,14 +114,18 @@ def run_repeated_cores(repeat: int, use_cache: bool) -> dict:
     }
 
 
-def run_core_sweep(workers: int, deadline_s: float) -> dict:
+def run_core_sweep(workers: int, deadline_s: float, only=None) -> dict:
     """The registered ``cores`` grid through the parallel executor."""
     from repro.parallel import get_sweep, run_sweep
+    from repro.parallel.sweeps import filter_instances
 
     sweep = get_sweep("cores")
+    instances = sweep.instances()
+    if only is not None:
+        instances = filter_instances(instances, only)
     outcome = run_sweep(
         sweep.task,
-        sweep.instances(),
+        instances,
         workers=workers,
         deadline_s=deadline_s,
         mode="cores-sweep",
@@ -133,11 +148,25 @@ def main(argv=None) -> int:
                         help="sweep mode: worker processes")
     parser.add_argument("--deadline", type=float, default=None,
                         help="sweep mode: per-instance deadline in seconds")
+    parser.add_argument("--only", metavar="SUBSTRING", default=None,
+                        help="restrict to instances whose name contains "
+                             "SUBSTRING (unknown filters exit 2 with the "
+                             "valid names)")
     args = parser.parse_args(argv)
-    if args.sweep:
-        report = run_core_sweep(args.workers, args.deadline)
-    else:
-        report = run_repeated_cores(args.repeat, use_cache=not args.no_cache)
+
+    from repro.exceptions import UnknownInstanceError
+
+    try:
+        if args.sweep:
+            report = run_core_sweep(args.workers, args.deadline,
+                                    only=args.only)
+        else:
+            report = run_repeated_cores(
+                args.repeat, use_cache=not args.no_cache, only=args.only
+            )
+    except UnknownInstanceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     print(json.dumps(report, indent=2))
     return 0
 

@@ -91,12 +91,17 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 DEFAULT_JOURNAL = os.path.join(RESULTS_DIR, "treewidth_sweep.jsonl")
 
 
-def sweep_instances():
+def sweep_instances(only=None):
     """The (key, spec) pairs the sweep covers, in a deterministic order
-    (shared with ``repro sweep treewidth`` via the registry)."""
-    from repro.parallel.sweeps import treewidth_instances
+    (shared with ``repro sweep treewidth`` via the registry).  ``only``
+    keeps the keys containing the substring; an unmatched filter raises
+    :class:`~repro.exceptions.UnknownInstanceError`."""
+    from repro.parallel.sweeps import filter_instances, treewidth_instances
 
-    return treewidth_instances()
+    instances = treewidth_instances()
+    if only is not None:
+        instances = filter_instances(instances, only)
+    return instances
 
 
 def _count_fallbacks(results: dict) -> int:
@@ -110,7 +115,7 @@ def _count_fallbacks(results: dict) -> int:
 
 
 def run_sweep(journal_path: str, deadline_s: float, limit: int,
-              fresh: bool, workers: int = 1) -> dict:
+              fresh: bool, workers: int = 1, only=None) -> dict:
     """Run the governed treewidth sweep, resuming from the journal.
 
     The work goes through :func:`repro.parallel.run_sweep`: each
@@ -130,7 +135,7 @@ def run_sweep(journal_path: str, deadline_s: float, limit: int,
     journal = SweepJournal(journal_path)
     outcome = parallel_sweep(
         functools.partial(treewidth_task, limit=limit),
-        sweep_instances(),
+        sweep_instances(only),
         workers=workers,
         deadline_s=deadline_s,
         journal=journal,
@@ -143,7 +148,8 @@ def run_sweep(journal_path: str, deadline_s: float, limit: int,
     return report
 
 
-def run_worker_compare(deadline_s: float, limit: int, workers: int) -> dict:
+def run_worker_compare(deadline_s: float, limit: int, workers: int,
+                       only=None) -> dict:
     """Race the serial path against ``workers`` processes (no journal,
     so both runs compute everything) and report the wall-clock speedup.
 
@@ -157,12 +163,13 @@ def run_worker_compare(deadline_s: float, limit: int, workers: int) -> dict:
     from repro.parallel.sweeps import treewidth_task
 
     task = functools.partial(treewidth_task, limit=limit)
+    instances = sweep_instances(only)
     serial = parallel_sweep(
-        task, sweep_instances(), workers=1, deadline_s=deadline_s,
+        task, instances, workers=1, deadline_s=deadline_s,
         mode="treewidth-sweep-serial",
     )
     parallel = parallel_sweep(
-        task, sweep_instances(), workers=workers, deadline_s=deadline_s,
+        task, instances, workers=workers, deadline_s=deadline_s,
         mode="treewidth-sweep-parallel",
     )
     return {
@@ -384,31 +391,43 @@ def main(argv=None) -> int:
                              "fencing/journal overhead of one runner "
                              "working K shards vs the single-host sweep "
                              "(fault-free); emits BENCH_shards.json")
+    parser.add_argument("--only", metavar="SUBSTRING", default=None,
+                        help="sweep/compare modes: restrict to instances "
+                             "whose name contains SUBSTRING (unknown "
+                             "filters exit 2 with the valid names)")
     args = parser.parse_args(argv)
 
-    from _json import write_bench_json
+    import sys
 
-    if args.shards is not None:
-        report = run_shard_bench(
-            args.shards, workers=max(args.workers, 2)
-        )
-        report["json_path"] = write_bench_json("shards", report)
-    elif args.fault_rate is not None:
-        report = run_fault_bench(
-            args.fault_rate, workers=max(args.workers, 2)
-        )
-        report["json_path"] = write_bench_json("faults", report)
-    elif args.compare_workers is not None:
-        report = run_worker_compare(
-            args.deadline, args.limit, args.compare_workers
-        )
-        report["json_path"] = write_bench_json("sweep", report)
-    else:
-        report = run_sweep(
-            args.journal, args.deadline, args.limit, args.fresh,
-            workers=args.workers,
-        )
-        report["json_path"] = write_bench_json("sweep", report)
+    from _json import write_bench_json
+    from repro.exceptions import UnknownInstanceError
+
+    try:
+        if args.shards is not None:
+            report = run_shard_bench(
+                args.shards, workers=max(args.workers, 2)
+            )
+            report["json_path"] = write_bench_json("shards", report)
+        elif args.fault_rate is not None:
+            report = run_fault_bench(
+                args.fault_rate, workers=max(args.workers, 2)
+            )
+            report["json_path"] = write_bench_json("faults", report)
+        elif args.compare_workers is not None:
+            report = run_worker_compare(
+                args.deadline, args.limit, args.compare_workers,
+                only=args.only,
+            )
+            report["json_path"] = write_bench_json("sweep", report)
+        else:
+            report = run_sweep(
+                args.journal, args.deadline, args.limit, args.fresh,
+                workers=args.workers, only=args.only,
+            )
+            report["json_path"] = write_bench_json("sweep", report)
+    except UnknownInstanceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     print(json.dumps(report, indent=2))
     return 0
 

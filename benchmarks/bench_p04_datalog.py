@@ -5,7 +5,22 @@ instance sizes — the classical crossover the Datalog literature reports
 (semi-naive asymptotically dominates).  Also times stage unfolding and
 the boundedness probes, which now run semi-naively; the naive benches
 stay as the ablation baseline that crossover is measured against.
+
+Run as a script for the *crossover* mode, which races both engines on a
+named instance grid and reports per-instance timings as JSON::
+
+    python benchmarks/bench_p04_datalog.py --repeat 3
+    python benchmarks/bench_p04_datalog.py --only path-16
+
+``--only SUBSTRING`` restricts to instances whose name contains the
+substring; an unmatched filter exits 2 with the valid names
+(:class:`~repro.exceptions.UnknownInstanceError`).
 """
+
+import argparse
+import json
+import sys
+import time
 
 import pytest
 
@@ -69,3 +84,86 @@ def bench_p04_unboundedness_evidence(benchmark):
         unboundedness_evidence, program, directed_path, [4, 8, 12]
     )
     assert growth == [3, 7, 11]
+
+
+# ----------------------------------------------------------------------
+# Crossover mode (script entry point)
+# ----------------------------------------------------------------------
+def crossover_workload():
+    """Named TC targets for the naive/semi-naive race, as deterministic
+    ``(name, structure)`` pairs."""
+    pairs = [(f"path-{n:02d}", directed_path(n)) for n in (8, 16, 24)]
+    pairs.extend(
+        (f"dense-{n:02d}", random_directed_graph(n, 0.4, seed=n))
+        for n in (6, 10)
+    )
+    pairs.append(("cycle-12", directed_cycle(12)))
+    return pairs
+
+
+def run_crossover(repeat: int, only=None) -> dict:
+    """Race naive vs semi-naive TC on each instance (best of ``repeat``)."""
+    from repro.parallel.sweeps import filter_instances
+
+    pairs = crossover_workload()
+    if only is not None:
+        pairs = filter_instances(pairs, only)
+    program = transitive_closure_program()
+    rows = []
+    disagreements = 0
+    for name, target in pairs:
+        naive_s = semi_s = float("inf")
+        naive_result = semi_result = None
+        for _ in range(repeat):
+            started = time.perf_counter()
+            naive_result = evaluate_naive(program, target)
+            naive_s = min(naive_s, time.perf_counter() - started)
+            started = time.perf_counter()
+            semi_result = evaluate_semi_naive(program, target)
+            semi_s = min(semi_s, time.perf_counter() - started)
+        agree = (
+            naive_result.relations["T"] == semi_result.relations["T"]
+        )
+        disagreements += not agree
+        rows.append({
+            "instance": name,
+            "facts": len(semi_result.relations["T"]),
+            "naive_s": naive_s,
+            "semi_naive_s": semi_s,
+            "speedup": naive_s / semi_s if semi_s > 0 else float("inf"),
+            "agree": agree,
+        })
+    return {
+        "mode": "datalog-crossover",
+        "repeat": repeat,
+        "instances": [name for name, _ in pairs],
+        "rows": rows,
+        "disagreements": disagreements,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="naive vs semi-naive Datalog crossover (JSON output)"
+    )
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="best-of runs per instance and engine")
+    parser.add_argument("--only", metavar="SUBSTRING", default=None,
+                        help="restrict to instances whose name contains "
+                             "SUBSTRING (unknown filters exit 2 with the "
+                             "valid names)")
+    args = parser.parse_args(argv)
+
+    from repro.exceptions import UnknownInstanceError
+
+    try:
+        report = run_crossover(args.repeat, only=args.only)
+    except UnknownInstanceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2))
+    return 0 if not report["disagreements"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

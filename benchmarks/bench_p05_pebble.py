@@ -2,7 +2,22 @@
 
 The greatest-fixed-point computation scales with |A|^k * |B|^k; these
 benches pin the practical envelope used by experiments E9/E11.
+
+Run as a script for the *envelope* mode, which times the solver on a
+named instance grid and reports per-instance results as JSON::
+
+    python benchmarks/bench_p05_pebble.py --repeat 3
+    python benchmarks/bench_p05_pebble.py --only k2/c3-vs-cycle
+
+``--only SUBSTRING`` restricts to instances whose name contains the
+substring; an unmatched filter exits 2 with the valid names
+(:class:`~repro.exceptions.UnknownInstanceError`).
 """
+
+import argparse
+import json
+import sys
+import time
 
 import pytest
 
@@ -38,3 +53,90 @@ def bench_p05_winning_family_size(benchmark):
 
     size = benchmark(harness)
     assert size > 0
+
+
+# ----------------------------------------------------------------------
+# Envelope mode (script entry point)
+# ----------------------------------------------------------------------
+def envelope_workload():
+    """Named pebble-game instances as ``(name, (a, b, k, expected))``
+    pairs; ``expected`` is ``None`` where the outcome is not pinned."""
+    pairs = []
+    for n in (4, 6, 8):
+        pairs.append((
+            f"k2/c3-vs-path-{n:02d}",
+            (directed_cycle(3), directed_path(n), 2, False),
+        ))
+        pairs.append((
+            f"k2/c3-vs-cycle-{n:02d}",
+            (directed_cycle(3), directed_cycle(n), 2, True),
+        ))
+    for k in (2, 3):
+        pairs.append((
+            f"k{k}/random-4-vs-5",
+            (random_directed_graph(4, 0.35, seed=1),
+             random_directed_graph(5, 0.35, seed=2), k, None),
+        ))
+    return pairs
+
+
+def run_envelope(repeat: int, only=None) -> dict:
+    """Time ``duplicator_wins`` per instance (best of ``repeat``)."""
+    from repro.parallel.sweeps import filter_instances
+
+    pairs = envelope_workload()
+    if only is not None:
+        pairs = filter_instances(pairs, only)
+    rows = []
+    disagreements = 0
+    for name, (a, b, k, expected) in pairs:
+        best_s = float("inf")
+        result = None
+        for _ in range(repeat):
+            started = time.perf_counter()
+            result = duplicator_wins(a, b, k)
+            best_s = min(best_s, time.perf_counter() - started)
+        agree = expected is None or result is expected
+        disagreements += not agree
+        rows.append({
+            "instance": name,
+            "k": k,
+            "duplicator_wins": result,
+            "expected": expected,
+            "elapsed_s": best_s,
+            "agree": agree,
+        })
+    return {
+        "mode": "pebble-envelope",
+        "repeat": repeat,
+        "instances": [name for name, _ in pairs],
+        "rows": rows,
+        "disagreements": disagreements,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="existential k-pebble game envelope (JSON output)"
+    )
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="best-of runs per instance")
+    parser.add_argument("--only", metavar="SUBSTRING", default=None,
+                        help="restrict to instances whose name contains "
+                             "SUBSTRING (unknown filters exit 2 with the "
+                             "valid names)")
+    args = parser.parse_args(argv)
+
+    from repro.exceptions import UnknownInstanceError
+
+    try:
+        report = run_envelope(args.repeat, only=args.only)
+    except UnknownInstanceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2))
+    return 0 if not report["disagreements"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

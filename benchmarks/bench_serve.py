@@ -1,0 +1,235 @@
+"""Serve performance: requests/sec and latency under concurrent clients.
+
+Boots the hom-decision server on a background event loop (the same
+:class:`~repro.serve.server.ServerThread` the functional tests use),
+fans a mixed decision workload out over concurrent client threads, and
+reports end-to-end latency percentiles plus throughput.  Two profiles:
+
+* **no-fault** (always run) — every request admitted and answered
+  ``ok``; the CI bench-smoke gate asserts the reported p99 stays
+  within ``p99_budget_ms``.
+* **overload** (``--overload``) — a deliberately tiny queue with
+  non-retrying clients; measures the shed ratio and checks the
+  exactly-once accounting (ok + overloaded == sent, nothing lost).
+
+Writes ``benchmarks/results/BENCH_serve.json``::
+
+    python benchmarks/bench_serve.py
+    python benchmarks/bench_serve.py --smoke --overload
+"""
+
+import argparse
+import json
+import threading
+import time
+
+from repro.engine import HomEngine
+from repro.exceptions import ServeOverloadedError
+from repro.parallel.retry import RetryPolicy
+from repro.serve.admission import AdmissionController
+from repro.serve.client import (
+    CLIENT_RETRYABLE,
+    ServeClient,
+    containment_query,
+    core_query,
+    hom_query,
+    treewidth_query,
+)
+from repro.serve.server import ServerThread
+from repro.serve.service import DecisionService
+from repro.structures import (
+    directed_cycle,
+    directed_path,
+    random_directed_graph,
+    undirected_cycle,
+)
+
+#: The no-fault p99 budget the CI bench-smoke job gates on.  The
+#: workload is tiny instances on a single compute thread; end-to-end
+#: p99 in the hundreds of milliseconds would mean queueing pathology,
+#: not slow solves.
+P99_BUDGET_MS = 250.0
+
+
+def decision_workload():
+    """A mixed bag of small decision queries (all answer definitely)."""
+    c3, c6 = directed_cycle(3), directed_cycle(6)
+    p4, p6 = directed_path(4), directed_path(6)
+    r5 = random_directed_graph(5, 0.35, seed=11)
+    return [
+        hom_query(p4, c3),               # TRUE: path folds into cycle
+        hom_query(c3, p6),               # FALSE: cycle into a path
+        hom_query(c6, c3),               # TRUE: even cycle halves
+        hom_query(r5, c3),
+        containment_query(c6, c3),
+        core_query(undirected_cycle(5)),
+        treewidth_query(undirected_cycle(6), limit=10),
+    ]
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _client_loop(host, port, queries, requests, latencies, failures,
+                 overloaded, retry_policy, key):
+    client = ServeClient(
+        host, port, timeout_s=60.0, retry_policy=retry_policy,
+        retry_key=key,
+    )
+    try:
+        for i in range(requests):
+            query = queries[i % len(queries)]
+            started = time.perf_counter()
+            try:
+                entry = client.decide(query, request_id=f"{key}-{i}")
+            except ServeOverloadedError:
+                overloaded.append(i)
+                continue
+            latencies.append(time.perf_counter() - started)
+            if entry.get("status") not in (None, "ok"):
+                failures.append(entry)
+            elif "verdict" in entry and (
+                entry["verdict"]["value"] == "UNKNOWN"
+            ):
+                failures.append(entry)
+    finally:
+        client.close()
+
+
+def _run_profile(clients, requests, *, queue_limit, retry_policy):
+    """One server lifetime, ``clients`` threads, per-request latency."""
+    from repro.engine.instrumentation import SERVE
+
+    SERVE.reset()  # the serve counters are process-global; per-profile
+    service = DecisionService(engine=HomEngine())
+    thread = ServerThread(
+        service=service,
+        admission=AdmissionController(queue_limit=queue_limit),
+        idle_timeout_s=30.0,
+        drain_grace_s=2.0,
+    )
+    host, port = thread.start()
+    queries = decision_workload()
+    latencies, failures, overloaded = [], [], []
+    try:
+        workers = [
+            threading.Thread(
+                target=_client_loop,
+                args=(host, port, queries, requests, latencies,
+                      failures, overloaded, retry_policy,
+                      f"client-{c:02d}"),
+            )
+            for c in range(clients)
+        ]
+        started = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - started
+        with ServeClient(host, port) as probe:
+            stats = probe.stats()
+    finally:
+        thread.stop()
+
+    latencies.sort()
+    sent = clients * requests
+    completed = len(latencies)
+    return {
+        "clients": clients,
+        "requests_per_client": requests,
+        "sent": sent,
+        "completed": completed,
+        "overloaded": len(overloaded),
+        "failures": len(failures),
+        "unanswered": sent - completed - len(overloaded),
+        "elapsed_s": elapsed,
+        "requests_per_s": completed / elapsed if elapsed > 0 else 0.0,
+        "latency_p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "latency_p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "serve_counters": stats["serve"],
+    }
+
+
+def run_no_fault(clients, requests):
+    """Uncontended profile: ample queue, retrying clients, p99 gate."""
+    report = _run_profile(
+        clients, requests,
+        queue_limit=max(64, clients * 4),
+        retry_policy=RetryPolicy(
+            max_attempts=4, base_delay=0.05, max_delay=1.0,
+            jitter=0.25, retryable=CLIENT_RETRYABLE,
+        ),
+    )
+    report["p99_budget_ms"] = P99_BUDGET_MS
+    report["p99_within_budget"] = (
+        report["latency_p99_ms"] < P99_BUDGET_MS
+    )
+    return report
+
+
+def run_overload(clients, requests):
+    """Contended profile: queue of 1, non-retrying clients, count sheds."""
+    report = _run_profile(
+        clients, requests,
+        queue_limit=1,
+        retry_policy=RetryPolicy(
+            max_attempts=1, retryable=CLIENT_RETRYABLE
+        ),
+    )
+    report["shed_ratio"] = (
+        report["overloaded"] / report["sent"] if report["sent"] else 0.0
+    )
+    report["accounted_exactly_once"] = report["unanswered"] == 0
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="hom-decision server throughput/latency benchmark "
+                    "(JSON output, BENCH_serve.json)"
+    )
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per client")
+    parser.add_argument("--overload", action="store_true",
+                        help="also run the tiny-queue overload profile")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer clients/requests)")
+    args = parser.parse_args(argv)
+
+    clients = 2 if args.smoke else args.clients
+    requests = 20 if args.smoke else args.requests
+
+    report = {
+        "mode": "serve-bench",
+        "smoke": args.smoke,
+        "no_fault": run_no_fault(clients, requests),
+    }
+    if args.overload:
+        report["overload"] = run_overload(max(clients, 3), requests)
+
+    from _json import write_bench_json
+
+    report["json_path"] = write_bench_json("serve", report)
+    print(json.dumps(report, indent=2))
+
+    ok = (
+        report["no_fault"]["failures"] == 0
+        and report["no_fault"]["unanswered"] == 0
+        and report["no_fault"]["p99_within_budget"]
+    )
+    if args.overload:
+        ok = ok and report["overload"]["accounted_exactly_once"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

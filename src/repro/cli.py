@@ -26,13 +26,24 @@ JSON-serialized structures (see :mod:`repro.structures.io`):
     Dump the hom-engine's solver/cache counters as JSON (optionally
     after exercising a homomorphism query ``N`` times first), including
     the ``incremental`` section (delta-fingerprint hits/fallbacks,
-    fine-grained invalidations, warm starts, DRed maintenance) and the
-    ``distributed`` section (lease claims/renewals/steals);
+    fine-grained invalidations, warm starts, DRed maintenance), the
+    ``distributed`` section (lease claims/renewals/steals), and the
+    ``serve`` section (requests accepted/rejected/shed, breaker
+    trips/probes, drains, and p50/p99 end-to-end latency);
     ``--reset`` zeroes every counter — solver, memo cache,
     compiled-target cache, governor, incremental, distributed — before
     the run; with ``--journal`` also reports a sweep journal's
     integrity stats (records, legacy lines, corrupt lines, torn-tail
     recoveries).
+``serve [--host H --port P] [--queue-limit N] [--health-check]``
+    Run the hardened hom-decision server (:mod:`repro.serve`): hom /
+    containment / equivalence / core / treewidth / warm-session edits
+    as JSON lines over TCP, with deadline-aware admission control,
+    bounded-queue load shedding, a circuit breaker to the reference
+    solver, and graceful drain on SIGTERM/SIGINT (queued work is
+    answered ``overloaded``, in-flight work is cancelled to honest
+    UNKNOWN verdicts).  ``--health-check`` probes a running server
+    instead (exit 0 when ready).
 ``sweep {hom,hom-batch,cores,treewidth} [--workers N] [--deadline S] ...``
     Run a registered instance sweep through the supervised parallel
     governed executor (:mod:`repro.parallel`): per-instance
@@ -44,7 +55,11 @@ JSON-serialized structures (see :mod:`repro.structures.io`):
     independent runners (:mod:`repro.distributed`): shards are claimed
     under heartbeat leases with fencing tokens, expired leases are
     work-stolen, and each shard journals to its own fenced file under
-    ``D`` — exit 0 when every shard finished, 1 otherwise.
+    ``D`` — exit 0 when every shard finished, 1 otherwise.  SIGTERM
+    and Ctrl-C exit 130 after an orderly teardown: the journal is
+    flushed and compacted (plain sweeps) or the held shard lease is
+    released immediately (sharded sweeps), so the next run resumes
+    without repairing torn state or waiting out a lease TTL.
 ``merge-journals [J.jsonl ...|--shard-dir D --shards K] [--sweep NAME]``
     Validate and merge the shard journals of a sharded sweep: per-shard
     checksum/torn-tail integrity, duplicate keys resolved by fencing
@@ -199,6 +214,32 @@ def _cmd_chandra_merlin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_interrupt_handlers() -> None:
+    """Route SIGTERM through the KeyboardInterrupt path.
+
+    ``repro sweep`` and ``repro serve`` are the long-running commands;
+    an orchestrator's SIGTERM must trigger the same orderly teardown
+    (journal flush/compaction, shard-lease release, graceful drain) as
+    a user's Ctrl-C, not an instant death that strands leases and
+    leaves torn journal tails for the next run to repair.  Only called
+    from the main thread; no-op where signals are unavailable.
+    """
+    import signal as _signal
+    import threading as _threading
+
+    if _threading.current_thread() is not _threading.main_thread():
+        return
+
+    def _to_interrupt(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    try:
+        _signal.signal(_signal.SIGTERM, _to_interrupt)
+        _signal.signal(_signal.SIGINT, _to_interrupt)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import functools
 
@@ -208,6 +249,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     from .exceptions import UnknownInstanceError
 
+    _install_interrupt_handlers()
     sweep = get_sweep(args.name)
     task = sweep.task
     if args.name == "treewidth":
@@ -237,42 +279,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         runner_id = args.runner_id or (
             f"{_socket.gethostname()}-{_os.getpid()}"
         )
-        sharded = run_sharded_sweep(
+        try:
+            sharded = run_sharded_sweep(
+                task,
+                instances,
+                shard_dir=args.shard_dir,
+                shards=args.shards,
+                runner_id=runner_id,
+                workers=args.workers,
+                deadline_s=args.deadline,
+                budget=args.budget,
+                chunksize=args.chunksize,
+                mode=f"sweep-{args.name}",
+                retry_policy=retry_policy,
+                grace_factor=args.grace,
+                hard_timeout_s=args.hard_timeout,
+                lease_ttl_s=args.lease_ttl,
+                heartbeat_interval_s=args.heartbeat,
+                steal=not args.no_steal,
+                max_wait_s=args.max_wait,
+            )
+        except KeyboardInterrupt:
+            # The in-flight shard's lease was released by the runner's
+            # own interrupt handling; its journal keeps every record
+            # already written, so a resume (or another runner) picks
+            # the shard up cleanly instead of waiting out the TTL.
+            print("interrupted: shard lease released; journals are "
+                  "resumable", file=sys.stderr)
+            return 130
+        print(json.dumps(sharded.to_dict(), indent=2))
+        return 0 if sharded.complete else 1
+    journal = SweepJournal(args.journal) if args.journal else None
+    try:
+        outcome = run_sweep(
             task,
             instances,
-            shard_dir=args.shard_dir,
-            shards=args.shards,
-            runner_id=runner_id,
             workers=args.workers,
             deadline_s=args.deadline,
             budget=args.budget,
+            journal=journal,
+            fresh=args.fresh,
             chunksize=args.chunksize,
             mode=f"sweep-{args.name}",
             retry_policy=retry_policy,
             grace_factor=args.grace,
             hard_timeout_s=args.hard_timeout,
-            lease_ttl_s=args.lease_ttl,
-            heartbeat_interval_s=args.heartbeat,
-            steal=not args.no_steal,
-            max_wait_s=args.max_wait,
         )
-        print(json.dumps(sharded.to_dict(), indent=2))
-        return 0 if sharded.complete else 1
-    journal = SweepJournal(args.journal) if args.journal else None
-    outcome = run_sweep(
-        task,
-        instances,
-        workers=args.workers,
-        deadline_s=args.deadline,
-        budget=args.budget,
-        journal=journal,
-        fresh=args.fresh,
-        chunksize=args.chunksize,
-        mode=f"sweep-{args.name}",
-        retry_policy=retry_policy,
-        grace_factor=args.grace,
-        hard_timeout_s=args.hard_timeout,
-    )
+    except KeyboardInterrupt:
+        # Flush + compact so the next run resumes from a journal with
+        # no torn tail and no duplicate keys to re-deduplicate.
+        if journal is not None:
+            journal.compact()
+            print(f"interrupted: journal {args.journal} compacted; "
+                  "rerun the same command to resume", file=sys.stderr)
+        else:
+            print("interrupted (no journal; progress discarded)",
+                  file=sys.stderr)
+        return 130
     print(json.dumps(outcome.to_dict(), indent=2))
     return 0 if outcome.failed == 0 else 1
 
@@ -317,6 +380,30 @@ def _cmd_merge_journals(args: argparse.Namespace) -> int:
         payload["results"] = normalize_results(report.results)
     print(json.dumps(payload, indent=2))
     return 0 if report.clean else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import health_check, run_server
+
+    if args.health_check:
+        ready, detail = health_check(
+            args.host, args.port, timeout_s=args.probe_timeout
+        )
+        print(f"{'ready' if ready else 'not ready'}: {detail}")
+        return 0 if ready else 1
+    _install_interrupt_handlers()
+    try:
+        return run_server(
+            args.host,
+            args.port,
+            queue_limit=args.queue_limit,
+            idle_timeout_s=args.idle_timeout,
+            drain_grace_s=args.drain_grace,
+        )
+    except KeyboardInterrupt:
+        # Signal arrived outside the event loop (e.g. during startup);
+        # nothing is in flight yet, so plain exit is the drain.
+        return 130
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -485,6 +572,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "nodes/backtracks) from the reported results "
                         "for run-to-run comparison")
     p.set_defaults(func=_cmd_merge_journals)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the hom-decision server (JSON lines over TCP)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="listen address (default: loopback)")
+    p.add_argument("--port", type=int, default=7464,
+                   help="listen port; 0 picks a free one (announced "
+                        "on the ready line)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="bounded request queue: beyond this, the "
+                        "oldest-deadline ticket is shed")
+    p.add_argument("--idle-timeout", type=float, default=30.0,
+                   help="close a connection after this many seconds "
+                        "without a complete frame")
+    p.add_argument("--drain-grace", type=float, default=2.0,
+                   help="seconds a drain waits for the in-flight "
+                        "request before cancelling it to UNKNOWN")
+    p.add_argument("--health-check", action="store_true",
+                   help="probe a running server's readiness instead "
+                        "of serving (exit 0 ready, 1 otherwise)")
+    p.add_argument("--probe-timeout", type=float, default=5.0,
+                   help="--health-check connection/response timeout")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("stats",
                        help="hom-engine solver/cache counters as JSON")

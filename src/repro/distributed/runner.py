@@ -275,6 +275,7 @@ def _run_shard(
         manager.owner, "stole" if lease.stolen else "claimed",
         shard, lease.fence,
     )
+    heartbeat: Optional[LeaseHeartbeat] = None
     try:
         lease = manager.start(lease)
         heartbeat = LeaseHeartbeat(
@@ -291,6 +292,26 @@ def _run_shard(
             journal=journal, heartbeat=heartbeat, **sweep_kwargs,
         )
         manager.release(heartbeat.lease)
+    except KeyboardInterrupt:
+        # Interrupted runner (Ctrl-C / SIGTERM): release the shard
+        # lease *now* so another runner can claim the shard immediately
+        # instead of waiting out the TTL to steal it.  Every record the
+        # fenced journal already holds stays valid — the release does
+        # not advance the fencing token.  Best effort: a second
+        # interrupt or an unreadable lease file must not mask the exit.
+        current = heartbeat.lease if heartbeat is not None else lease
+        try:
+            manager.release(current)
+            log.info(
+                "runner %s interrupted; released shard %d at fence %d",
+                manager.owner, shard, current.fence,
+            )
+        except Exception:
+            log.warning(
+                "runner %s interrupted; failed to release shard %d "
+                "(lease expires by TTL)", manager.owner, shard,
+            )
+        raise
     except LeaseLostError as err:
         log.warning(
             "runner %s lost shard %d at fence %d to %r (fence %s); "

@@ -34,7 +34,14 @@ from ..exceptions import (
 )
 from ..structures.structure import Element, Structure
 from .cache import MISS, HomCache
-from .instrumentation import DISTRIBUTED, GOVERNOR, INCREMENTAL, SolverStats, Timer
+from .instrumentation import (
+    DISTRIBUTED,
+    GOVERNOR,
+    INCREMENTAL,
+    SERVE,
+    SolverStats,
+    Timer,
+)
 
 Homomorphism = Dict[Element, Element]
 
@@ -412,6 +419,7 @@ class HomEngine:
         GOVERNOR.reset()
         INCREMENTAL.reset()
         DISTRIBUTED.reset()
+        SERVE.reset()
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-serializable view of engine configuration + counters.
@@ -431,6 +439,7 @@ class HomEngine:
             "governor": GOVERNOR.snapshot(),
             "incremental": INCREMENTAL.snapshot(),
             "distributed": DISTRIBUTED.snapshot(),
+            "serve": SERVE.snapshot(),
         }
 
 

@@ -174,6 +174,133 @@ class IncrementalStats:
 INCREMENTAL = IncrementalStats()
 
 
+@dataclass
+class ServeStats:
+    """Cumulative counters for the hom-decision server
+    (:mod:`repro.serve`).
+
+    One process-global instance (:data:`SERVE`) is shared by every
+    :class:`~repro.serve.server.ReproServer` in the process; the hom
+    engine folds it into its snapshot so ``python -m repro stats``
+    reports serving activity (and ``repro stats --reset`` zeroes it)
+    next to the solver counters.
+
+    Attributes
+    ----------
+    connections:
+        Client connections accepted.
+    frames:
+        Request frames successfully decoded.
+    malformed_frames:
+        Frames rejected by the decoder (bad UTF-8, bad JSON, wrong
+        shape) and answered with a structured error.
+    oversized_frames:
+        Frames over the size cap (the connection is closed after the
+        structured error — the stream is desynchronized).
+    requests:
+        Decision requests received (one frame may carry a batch).
+    accepted:
+        Requests admitted to the compute queue.
+    rejected:
+        Requests rejected *before* compute because the queue's
+        projected wait already exceeded their deadline.
+    shed:
+        Requests evicted from the queue under overload
+        (oldest-deadline-first) or expired while queued.
+    overloaded:
+        ``OVERLOADED`` soft-failure responses sent (rejected + shed +
+        drain refusals).
+    completed:
+        Requests answered with computed results.
+    unknown_results:
+        Individual query results downgraded to UNKNOWN (governor trips,
+        drain cancellations).
+    error_responses:
+        Structured error responses sent (malformed payloads, unknown
+        ops, validation failures).
+    client_gone:
+        Responses dropped because the client had disconnected.
+    idle_closes:
+        Connections closed by the server's idle timeout.
+    breaker_trips:
+        Circuit-breaker transitions to OPEN after repeated kernel
+        faults.
+    breaker_probes:
+        Half-open probe solves sent to the kernel during cooldown.
+    breaker_fallback_solves:
+        Decisions answered by the reference solver while the breaker
+        was open (or after a fault mid-solve).
+    drains:
+        Graceful drains begun (SIGTERM/SIGINT or programmatic).
+    drained_unknowns:
+        In-flight/queued requests UNKNOWN-ed or refused during drain.
+    """
+
+    connections: int = 0
+    frames: int = 0
+    malformed_frames: int = 0
+    oversized_frames: int = 0
+    requests: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    overloaded: int = 0
+    completed: int = 0
+    unknown_results: int = 0
+    error_responses: int = 0
+    client_gone: int = 0
+    idle_closes: int = 0
+    breaker_trips: int = 0
+    breaker_probes: int = 0
+    breaker_fallback_solves: int = 0
+    drains: int = 0
+    drained_unknowns: int = 0
+
+    #: Ring buffer of recent request service latencies in milliseconds
+    #: (admission-to-response); sized so p99 stays meaningful without
+    #: unbounded growth.
+    LATENCY_WINDOW = 8192
+
+    def __post_init__(self) -> None:
+        self._latencies_ms: list = []
+
+    def record_latency(self, latency_ms: float) -> None:
+        """Record one request's service latency (admission→response)."""
+        window = self._latencies_ms
+        window.append(float(latency_ms))
+        if len(window) > self.LATENCY_WINDOW:
+            del window[: len(window) - self.LATENCY_WINDOW]
+
+    def latency_percentile(self, fraction: float) -> float:
+        """The ``fraction`` (0..1) latency percentile over the window,
+        in milliseconds (``0.0`` before any request completed)."""
+        window = sorted(self._latencies_ms)
+        if not window:
+            return 0.0
+        index = min(int(fraction * len(window)), len(window) - 1)
+        return window[index]
+
+    def reset(self) -> None:
+        """Zero every counter and drop the latency window."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+        self._latencies_ms = []
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable copy of the counters plus p50/p99."""
+        out: Dict[str, object] = {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+        out["latency_p50_ms"] = self.latency_percentile(0.50)
+        out["latency_p99_ms"] = self.latency_percentile(0.99)
+        out["latency_samples"] = len(self._latencies_ms)
+        return out
+
+
+#: The process-global hom-decision-server counters.
+SERVE = ServeStats()
+
+
 # The governor counters live in repro.resources.governor (the governance
 # layer is lower in the import graph than the engine); they are
 # re-exported here because this module is the package's observability

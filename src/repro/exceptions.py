@@ -329,6 +329,54 @@ class LeaseLostError(LeaseError):
         self.holder_fence = holder_fence
 
 
+class ServeError(ReproError):
+    """Base class for hom-decision-server (:mod:`repro.serve`) failures."""
+
+
+class ServeProtocolError(ServeError):
+    """A request/response frame violated the wire protocol.
+
+    Raised server-side while decoding a frame (and turned into a
+    structured ``error`` response rather than a crash), and client-side
+    when the server answered with a structured error.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable error code (``"bad-frame"``,
+        ``"bad-request"``, ``"frame-too-large"``, ``"batch-too-large"``,
+        ``"unknown-op"``, ...).
+    """
+
+    def __init__(self, message: str, *, code: str = "bad-request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeOverloadedError(ServeError):
+    """The server shed or refused a request under load (soft failure).
+
+    Raised by the client after its retry policy gave up on repeated
+    ``OVERLOADED`` responses.  Carries the server's last stated reason;
+    an overloaded response is an *honest degraded answer*, not a bug —
+    callers should back off and retry or degrade themselves.
+    """
+
+    def __init__(
+        self, message: Optional[str] = None, *, reason: str = ""
+    ) -> None:
+        super().__init__(message or f"server overloaded: {reason}")
+        self.reason = reason
+
+
+class ServeConnectionError(ServeError):
+    """The client could not reach (or lost) the server.
+
+    Raised after the client's retry policy exhausted its reconnection
+    attempts; carries the last underlying OS-level error message.
+    """
+
+
 class JournalCorruptionError(ReproError):
     """A sweep journal failed an integrity check that cannot be repaired.
 

@@ -1,0 +1,238 @@
+"""Admission control and backpressure for the hom-decision server.
+
+The server has one compute lane (the engine is single-threaded by
+design — every connection shares its memo and compiled-target caches),
+so load manifests as *queueing*.  This module decides, before any
+compute happens, which requests are worth queueing at all:
+
+* **Reject-before-compute** — the controller keeps an EWMA of per-query
+  service time; a request whose own deadline is shorter than the
+  queue's projected wait is refused immediately with an ``OVERLOADED``
+  soft failure.  Computing it would waste the lane on an answer the
+  client has already given up on.
+* **Bounded queue with oldest-deadline-first eviction** — when the
+  queue is full, the ticket with the *earliest absolute deadline*
+  (the one closest to being useless) is shed to make room; if the
+  newcomer itself has the earliest deadline, the newcomer is shed.
+  Tickets with no deadline are treated as infinitely patient and are
+  never the eviction victim while a deadlined ticket exists.
+* **Expiry on dequeue** — a ticket whose deadline passed while it
+  waited is shed at dequeue time instead of being computed late.
+
+The controller is pure bookkeeping — no asyncio, no threads, an
+injectable monotonic clock — so the whole state machine is unit-testable
+without a running server.  The server calls it only from its event
+loop, which serializes access.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..engine.instrumentation import SERVE
+from ..exceptions import ValidationError
+
+#: Starting per-query service-time estimate (seconds).  Deliberately
+#: tiny: until real observations arrive, admission optimistically
+#: admits — the first requests must never be rejected on a made-up
+#: estimate.
+INITIAL_SERVICE_ESTIMATE_S = 0.0
+
+#: EWMA smoothing factor for service-time observations.
+SERVICE_EWMA_ALPHA = 0.2
+
+
+@dataclass
+class Ticket:
+    """One admitted (or candidate) request in the compute pipeline.
+
+    ``deadline_at`` is the absolute monotonic instant after which the
+    answer is useless (``None`` = infinitely patient); ``weight`` is
+    the query count admission charges for it.  ``payload`` is opaque to
+    the controller — the server stows its per-connection response
+    plumbing there.
+    """
+
+    request_id: Any
+    weight: int = 1
+    deadline_s: Optional[float] = None
+    deadline_at: Optional[float] = None
+    enqueued_at: float = 0.0
+    payload: Any = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now >= self.deadline_at
+
+
+@dataclass
+class AdmissionDecision:
+    """What :meth:`AdmissionController.admit` decided.
+
+    ``admitted`` is whether the new ticket entered the queue; ``shed``
+    lists previously-queued tickets evicted to make room (the server
+    owes each an ``OVERLOADED`` response); ``reason`` explains a
+    rejection.
+    """
+
+    admitted: bool
+    shed: List[Ticket] = field(default_factory=list)
+    reason: str = ""
+
+
+class AdmissionController:
+    """Deadline-aware bounded queue with load-shedding.
+
+    Parameters
+    ----------
+    queue_limit:
+        Maximum queued tickets (in-flight work is tracked separately).
+    clock:
+        Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValidationError("queue_limit must be >= 1")
+        self.queue_limit = queue_limit
+        self.clock = clock
+        self.queue: List[Ticket] = []
+        self.in_flight_weight = 0
+        self.service_ewma_s = INITIAL_SERVICE_ESTIMATE_S
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def queued_weight(self) -> int:
+        return sum(ticket.weight for ticket in self.queue)
+
+    def projected_wait_s(self) -> float:
+        """Estimated seconds a newly-queued ticket waits before its
+        first query starts: everything queued or in flight, at the
+        current per-query service estimate."""
+        pending = self.queued_weight() + self.in_flight_weight
+        return pending * self.service_ewma_s
+
+    def observe_service(self, elapsed_s: float, weight: int) -> None:
+        """Fold one completed request's service time into the EWMA."""
+        if weight <= 0:
+            return
+        sample = elapsed_s / weight
+        if self.service_ewma_s <= 0.0:
+            self.service_ewma_s = sample
+        else:
+            self.service_ewma_s += SERVICE_EWMA_ALPHA * (
+                sample - self.service_ewma_s
+            )
+
+    # ------------------------------------------------------------------
+    # The admission decision
+    # ------------------------------------------------------------------
+    def admit(self, ticket: Ticket) -> AdmissionDecision:
+        """Admit, reject, or make room for ``ticket``.
+
+        The caller is responsible for answering every shed ticket (and
+        a rejected newcomer) with an ``OVERLOADED`` response.
+        """
+        now = self.clock()
+        ticket.enqueued_at = now
+        if ticket.deadline_s is not None and ticket.deadline_at is None:
+            ticket.deadline_at = now + ticket.deadline_s
+
+        projected = self.projected_wait_s()
+        if ticket.deadline_s is not None and projected > ticket.deadline_s:
+            SERVE.rejected += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"projected queue wait {projected:.3f}s exceeds the "
+                    f"request deadline of {ticket.deadline_s:.3f}s"
+                ),
+            )
+
+        shed: List[Ticket] = []
+        while len(self.queue) >= self.queue_limit:
+            victim = self._eviction_victim(ticket)
+            if victim is ticket:
+                SERVE.shed += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    shed=shed,
+                    reason=(
+                        f"queue full ({self.queue_limit} tickets) and this "
+                        "request has the earliest deadline of the "
+                        "candidates"
+                    ),
+                )
+            self.queue.remove(victim)
+            SERVE.shed += 1
+            shed.append(victim)
+        self.queue.append(ticket)
+        SERVE.accepted += 1
+        return AdmissionDecision(admitted=True, shed=shed)
+
+    def _eviction_victim(self, newcomer: Ticket) -> Ticket:
+        """Oldest-deadline-first: among the queued tickets plus the
+        newcomer, the one whose absolute deadline expires soonest (ties
+        to the longest-queued).  Deadline-less tickets never lose to a
+        deadlined one."""
+        candidates = self.queue + [newcomer]
+
+        def key(ticket: Ticket) -> Tuple[float, float]:
+            deadline = (
+                ticket.deadline_at
+                if ticket.deadline_at is not None
+                else float("inf")
+            )
+            return (deadline, ticket.enqueued_at)
+
+        return min(candidates, key=key)
+
+    # ------------------------------------------------------------------
+    # Dequeue
+    # ------------------------------------------------------------------
+    def next_ready(self) -> Tuple[Optional[Ticket], List[Ticket]]:
+        """Pop the next computable ticket, shedding expired ones.
+
+        Returns ``(ticket_or_None, expired)``; every ticket in
+        ``expired`` sat in the queue past its own deadline and must be
+        answered ``OVERLOADED`` instead of computed."""
+        now = self.clock()
+        expired: List[Ticket] = []
+        while self.queue:
+            ticket = self.queue.pop(0)
+            if ticket.expired(now):
+                SERVE.shed += 1
+                expired.append(ticket)
+                continue
+            self.in_flight_weight += ticket.weight
+            return ticket, expired
+        return None, expired
+
+    def finish(self, ticket: Ticket, elapsed_s: float) -> None:
+        """Mark a dequeued ticket's compute as finished."""
+        self.in_flight_weight = max(
+            0, self.in_flight_weight - ticket.weight
+        )
+        self.observe_service(elapsed_s, ticket.weight)
+
+    def drain_queue(self) -> List[Ticket]:
+        """Remove and return every queued ticket (drain shutdown)."""
+        drained, self.queue = self.queue, []
+        return drained
+
+    def snapshot(self) -> dict:
+        """JSON-serializable controller state (for ping/stats)."""
+        return {
+            "queue_depth": len(self.queue),
+            "queued_weight": self.queued_weight(),
+            "in_flight_weight": self.in_flight_weight,
+            "queue_limit": self.queue_limit,
+            "service_ewma_ms": self.service_ewma_s * 1000.0,
+            "projected_wait_ms": self.projected_wait_s() * 1000.0,
+        }

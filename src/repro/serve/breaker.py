@@ -1,0 +1,129 @@
+"""Circuit breaker around the compiled kernel.
+
+The compiled bitset kernel is the fast path for every decision the
+server makes — and also the component with the most machinery to go
+wrong (target interning, DP planning, shared scratch).  A kernel bug
+that raises on some input class would otherwise turn every matching
+request into an error response, even though the reference solver could
+answer it correctly (slower).
+
+The breaker is the standard three-state machine, counting *consecutive*
+kernel faults:
+
+* ``CLOSED`` — normal operation, solves run on the kernel.  Each fault
+  increments the streak; ``failure_threshold`` consecutive faults trip
+  the breaker.  Any success resets the streak.
+* ``OPEN`` — solves are routed to the reference solver for
+  ``cooldown_s`` seconds.  The kernel is not touched at all: a broken
+  kernel must not be allowed to burn a fault per request.
+* ``HALF_OPEN`` — after the cooldown, exactly one probe solve is
+  allowed back onto the kernel; success closes the breaker, a fault
+  re-opens it for another cooldown.
+
+A *fault* is an unexpected exception escaping a kernel solve — never a
+:class:`~repro.exceptions.ResourceError` (governor trips are answers,
+not faults) and never a :class:`~repro.exceptions.ValidationError`
+(bad input is the client's fault and would fail on any solver).
+
+The breaker is consulted from the server's single compute thread, so
+no locking is needed; ``clock`` is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..engine.instrumentation import SERVE
+from ..exceptions import ValidationError
+
+CLOSED = "CLOSED"
+OPEN = "OPEN"
+HALF_OPEN = "HALF_OPEN"
+
+
+class CircuitBreaker:
+    """Consecutive-fault breaker with cooldown and half-open probes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive kernel faults that trip the breaker OPEN.
+    cooldown_s:
+        Seconds the breaker stays OPEN before allowing a probe.
+    clock:
+        Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValidationError("cooldown_s cannot be negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.state = CLOSED
+        self.consecutive_faults = 0
+        self.trips = 0
+        self.last_fault: Optional[str] = None
+        self._opened_at = 0.0
+
+    # ------------------------------------------------------------------
+    def allow_primary(self) -> bool:
+        """Whether the next solve may run on the kernel.
+
+        OPEN transitions to HALF_OPEN (and allows one probe) once the
+        cooldown has elapsed; in HALF_OPEN the probe is already in
+        flight conceptually, so further calls stay on the fallback
+        until the probe's outcome is recorded.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self._opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                SERVE.breaker_probes += 1
+                return True
+            return False
+        # HALF_OPEN: one probe at a time
+        return False
+
+    def record_success(self) -> None:
+        """A kernel solve completed (definite or UNKNOWN, no fault)."""
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+        self.consecutive_faults = 0
+
+    def record_fault(self, error: BaseException) -> None:
+        """A kernel solve raised unexpectedly."""
+        self.consecutive_faults += 1
+        self.last_fault = f"{type(error).__name__}: {error}"
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_faults >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self._opened_at = self.clock()
+        self.trips += 1
+        SERVE.breaker_trips += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable breaker state."""
+        return {
+            "state": self.state,
+            "consecutive_faults": self.consecutive_faults,
+            "trips": self.trips,
+            "last_fault": self.last_fault,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_s": self.cooldown_s,
+        }

@@ -1,0 +1,385 @@
+"""Retrying client for the hom-decision server.
+
+A synchronous, dependency-free socket client speaking the JSON-lines
+protocol of :mod:`repro.serve.protocol`, with the failure handling a
+robust caller needs baked in:
+
+* **Connection faults retry with exponential backoff + deterministic
+  jitter**, reusing the sweep runtime's
+  :class:`~repro.parallel.RetryPolicy` (crc32-of-(key, attempt) jitter:
+  reruns reproduce the schedule exactly, simultaneous clients still
+  decorrelate).  A dead connection is re-dialed transparently.
+* **``OVERLOADED`` is a soft failure**: the server shed or refused the
+  request; the client backs off and retries it (the request is
+  idempotent — it is a query), and raises
+  :class:`~repro.exceptions.ServeOverloadedError` only once the policy
+  gives up.
+* **``error`` responses raise immediately** as
+  :class:`~repro.exceptions.ServeProtocolError` — a protocol violation
+  will not become valid by retrying.
+* Every receive is **bounded by a socket timeout** — a wedged server
+  surfaces as :class:`~repro.exceptions.ServeConnectionError`, never as
+  a silent hang.
+
+Helper constructors build the wire queries (structures serialized via
+:func:`repro.structures.io.structure_to_dict`), and
+:func:`decode_witness` restores a hom witness mapping from its encoded
+pair list.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import (
+    ServeConnectionError,
+    ServeOverloadedError,
+    ServeProtocolError,
+)
+from ..parallel.retry import RetryPolicy
+from ..structures.io import _decode_element, structure_to_dict
+from ..structures.structure import Structure
+from .protocol import (
+    MAX_FRAME_BYTES,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    decode_frame,
+    encode_frame,
+)
+
+#: What the client retries: reconnects and overload shedding.  Protocol
+#: errors are deliberately absent — they are deterministic.
+CLIENT_RETRYABLE = frozenset(
+    {"ServeConnectionError", "ServeOverloadedError"}
+)
+
+#: Default client policy: 4 attempts, fast backoff, jittered.
+DEFAULT_CLIENT_RETRY_POLICY = RetryPolicy(
+    max_attempts=4,
+    base_delay=0.05,
+    max_delay=1.0,
+    jitter=0.25,
+    retryable=CLIENT_RETRYABLE,
+)
+
+
+def structure_payload(structure: Structure) -> Dict[str, Any]:
+    """A structure's wire form (alias for the io-module dict)."""
+    return structure_to_dict(structure)
+
+
+def hom_query(
+    source: Structure,
+    target: Structure,
+    *,
+    injective: bool = False,
+    session: Optional[str] = None,
+) -> Dict[str, Any]:
+    query: Dict[str, Any] = {
+        "op": "hom",
+        "source": structure_to_dict(source),
+        "target": structure_to_dict(target),
+    }
+    if injective:
+        query["injective"] = True
+    if session is not None:
+        query["session"] = session
+    return query
+
+
+def containment_query(q1: Structure, q2: Structure) -> Dict[str, Any]:
+    """``q1 ⊆ q2`` for Boolean CQs given by their canonical structures."""
+    return {
+        "op": "containment",
+        "q1": structure_to_dict(q1),
+        "q2": structure_to_dict(q2),
+    }
+
+
+def equivalence_query(q1: Structure, q2: Structure) -> Dict[str, Any]:
+    return {
+        "op": "equivalence",
+        "q1": structure_to_dict(q1),
+        "q2": structure_to_dict(q2),
+    }
+
+
+def core_query(
+    structure: Structure, *, include_core: bool = False
+) -> Dict[str, Any]:
+    query: Dict[str, Any] = {
+        "op": "core",
+        "structure": structure_to_dict(structure),
+    }
+    if include_core:
+        query["include_core"] = True
+    return query
+
+
+def treewidth_query(
+    structure: Structure, *, limit: int = 40, exact: bool = False
+) -> Dict[str, Any]:
+    return {
+        "op": "treewidth",
+        "structure": structure_to_dict(structure),
+        "limit": limit,
+        "exact": exact,
+    }
+
+
+def decode_witness(pairs: Iterable[Any]) -> Dict[Any, Any]:
+    """A hom witness mapping back from its encoded pair list."""
+    return {
+        _decode_element(k): _decode_element(v) for k, v in pairs
+    }
+
+
+class ServeClient:
+    """A synchronous JSON-lines client with retries.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout_s:
+        Socket timeout for connect and for each response read; a
+        server that answers nothing within it counts as a connection
+        fault (retried, then raised).
+    retry_policy:
+        The :class:`~repro.parallel.RetryPolicy` shaping retries;
+        only fault kinds in its ``retryable`` set are retried.
+    retry_key:
+        Deterministic jitter key; defaults to ``host:port``.
+
+    Usable as a context manager; safe to call from one thread at a
+    time (no internal locking — share one client per thread).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 30.0,
+        retry_policy: RetryPolicy = DEFAULT_CLIENT_RETRY_POLICY,
+        retry_key: Optional[str] = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retry_policy = retry_policy
+        self.retry_key = retry_key or f"{host}:{port}"
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as err:
+            raise ServeConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {err}"
+            ) from None
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # One attempt: send a frame, read the matching response
+    # ------------------------------------------------------------------
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        assert self._sock is not None and self._rfile is not None
+        try:
+            self._sock.sendall(encode_frame(payload))
+            line = self._rfile.readline(MAX_FRAME_BYTES + 2)
+        except OSError as err:
+            self.close()
+            raise ServeConnectionError(
+                f"connection to {self.host}:{self.port} failed: {err}"
+            ) from None
+        if not line:
+            self.close()
+            raise ServeConnectionError(
+                f"server {self.host}:{self.port} closed the connection"
+            )
+        try:
+            return decode_frame(line)
+        except ServeProtocolError:
+            self.close()  # stream state unknown → re-dial on retry
+            raise
+
+    # ------------------------------------------------------------------
+    # The public request surface
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        payload: Dict[str, Any],
+        *,
+        request_id: Any = None,
+        deadline_s: Optional[float] = None,
+        budget: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Send one request (with retries) and return the ``ok``
+        response frame.
+
+        Raises :class:`~repro.exceptions.ServeOverloadedError` when the
+        policy gives up on overload shedding,
+        :class:`~repro.exceptions.ServeConnectionError` when it gives
+        up on reconnecting, and
+        :class:`~repro.exceptions.ServeProtocolError` immediately on an
+        ``error`` response (carrying the server's stable code).
+        """
+        payload = dict(payload)
+        if request_id is not None:
+            payload["id"] = request_id
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if budget is not None:
+            payload["budget"] = budget
+
+        attempts = 0
+        while True:
+            try:
+                response = self._roundtrip(payload)
+            except ServeConnectionError:
+                attempts += 1
+                if not self.retry_policy.should_retry(
+                    attempts, "ServeConnectionError"
+                ):
+                    raise
+                self._backoff(attempts)
+                continue
+            status = response.get("status")
+            if status == STATUS_OK:
+                return response
+            if status == STATUS_OVERLOADED:
+                attempts += 1
+                reason = str(response.get("reason", ""))
+                if not self.retry_policy.should_retry(
+                    attempts, "ServeOverloadedError"
+                ):
+                    raise ServeOverloadedError(reason=reason)
+                self._backoff(attempts)
+                continue
+            if status == STATUS_ERROR:
+                raise ServeProtocolError(
+                    str(response.get("detail", "server error")),
+                    code=str(response.get("code", "error")),
+                )
+            raise ServeProtocolError(
+                f"response has unknown status {status!r}",
+                code="bad-frame",
+            )
+
+    def _backoff(self, attempts: int) -> None:
+        delay = self.retry_policy.delay(attempts, key=self.retry_key)
+        if delay > 0:
+            self._sleep(delay)
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        queries: List[Dict[str, Any]],
+        *,
+        deadline_s: Optional[float] = None,
+        budget: Optional[int] = None,
+        request_id: Any = None,
+    ) -> List[Dict[str, Any]]:
+        """Submit a batch; returns the per-query result entries."""
+        response = self.request(
+            {"op": "batch", "queries": queries},
+            request_id=request_id,
+            deadline_s=deadline_s,
+            budget=budget,
+        )
+        return response["results"]
+
+    def decide(
+        self, query: Dict[str, Any], **request_opts: Any
+    ) -> Dict[str, Any]:
+        """Submit one query; returns its single result entry."""
+        response = self.request(query, **request_opts)
+        return response["results"][0]
+
+    def edit_session(
+        self,
+        session: str,
+        side: str,
+        delta: Dict[str, Any],
+        **request_opts: Any,
+    ) -> Dict[str, Any]:
+        """Apply a wire-form delta to a named warm session."""
+        return self.decide(
+            {"op": "edit", "session": session, "side": side,
+             "delta": delta},
+            **request_opts,
+        )
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness/readiness probe (answered inline, never queued)."""
+        return self.request({"op": "ping"})["results"][0]
+
+    def stats(self) -> Dict[str, Any]:
+        """Server-side counters (serve, admission, breaker, engine)."""
+        return self.request({"op": "stats"})["results"][0]
+
+
+def health_check(
+    host: str, port: int, *, timeout_s: float = 5.0
+) -> Tuple[bool, str]:
+    """One-shot readiness probe: ``(ready, detail)``.
+
+    Never raises — connection failures report ``(False, reason)`` so a
+    probe script can just exit on the boolean.
+    """
+    client = ServeClient(
+        host,
+        port,
+        timeout_s=timeout_s,
+        retry_policy=RetryPolicy(
+            max_attempts=1, retryable=CLIENT_RETRYABLE
+        ),
+    )
+    try:
+        entry = client.ping()
+    except Exception as err:
+        return False, f"{type(err).__name__}: {err}"
+    finally:
+        client.close()
+    if entry.get("ready"):
+        return True, "ready"
+    return False, "draining" if entry.get("draining") else "not ready"

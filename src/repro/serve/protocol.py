@@ -1,0 +1,247 @@
+"""Wire protocol of the hom-decision server: JSON lines, typed frames.
+
+One request per line, one response per line, UTF-8 JSON objects
+terminated by ``\\n``.  The format is deliberately the simplest thing a
+shell script can speak (``echo '{"op": "ping"}' | nc host port``) while
+still carrying everything the robustness layer needs: client request
+ids, per-request deadlines/budgets (admission control inputs), and
+batches.
+
+Decoding is *total*: every malformed, truncated or oversized frame maps
+to a structured :class:`~repro.exceptions.ServeProtocolError` with a
+stable ``code`` — the server answers it with an ``error`` response and
+keeps the connection loop alive (except for oversized frames, where the
+byte stream is desynchronized and the connection must close).  No input
+bytes can crash or hang the server.
+
+Request shape::
+
+    {"id": <any JSON>,          # echoed back verbatim (optional)
+     "op": "hom" | "containment" | "equivalence" | "core" |
+           "treewidth" | "edit" | "batch" | "ping" | "stats",
+     "deadline_s": <float>,     # admission-control deadline (optional)
+     "budget": <int>,           # per-request step budget (optional)
+     "queries": [...],          # op == "batch": sub-queries (no ids)
+     ... op-specific fields (structures as repro.structures.io dicts)}
+
+Response shape::
+
+    {"id": ..., "status": "ok",         "results": [...], "elapsed_ms": ...}
+    {"id": ..., "status": "overloaded", "reason": "..."}
+    {"id": ..., "status": "error",      "code": "...", "detail": "..."}
+
+Every admitted request is answered with exactly one frame; ``results``
+holds one entry per query (a single-op request is a batch of one).
+Each result entry carries a trivalent verdict snapshot — ``UNKNOWN`` is
+a first-class answer (governor trip, drain), never an error.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..exceptions import ServeProtocolError, ValidationError
+from ..structures.io import structure_from_dict
+from ..structures.structure import Structure
+
+#: Default cap on one frame's encoded size; a line larger than this
+#: desynchronizes the stream and closes the connection.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Default cap on queries per batch frame (oversized batches are
+#: answered with a structured error before any compute).
+MAX_BATCH_QUERIES = 64
+
+#: Ops that go through admission control and the compute queue.
+DECISION_OPS = frozenset(
+    {"hom", "containment", "equivalence", "core", "treewidth", "edit"}
+)
+
+#: Ops answered inline by the connection handler (never queued): they
+#: must stay responsive even when the compute queue is saturated.
+CONTROL_OPS = frozenset({"ping", "stats"})
+
+STATUS_OK = "ok"
+STATUS_OVERLOADED = "overloaded"
+STATUS_ERROR = "error"
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one frame (compact JSON + newline)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one raw line into a JSON object, or raise a structured
+    :class:`~repro.exceptions.ServeProtocolError` (never anything
+    else)."""
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as err:
+        raise ServeProtocolError(
+            f"frame is not valid UTF-8: {err}", code="bad-frame"
+        ) from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ServeProtocolError(
+            f"frame is not valid JSON: {err}", code="bad-frame"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ServeProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}",
+            code="bad-frame",
+        )
+    return payload
+
+
+@dataclass
+class Request:
+    """One decoded, validated decision request.
+
+    ``queries`` is always a list — a single-op request is normalized to
+    a batch of one, so the rest of the server has exactly one shape to
+    handle.  ``weight`` (the query count) is what admission control
+    charges against the queue.
+    """
+
+    id: Any
+    op: str
+    queries: List[Dict[str, Any]] = field(default_factory=list)
+    deadline_s: Optional[float] = None
+    budget: Optional[int] = None
+
+    @property
+    def weight(self) -> int:
+        return len(self.queries)
+
+
+def _require_op(query: Dict[str, Any]) -> str:
+    op = query.get("op")
+    if not isinstance(op, str):
+        raise ServeProtocolError(
+            "every query needs a string 'op' field", code="bad-request"
+        )
+    if op not in DECISION_OPS:
+        raise ServeProtocolError(
+            f"unknown op {op!r}; decision ops: {sorted(DECISION_OPS)}",
+            code="unknown-op",
+        )
+    return op
+
+
+def parse_request(
+    payload: Dict[str, Any], *, max_batch: int = MAX_BATCH_QUERIES
+) -> Request:
+    """Validate a decoded frame into a :class:`Request`.
+
+    Raises :class:`~repro.exceptions.ServeProtocolError` for every
+    violation — unknown op, non-numeric deadline, negative budget,
+    batch over ``max_batch``, non-object queries.
+    """
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ServeProtocolError(
+            "request needs a string 'op' field", code="bad-request"
+        )
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) or isinstance(
+            deadline_s, bool
+        ) or deadline_s <= 0:
+            raise ServeProtocolError(
+                f"deadline_s must be a positive number, got {deadline_s!r}",
+                code="bad-request",
+            )
+        deadline_s = float(deadline_s)
+    budget = payload.get("budget")
+    if budget is not None:
+        if not isinstance(budget, int) or isinstance(budget, bool) \
+                or budget <= 0:
+            raise ServeProtocolError(
+                f"budget must be a positive integer, got {budget!r}",
+                code="bad-request",
+            )
+    if op == "batch":
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ServeProtocolError(
+                "batch requests need a non-empty 'queries' list",
+                code="bad-request",
+            )
+        if len(queries) > max_batch:
+            raise ServeProtocolError(
+                f"batch of {len(queries)} queries exceeds the cap of "
+                f"{max_batch}",
+                code="batch-too-large",
+            )
+        for query in queries:
+            if not isinstance(query, dict):
+                raise ServeProtocolError(
+                    "every batch query must be a JSON object",
+                    code="bad-request",
+                )
+            _require_op(query)
+        return Request(
+            id=payload.get("id"),
+            op="batch",
+            queries=list(queries),
+            deadline_s=deadline_s,
+            budget=budget,
+        )
+    _require_op(payload)
+    return Request(
+        id=payload.get("id"),
+        op=op,
+        queries=[payload],
+        deadline_s=deadline_s,
+        budget=budget,
+    )
+
+
+def decode_structure(query: Dict[str, Any], key: str) -> Structure:
+    """The structure under ``query[key]``, decoded; structured errors
+    for a missing key or a malformed payload."""
+    raw = query.get(key)
+    if not isinstance(raw, dict):
+        raise ServeProtocolError(
+            f"query needs a structure object under {key!r}",
+            code="bad-request",
+        )
+    try:
+        return structure_from_dict(raw)
+    except (ValidationError, KeyError, TypeError, AttributeError) as err:
+        raise ServeProtocolError(
+            f"malformed structure under {key!r}: {err}", code="bad-request"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Response builders
+# ----------------------------------------------------------------------
+def ok_response(
+    request_id: Any, results: List[Dict[str, Any]], elapsed_ms: float
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "status": STATUS_OK,
+        "results": results,
+        "elapsed_ms": elapsed_ms,
+    }
+
+
+def overloaded_response(request_id: Any, reason: str) -> Dict[str, Any]:
+    return {"id": request_id, "status": STATUS_OVERLOADED, "reason": reason}
+
+
+def error_response(
+    request_id: Any, code: str, detail: str
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "status": STATUS_ERROR,
+        "code": code,
+        "detail": detail,
+    }

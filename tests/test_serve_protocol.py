@@ -1,0 +1,338 @@
+"""Unit tests for the serve layers below the socket: wire protocol
+decoding (malformed / truncated / oversized inputs must become
+structured errors, never exceptions of any other type), the admission
+controller's reject/shed/expiry state machine, and the circuit
+breaker's CLOSED/OPEN/HALF_OPEN transitions.
+
+Everything here is pure logic with injectable clocks — no sockets, no
+threads, no event loop.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ServeProtocolError, ValidationError
+from repro.serve import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionController,
+    CircuitBreaker,
+    Ticket,
+    decode_frame,
+    encode_frame,
+    parse_request,
+)
+from repro.serve.service import decode_delta
+from repro.structures import directed_cycle
+from repro.structures.io import structure_to_dict
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+# Frame decoding: total, structured, typed
+# ----------------------------------------------------------------------
+class TestDecodeFrame:
+    def test_roundtrip(self):
+        payload = {"op": "ping", "id": 7}
+        assert decode_frame(encode_frame(payload).rstrip(b"\n")) == payload
+
+    @pytest.mark.parametrize("raw", [
+        b"not json",
+        b"{truncated",
+        b'{"op": "hom"',          # truncated mid-object
+        b'{"op": }',
+        b"\xff\xfe garbage",      # invalid UTF-8
+        b'"just a string"',       # JSON, but not an object
+        b"[1, 2, 3]",
+        b"42",
+        b"null",
+    ])
+    def test_malformed_is_structured(self, raw):
+        with pytest.raises(ServeProtocolError) as exc:
+            decode_frame(raw)
+        assert exc.value.code == "bad-frame"
+
+    def test_never_raises_anything_else(self):
+        # A representative storm of hostile byte strings: the decoder's
+        # contract is ServeProtocolError or a dict, nothing else.
+        hostiles = [
+            bytes([b % 256 for b in range(i, i + 40)]) for i in range(50)
+        ]
+        for raw in hostiles:
+            try:
+                out = decode_frame(raw)
+            except ServeProtocolError:
+                continue
+            assert isinstance(out, dict)
+
+
+# ----------------------------------------------------------------------
+# Request parsing
+# ----------------------------------------------------------------------
+class TestParseRequest:
+    def test_single_op_normalizes_to_batch_of_one(self):
+        req = parse_request({"op": "hom", "id": "x"})
+        assert req.op == "hom"
+        assert req.weight == 1
+        assert req.queries[0]["op"] == "hom"
+
+    def test_batch_carries_weight(self):
+        req = parse_request(
+            {"op": "batch", "queries": [{"op": "hom"}, {"op": "core"}]}
+        )
+        assert req.weight == 2
+
+    def test_missing_op(self):
+        with pytest.raises(ServeProtocolError) as exc:
+            parse_request({"id": 1})
+        assert exc.value.code == "bad-request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ServeProtocolError) as exc:
+            parse_request({"op": "explode"})
+        assert exc.value.code == "unknown-op"
+
+    def test_unknown_op_inside_batch(self):
+        with pytest.raises(ServeProtocolError) as exc:
+            parse_request({"op": "batch", "queries": [{"op": "explode"}]})
+        assert exc.value.code == "unknown-op"
+
+    @pytest.mark.parametrize("deadline", ["soon", -1, 0, True, []])
+    def test_bad_deadline(self, deadline):
+        with pytest.raises(ServeProtocolError) as exc:
+            parse_request({"op": "hom", "deadline_s": deadline})
+        assert exc.value.code == "bad-request"
+
+    @pytest.mark.parametrize("budget", ["many", -5, 0, 1.5, True])
+    def test_bad_budget(self, budget):
+        with pytest.raises(ServeProtocolError) as exc:
+            parse_request({"op": "hom", "budget": budget})
+        assert exc.value.code == "bad-request"
+
+    def test_oversized_batch(self):
+        queries = [{"op": "hom"}] * 65
+        with pytest.raises(ServeProtocolError) as exc:
+            parse_request({"op": "batch", "queries": queries})
+        assert exc.value.code == "batch-too-large"
+
+    def test_oversized_batch_respects_custom_cap(self):
+        with pytest.raises(ServeProtocolError) as exc:
+            parse_request(
+                {"op": "batch", "queries": [{"op": "hom"}] * 3},
+                max_batch=2,
+            )
+        assert exc.value.code == "batch-too-large"
+
+    @pytest.mark.parametrize("queries", [None, [], "hom", [{"op": "hom"}, 3]])
+    def test_bad_batch_shapes(self, queries):
+        with pytest.raises(ServeProtocolError):
+            parse_request({"op": "batch", "queries": queries})
+
+
+# ----------------------------------------------------------------------
+# Delta decoding (the edit op's payload)
+# ----------------------------------------------------------------------
+class TestDecodeDelta:
+    def test_roundtrip(self):
+        delta = decode_delta({
+            "add_elements": [9],
+            "add_facts": [["E", [0, 9]]],
+            "remove_facts": [["E", [0, 1]]],
+        })
+        assert delta.add_elements == (9,)
+        assert delta.add_facts == (("E", (0, 9)),)
+        assert delta.remove_facts == (("E", (0, 1)),)
+
+    @pytest.mark.parametrize("raw", [None, "delta", 42, []])
+    def test_non_object(self, raw):
+        with pytest.raises(ServeProtocolError):
+            decode_delta(raw)
+
+    @pytest.mark.parametrize("facts", [
+        [["E"]], [["E", [0, 1], "extra"]], [[2, [0, 1]]], ["E"], [None],
+    ])
+    def test_bad_fact_shapes(self, facts):
+        with pytest.raises(ServeProtocolError):
+            decode_delta({"add_facts": facts})
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_first_requests_always_admitted(self):
+        # No service history -> optimistic admission, even with a
+        # microscopic deadline: rejecting on a made-up estimate is
+        # worse than computing.
+        adm = AdmissionController(clock=FakeClock())
+        decision = adm.admit(Ticket(request_id=1, deadline_s=1e-6))
+        assert decision.admitted
+
+    def test_reject_before_compute_on_projected_wait(self):
+        clock = FakeClock()
+        adm = AdmissionController(clock=clock)
+        adm.observe_service(2.0, 1)  # ewma = 2s per query
+        adm.admit(Ticket(request_id=1))      # 2s projected behind this
+        decision = adm.admit(Ticket(request_id=2, deadline_s=0.5))
+        assert not decision.admitted
+        assert "exceeds the request deadline" in decision.reason
+        # A patient request still gets in.
+        assert adm.admit(Ticket(request_id=3, deadline_s=60.0)).admitted
+
+    def test_full_queue_sheds_oldest_deadline(self):
+        clock = FakeClock()
+        adm = AdmissionController(queue_limit=2, clock=clock)
+        adm.admit(Ticket(request_id="tight", deadline_s=1.0))
+        adm.admit(Ticket(request_id="loose", deadline_s=50.0))
+        decision = adm.admit(Ticket(request_id="new", deadline_s=10.0))
+        assert decision.admitted
+        assert [t.request_id for t in decision.shed] == ["tight"]
+        assert [t.request_id for t in adm.queue] == ["loose", "new"]
+
+    def test_newcomer_with_earliest_deadline_is_shed(self):
+        clock = FakeClock()
+        adm = AdmissionController(queue_limit=2, clock=clock)
+        adm.admit(Ticket(request_id=1, deadline_s=10.0))
+        adm.admit(Ticket(request_id=2, deadline_s=20.0))
+        decision = adm.admit(Ticket(request_id=3, deadline_s=0.5))
+        assert not decision.admitted
+        assert decision.shed == []
+        assert len(adm.queue) == 2
+
+    def test_deadline_less_tickets_never_lose_to_deadlined(self):
+        clock = FakeClock()
+        adm = AdmissionController(queue_limit=2, clock=clock)
+        adm.admit(Ticket(request_id="patient"))          # no deadline
+        adm.admit(Ticket(request_id="d1", deadline_s=5.0))
+        decision = adm.admit(Ticket(request_id="d2", deadline_s=9.0))
+        assert decision.admitted
+        assert [t.request_id for t in decision.shed] == ["d1"]
+        assert "patient" in [t.request_id for t in adm.queue]
+
+    def test_expiry_on_dequeue(self):
+        clock = FakeClock()
+        adm = AdmissionController(clock=clock)
+        adm.admit(Ticket(request_id="stale", deadline_s=1.0))
+        adm.admit(Ticket(request_id="fresh", deadline_s=100.0))
+        clock.advance(5.0)
+        ticket, expired = adm.next_ready()
+        assert ticket.request_id == "fresh"
+        assert [t.request_id for t in expired] == ["stale"]
+
+    def test_finish_updates_ewma_and_in_flight(self):
+        clock = FakeClock()
+        adm = AdmissionController(clock=clock)
+        adm.admit(Ticket(request_id=1, weight=2))
+        ticket, _ = adm.next_ready()
+        assert adm.in_flight_weight == 2
+        adm.finish(ticket, elapsed_s=1.0)
+        assert adm.in_flight_weight == 0
+        assert adm.service_ewma_s == pytest.approx(0.5)  # 1s / weight 2
+
+    def test_drain_queue_empties(self):
+        adm = AdmissionController(clock=FakeClock())
+        adm.admit(Ticket(request_id=1))
+        adm.admit(Ticket(request_id=2))
+        drained = adm.drain_queue()
+        assert len(drained) == 2 and adm.queue == []
+
+    def test_queue_limit_validation(self):
+        with pytest.raises(ValidationError):
+            AdmissionController(queue_limit=0)
+
+    def test_snapshot_is_json(self):
+        adm = AdmissionController(clock=FakeClock())
+        json.dumps(adm.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestBreaker:
+    def make(self, threshold=3, cooldown=5.0):
+        clock = FakeClock()
+        return CircuitBreaker(
+            failure_threshold=threshold, cooldown_s=cooldown, clock=clock
+        ), clock
+
+    def test_trips_after_consecutive_faults(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_fault(RuntimeError("boom"))
+        assert breaker.state == CLOSED
+        breaker.record_fault(RuntimeError("boom"))
+        assert breaker.state == OPEN
+        assert not breaker.allow_primary()
+
+    def test_success_resets_streak(self):
+        breaker, _ = self.make()
+        breaker.record_fault(RuntimeError("boom"))
+        breaker.record_fault(RuntimeError("boom"))
+        breaker.record_success()
+        breaker.record_fault(RuntimeError("boom"))
+        breaker.record_fault(RuntimeError("boom"))
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_fault(RuntimeError("boom"))
+        assert not breaker.allow_primary()
+        clock.advance(5.1)
+        assert breaker.allow_primary()       # the single probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow_primary()   # only one probe at a time
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1)
+        breaker.record_fault(RuntimeError("boom"))
+        clock.advance(10.0)
+        assert breaker.allow_primary()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow_primary()
+
+    def test_probe_fault_reopens(self):
+        breaker, clock = self.make(threshold=3)
+        for _ in range(3):
+            breaker.record_fault(RuntimeError("boom"))
+        clock.advance(10.0)
+        assert breaker.allow_primary()
+        breaker.record_fault(RuntimeError("still broken"))
+        assert breaker.state == OPEN
+        assert not breaker.allow_primary()
+        assert breaker.trips == 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+    def test_snapshot_is_json(self):
+        breaker, _ = self.make()
+        breaker.record_fault(RuntimeError("boom"))
+        json.dumps(breaker.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Structure payloads survive the wire
+# ----------------------------------------------------------------------
+def test_structure_payload_roundtrips_through_frames():
+    c3 = directed_cycle(3)
+    frame = encode_frame({"op": "hom", "source": structure_to_dict(c3)})
+    payload = decode_frame(frame.rstrip(b"\n"))
+    from repro.structures.io import structure_from_dict
+
+    assert structure_from_dict(payload["source"]) == c3

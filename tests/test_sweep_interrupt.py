@@ -1,0 +1,208 @@
+"""Interrupted sweeps clean up instead of leaning on TTL expiry.
+
+``repro sweep`` installs SIGTERM/SIGINT handlers that convert the
+signal into :class:`KeyboardInterrupt`; the CLI then
+
+* compacts the checkpoint journal (plain sweeps) so the next run
+  resumes from a journal with no torn tail,
+* releases the in-flight shard lease (sharded sweeps) so another
+  runner can claim the shard immediately,
+
+and exits 130 with an actionable stderr message either way.
+"""
+
+import signal
+
+import pytest
+
+from repro.cli import _install_interrupt_handlers, main
+from repro.distributed import LeaseManager, partition
+from repro.distributed.runner import ShardedSweepOutcome, _run_shard
+from repro.resources import SweepJournal
+
+GRID = [(f"i{n:02d}", ("ok", n)) for n in range(6)]
+
+
+# ---------------------------------------------------------------------------
+# Signal installation
+# ---------------------------------------------------------------------------
+class TestInstallHandlers:
+    def test_sigterm_and_sigint_raise_keyboard_interrupt(self, monkeypatch):
+        installed = {}
+
+        def fake_signal(signum, handler):
+            installed[signum] = handler
+
+        monkeypatch.setattr(signal, "signal", fake_signal)
+        _install_interrupt_handlers()
+        assert set(installed) == {signal.SIGTERM, signal.SIGINT}
+        for handler in installed.values():
+            with pytest.raises(KeyboardInterrupt):
+                handler(signal.SIGTERM, None)
+
+    def test_non_main_thread_is_a_noop(self, monkeypatch):
+        # signal.signal raises ValueError off the main thread; the
+        # guard must bail before ever calling it.
+        import threading
+
+        called = []
+        monkeypatch.setattr(
+            signal, "signal",
+            lambda *a: called.append(a),
+        )
+        result = []
+        worker = threading.Thread(
+            target=lambda: result.append(_install_interrupt_handlers())
+        )
+        worker.start()
+        worker.join()
+        assert called == []
+
+    def test_exotic_platform_failure_is_swallowed(self, monkeypatch):
+        def broken_signal(signum, handler):
+            raise ValueError("unsupported signal")
+
+        monkeypatch.setattr(signal, "signal", broken_signal)
+        _install_interrupt_handlers()  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# Plain sweep: journal compaction on interrupt
+# ---------------------------------------------------------------------------
+class TestPlainSweepInterrupt:
+    def test_interrupt_compacts_journal_and_exits_130(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        journal_file = str(tmp_path / "sweep.jsonl")
+
+        def interrupted_run_sweep(task, instances, **kwargs):
+            # Checkpoint two instances twice (duplicate keys are what
+            # compaction squeezes out), then die mid-flight.
+            journal = kwargs["journal"]
+            for key in ("grid-3x3", "tree-20"):
+                journal.record(key, {"status": "ok"})
+                journal.record(key, {"status": "ok"})
+            raise KeyboardInterrupt("signal 15")
+
+        import repro.parallel
+
+        monkeypatch.setattr(
+            repro.parallel, "run_sweep", interrupted_run_sweep
+        )
+        code = main(
+            ["sweep", "treewidth", "--journal", journal_file]
+        )
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "compacted" in err
+        assert "resume" in err
+        # The compacted journal is clean: deduplicated, no torn tail.
+        journal = SweepJournal(journal_file)
+        assert sorted(journal.keys()) == ["grid-3x3", "tree-20"]
+        assert journal.integrity() == "ok"
+        assert not journal.needs_compaction()
+
+    def test_interrupt_without_journal_reports_discard(
+        self, monkeypatch, capsys
+    ):
+        def interrupted_run_sweep(task, instances, **kwargs):
+            raise KeyboardInterrupt("signal 2")
+
+        import repro.parallel
+
+        monkeypatch.setattr(
+            repro.parallel, "run_sweep", interrupted_run_sweep
+        )
+        code = main(["sweep", "treewidth"])
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "progress discarded" in err
+
+    def test_sweep_installs_handlers_before_running(self, monkeypatch):
+        installed = []
+        monkeypatch.setattr(
+            "repro.cli._install_interrupt_handlers",
+            lambda: installed.append(True),
+        )
+
+        def instant_run_sweep(task, instances, **kwargs):
+            raise KeyboardInterrupt
+
+        import repro.parallel
+
+        monkeypatch.setattr(
+            repro.parallel, "run_sweep", instant_run_sweep
+        )
+        assert main(["sweep", "treewidth"]) == 130
+        assert installed == [True]
+
+
+# ---------------------------------------------------------------------------
+# Sharded sweep: lease release on interrupt
+# ---------------------------------------------------------------------------
+class TestShardedSweepInterrupt:
+    def test_cli_reports_release_and_exits_130(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        def interrupted_sharded(*args, **kwargs):
+            raise KeyboardInterrupt("signal 15")
+
+        import repro.distributed
+
+        monkeypatch.setattr(
+            repro.distributed, "run_sharded_sweep", interrupted_sharded
+        )
+        code = main([
+            "sweep", "treewidth",
+            "--shard-dir", str(tmp_path), "--shards", "2",
+        ])
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "lease released" in err
+        assert "resumable" in err
+
+    def test_run_shard_releases_lease_on_interrupt(self, tmp_path):
+        # The lease must be claimable by another runner *immediately*
+        # after the interrupt — not after the TTL expires.
+        parts = partition(GRID, 2)
+
+        def interrupting_task(spec):
+            raise KeyboardInterrupt("signal 15")
+
+        manager = LeaseManager(str(tmp_path), "victim", ttl_s=3600.0)
+        lease = manager.claim(0)
+        assert lease is not None
+        with pytest.raises(KeyboardInterrupt):
+            _run_shard(
+                interrupting_task, parts[0], str(tmp_path), 0,
+                manager, lease, ShardedSweepOutcome(runner="victim", shards=2),
+                workers=1, mode="interrupt-test",
+            )
+        # A fresh runner claims the shard without stealing: the victim
+        # released it rather than leaving a live hour-long lease.
+        successor = LeaseManager(str(tmp_path), "successor", ttl_s=10.0)
+        reclaimed = successor.claim(0)
+        assert reclaimed is not None
+        assert not reclaimed.stolen
+
+    def test_run_shard_interrupt_survives_broken_release(
+        self, tmp_path, monkeypatch
+    ):
+        # Best effort: a failing release must not mask the interrupt.
+        parts = partition(GRID, 2)
+
+        def interrupting_task(spec):
+            raise KeyboardInterrupt("signal 15")
+
+        manager = LeaseManager(str(tmp_path), "victim", ttl_s=3600.0)
+        lease = manager.claim(0)
+        monkeypatch.setattr(
+            manager, "release",
+            lambda _lease: (_ for _ in ()).throw(OSError("disk gone")),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            _run_shard(
+                interrupting_task, parts[0], str(tmp_path), 0,
+                manager, lease, ShardedSweepOutcome(runner="victim", shards=2),
+                workers=1, mode="interrupt-test",
+            )
